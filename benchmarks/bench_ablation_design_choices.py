@@ -1,0 +1,71 @@
+"""Ablation benches for design choices called out in DESIGN.md.
+
+Two knobs the paper fixes empirically are swept here:
+
+* the Eq. 2 cost exponent (the paper uses 4), and
+* the Adaptive Weight Slicing error budget (the paper uses 0.09).
+"""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic.slicing import RAELLA_DEFAULT_WEIGHT_SLICING
+from repro.core.adaptive_slicing import AdaptiveSlicingConfig, choose_weight_slicing
+from repro.core.center_offset import CenterOffsetEncoder, WeightEncoding
+from repro.nn.layers import Linear
+from repro.nn.synthetic import synthetic_linear_weights
+
+
+@pytest.fixture(scope="module")
+def skewed_layer():
+    rng = np.random.default_rng(3)
+    weights = synthetic_linear_weights(8, 448, rng, std=0.06, mean_spread=0.03)
+    layer = Linear("ablation_fc", weights, fuse_relu=True)
+    inputs = np.abs(rng.normal(0, 1, size=(48, 448)))
+    layer.calibrate(inputs, layer.forward_float(inputs))
+    patches = layer.input_quant.quantize(inputs)
+    return layer, patches
+
+
+def _worst_column_bias(layer, power):
+    encoder = CenterOffsetEncoder(
+        RAELLA_DEFAULT_WEIGHT_SLICING, WeightEncoding.CENTER_OFFSET, power=power
+    )
+    encoded = encoder.encode(layer.weight_codes, layer.weight_zero_point)
+    diff = encoded.positive_slices - encoded.negative_slices
+    return float(np.abs(diff.sum(axis=1)).max())
+
+
+def test_ablation_center_cost_power(benchmark, skewed_layer):
+    """Eq. 2 exponent sweep: the paper's power of 4 balances columns well."""
+    layer, _ = skewed_layer
+
+    def sweep():
+        return {power: _worst_column_bias(layer, power) for power in (1.0, 2.0, 4.0, 8.0)}
+
+    biases = benchmark(sweep)
+    benchmark.extra_info["worst_column_bias_by_power"] = {
+        str(k): round(v, 1) for k, v in biases.items()
+    }
+    # The power-of-4 objective should not be worse than the linear objective
+    # at balancing the worst column.
+    assert biases[4.0] <= biases[1.0] * 1.5
+
+
+def test_ablation_error_budget(benchmark, skewed_layer):
+    """Error-budget sweep: tighter budgets force more weight slices."""
+    layer, patches = skewed_layer
+
+    def sweep():
+        slices = {}
+        for budget in (0.01, 0.09, 1.0):
+            choice = choose_weight_slicing(
+                layer, patches,
+                AdaptiveSlicingConfig(error_budget=budget, max_test_patches=48),
+            )
+            slices[budget] = choice.slicing.n_slices
+        return slices
+
+    slices = benchmark.pedantic(sweep, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["slices_by_budget"] = {str(k): v for k, v in slices.items()}
+    assert slices[0.01] >= slices[0.09] >= slices[1.0]

@@ -1,0 +1,15 @@
+"""Benchmark E1 -- Fig. 1: energy breakdown of the ISAAC-based design."""
+
+from repro.experiments.fig01_breakdown import run_fig01
+
+
+def test_fig01_isaac_energy_breakdown(benchmark):
+    result = benchmark(run_fig01, "resnet18")
+    benchmark.extra_info["adc_fraction"] = round(result.adc_fraction, 3)
+    benchmark.extra_info["crossbar_fj_per_mac"] = round(
+        result.crossbar_energy_per_mac_fj, 1
+    )
+    benchmark.extra_info["total_uj"] = round(result.total_uj, 1)
+    # Paper: ADCs dominate overall energy; crossbars compute 8b MACs < 100 fJ.
+    assert result.adc_fraction > 0.5
+    assert result.crossbar_energy_per_mac_fj < 150

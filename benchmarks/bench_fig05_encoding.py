@@ -1,0 +1,21 @@
+"""Benchmark E5 -- Fig. 5: differential vs Center+Offset encoding."""
+
+from repro.experiments.fig05_encoding import run_fig05
+
+
+def test_fig05_differential_vs_center_offset(benchmark):
+    comparisons = benchmark(run_fig05, 512, 64, 0)
+    by_name = {c.encoding: c for c in comparisons}
+    benchmark.extra_info["zero_offset_saturation"] = round(
+        by_name["zero_offset"].saturation_rate, 3
+    )
+    benchmark.extra_info["center_offset_saturation"] = round(
+        by_name["center_offset"].saturation_rate, 4
+    )
+    # Paper: mostly-negative filters saturate badly under differential
+    # encoding; Center+Offset keeps column sums near zero.
+    assert by_name["zero_offset"].saturation_rate > 0.2
+    assert by_name["center_offset"].saturation_rate < 0.05
+    assert abs(by_name["center_offset"].mean_column_sum) < abs(
+        by_name["zero_offset"].mean_column_sum
+    )

@@ -1,0 +1,24 @@
+"""Benchmark E6 -- Fig. 7: per-layer weight slicings chosen by Adaptive Weight Slicing."""
+
+from repro.experiments.fig07_slicings import run_fig07
+
+
+def test_fig07_adaptive_weight_slicings(run_once, benchmark):
+    result = run_once(
+        run_fig07,
+        model_names=("resnet18", "mobilenetv2"),
+        max_test_patches=128,
+        n_test_inputs=1,
+    )
+    summary = {
+        model.model_name: model.slice_count_histogram for model in result.models
+    }
+    benchmark.extra_info["slice_count_histograms"] = {
+        k: {str(n): c for n, c in v.items()} for k, v in summary.items()
+    }
+    for model in result.models:
+        # Paper: most layers use few (2-4) slices; the last layer always uses
+        # the conservative eight 1-bit slices.
+        assert model.modal_slice_count <= 4
+        assert list(model.per_layer.values())[-1] == (1,) * 8
+        assert all(sum(widths) == 8 for widths in model.per_layer.values())

@@ -1,0 +1,20 @@
+"""Benchmark E7 -- Fig. 8: operand distributions and per-bit densities."""
+
+from repro.experiments.fig08_densities import run_fig08
+
+
+def test_fig08_bit_densities(benchmark):
+    result = benchmark(run_fig08, None, -2, 2, 0)
+    benchmark.extra_info["high_order_input_density"] = round(
+        result.high_order_input_density, 3
+    )
+    benchmark.extra_info["high_order_offset_density"] = round(
+        result.high_order_offset_density, 3
+    )
+    benchmark.extra_info["high_order_raw_code_density"] = round(
+        result.high_order_weight_code_density, 3
+    )
+    # Paper: inputs have sparse high-order bits; Center+Offset offsets have
+    # sparser high-order bits than raw unsigned weight codes.
+    assert result.high_order_input_density < 0.35
+    assert result.high_order_offset_density < result.high_order_weight_code_density

@@ -1,0 +1,26 @@
+"""Benchmark E9 -- Fig. 13: comparison with FORMS and TIMELY."""
+
+from repro.experiments.fig13_retraining import run_fig13
+
+
+def test_fig13_comparison_with_retraining_architectures(benchmark):
+    result = benchmark(run_fig13, ("resnet18", "resnet50"))
+    entries = {e.arch_name: e for e in result.entries}
+    efficiency = {
+        name: round(result.relative_efficiency(e), 2) for name, e in entries.items()
+    }
+    throughput = {
+        name: round(result.relative_throughput(e), 2) for name, e in entries.items()
+    }
+    benchmark.extra_info["efficiency_vs_isaac"] = efficiency
+    benchmark.extra_info["throughput_vs_isaac"] = throughput
+    # Paper: RAELLA matches FORMS's throughput and exceeds the efficiency of
+    # both FORMS and TIMELY without retraining; at 65 nm the no-speculation
+    # configuration is the more efficient RAELLA variant.
+    assert efficiency["raella"] > efficiency["forms8"]
+    assert 0.5 < throughput["raella"] / throughput["forms8"] < 2.0
+    assert efficiency["raella_65nm_no_spec"] >= efficiency["raella_65nm"]
+    best_raella_65nm = max(
+        efficiency["raella_65nm"], efficiency["raella_65nm_no_spec"]
+    )
+    assert best_raella_65nm >= efficiency["timely"] * 0.95

@@ -1,0 +1,34 @@
+"""Benchmark E12 -- Fig. 14: energy ablation of RAELLA's strategies."""
+
+from repro.experiments.fig14_ablation import run_fig14
+from repro.nn.zoo import CNN_MODEL_NAMES
+
+
+def test_fig14_energy_ablation(benchmark):
+    result = benchmark(run_fig14, CNN_MODEL_NAMES)
+    benchmark.extra_info["converts_per_mac_by_setup"] = {
+        setup: round(result.mean_converts_per_mac(setup), 4)
+        for setup in result.setup_names
+    }
+    benchmark.extra_info["resnet18_reduction_vs_isaac"] = {
+        setup: round(result.energy_reduction_vs_isaac(setup, "resnet18"), 2)
+        for setup in result.setup_names
+    }
+    # Paper (Section 7.1): Converts/MAC falls 0.25 -> 0.063 -> 0.047 -> 0.018
+    # as the strategies are applied, and every strategy reduces total energy
+    # relative to ISAAC.  The per-MAC values are checked on ResNet18 (the
+    # paper's reference DNN); the depthwise-separable compact models have much
+    # shorter filters and correspondingly higher Converts/MAC on every setup.
+    converts = [result.mean_converts_per_mac(s) for s in result.setup_names]
+    assert converts == sorted(converts, reverse=True)
+    resnet_converts = [
+        result.converts_per_mac[(setup, "resnet18")] for setup in result.setup_names
+    ]
+    assert resnet_converts == sorted(resnet_converts, reverse=True)
+    assert resnet_converts[0] > 0.2 and resnet_converts[-1] < 0.05
+    for model in result.model_names:
+        for setup in result.setup_names[1:]:
+            # Every strategy reduces energy on every DNN; compact DNNs
+            # (ShuffleNet/MobileNet) benefit less, as in the paper.
+            assert result.energy_reduction_vs_isaac(setup, model) > 1.3
+        assert result.energy_reduction_vs_isaac("raella", model) > 2.0

@@ -1,0 +1,30 @@
+"""Benchmark E13 -- Fig. 15: accuracy under increasing analog noise."""
+
+from repro.experiments.fig15_noise import run_fig15
+
+
+def test_fig15_accuracy_under_noise(run_once, benchmark):
+    result = run_once(
+        run_fig15, noise_levels=(0.0, 0.12), max_samples=150, epochs=20
+    )
+    drops = {
+        setup: {
+            str(point.noise_level): round(point.accuracy_drop_pct, 2)
+            for point in result.series(setup)
+        }
+        for setup in result.setup_names
+    }
+    benchmark.extra_info["accuracy_drop_pp"] = drops
+    benchmark.extra_info["quantized_accuracy"] = round(result.quantized_accuracy, 3)
+    # Paper: at zero noise every setup preserves accuracy; as noise grows,
+    # ISAAC's dense unsigned arithmetic degrades at least as much as RAELLA's
+    # Center+Offset-based setups, and speculation does not hurt accuracy
+    # because recovery re-converts failed columns.
+    for setup in result.setup_names:
+        assert result.drop_at(setup, 0.0) < 3.0
+    worst_noise = 0.12
+    assert result.drop_at("isaac", worst_noise) >= result.drop_at("raella", worst_noise) - 1.0
+    assert abs(
+        result.drop_at("raella", worst_noise)
+        - result.drop_at("center_offset+adaptive", worst_noise)
+    ) < 6.0

@@ -1,0 +1,56 @@
+"""Microbenchmarks of the core simulation kernels.
+
+Not a paper artifact: these track the performance of the building blocks that
+every experiment relies on (center optimisation, weight encoding, and the
+crossbar executor in speculative and bit-serial modes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic.slicing import RAELLA_DEFAULT_WEIGHT_SLICING
+from repro.core.center_offset import CenterOffsetEncoder, optimal_centers
+from repro.core.dynamic_input import SpeculationMode
+from repro.core.executor import PimLayerConfig, PimLayerExecutor
+from repro.nn.layers import Linear
+from repro.nn.synthetic import synthetic_linear_weights
+
+
+@pytest.fixture(scope="module")
+def medium_layer():
+    rng = np.random.default_rng(0)
+    layer = Linear("bench_fc", synthetic_linear_weights(64, 384, rng, std=0.1),
+                   fuse_relu=True)
+    inputs = np.abs(rng.normal(0, 1, size=(64, 384)))
+    layer.calibrate(inputs, layer.forward_float(inputs))
+    patches = layer.input_quant.quantize(inputs)
+    return layer, patches
+
+
+def test_kernel_center_optimisation(benchmark, medium_layer):
+    layer, _ = medium_layer
+    centers = benchmark(optimal_centers, layer.weight_codes, RAELLA_DEFAULT_WEIGHT_SLICING)
+    assert centers.shape == (64,)
+
+
+def test_kernel_weight_encoding(benchmark, medium_layer):
+    layer, _ = medium_layer
+    encoder = CenterOffsetEncoder(RAELLA_DEFAULT_WEIGHT_SLICING)
+    encoded = benchmark(encoder.encode, layer.weight_codes, layer.weight_zero_point)
+    assert np.array_equal(encoded.reconstruct_codes(), layer.weight_codes)
+
+
+def test_kernel_speculative_executor(benchmark, medium_layer):
+    layer, patches = medium_layer
+    executor = PimLayerExecutor(layer, PimLayerConfig())
+    result = benchmark(executor.matmul, patches)
+    assert result.shape == (64, 64)
+
+
+def test_kernel_bit_serial_executor(benchmark, medium_layer):
+    layer, patches = medium_layer
+    executor = PimLayerExecutor(
+        layer, PimLayerConfig(speculation=SpeculationMode.BIT_SERIAL)
+    )
+    result = benchmark(executor.matmul, patches)
+    assert result.shape == (64, 64)

@@ -1,0 +1,16 @@
+"""Benchmark E2 -- Table 1: slicing tradeoffs of a 2b x 2b MAC."""
+
+from repro.experiments.table1_slicing import run_table1
+
+
+def test_table1_slicing_tradeoffs(benchmark):
+    rows = benchmark(run_table1)
+    by_config = {(r.sliced_input, r.sliced_weight): r for r in rows}
+    benchmark.extra_info["converts_per_mac"] = {
+        str(k): v.converts_per_mac for k, v in by_config.items()
+    }
+    # Paper Table 1: converts/MAC goes 1 -> 2 -> 2 -> 4 while bits/MAC
+    # goes 4 -> 2 -> 2 -> 1.
+    assert by_config[(False, False)].converts_per_mac == 1
+    assert by_config[(True, True)].converts_per_mac == 4
+    assert by_config[(True, True)].bits_per_mac == 1

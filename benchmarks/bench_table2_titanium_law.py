@@ -1,0 +1,28 @@
+"""Benchmark E3 -- Table 2: the Titanium Law of ADC energy."""
+
+from repro.experiments.table2_titanium import run_table2, run_titanium_tradeoff_sweep
+
+
+def test_table2_titanium_law_terms(benchmark):
+    result = benchmark(run_table2, "resnet18")
+    by_name = {t.arch_name: t for t in result.terms}
+    benchmark.extra_info["isaac_converts_per_mac"] = round(
+        by_name["isaac"].converts_per_mac, 3
+    )
+    benchmark.extra_info["raella_converts_per_mac"] = round(
+        by_name["raella"].converts_per_mac, 4
+    )
+    # Paper: ISAAC ~0.25 converts/MAC, RAELLA ~0.018.
+    assert 0.2 < by_name["isaac"].converts_per_mac < 0.32
+    assert by_name["raella"].converts_per_mac < 0.04
+    assert by_name["raella"].adc_energy_uj < by_name["isaac"].adc_energy_uj
+
+
+def test_table2_resolution_tradeoff_sweep(benchmark):
+    sweep = benchmark(run_titanium_tradeoff_sweep, "resnet18", (5, 6, 7, 8, 9))
+    # Lower ADC resolution is cheaper per convert but needs more converts/MAC
+    # at iso-fidelity -- the coupling Table 2 describes.
+    energies = [t.energy_per_convert_pj for t in sweep]
+    converts = [t.converts_per_mac for t in sweep]
+    assert energies == sorted(energies)
+    assert converts == sorted(converts, reverse=True)

@@ -1,0 +1,19 @@
+"""Benchmark E10 -- Table 3: qualitative comparison with prior works."""
+
+from repro.experiments.table3_prior import run_table3
+
+
+def test_table3_prior_work_classification(benchmark):
+    rows = benchmark(run_table3)
+    by_name = {r.name: r for r in rows}
+    benchmark.extra_info["architectures"] = list(by_name)
+    # Paper Table 3: RAELLA is the only design with low ADC cost, no weight
+    # limits, low fidelity loss and no retraining requirement.
+    raella = by_name["raella"]
+    assert not raella.high_cost_adc
+    assert not raella.limits_weight_count
+    assert raella.fidelity_loss == "low"
+    assert not raella.needs_retraining
+    assert by_name["isaac"].high_cost_adc
+    assert by_name["forms8"].limits_weight_count and by_name["forms8"].needs_retraining
+    assert by_name["timely"].fidelity_loss == "high" and by_name["timely"].needs_retraining

@@ -1,0 +1,21 @@
+"""Benchmark E11 -- Table 4: accuracy of Center+Offset vs Zero+Offset RAELLA."""
+
+from repro.experiments.table4_accuracy import run_table4
+
+
+def test_table4_accuracy_comparison(run_once, benchmark):
+    result = run_once(run_table4, max_samples=200, include_cnn=True, epochs=20)
+    benchmark.extra_info["entries"] = {
+        entry.model_name: {
+            "quantized": round(entry.quantized_accuracy, 3),
+            "center_offset_drop_pp": round(entry.center_offset_drop_pct, 2),
+            "zero_offset_drop_pp": round(entry.zero_offset_drop_pct, 2),
+        }
+        for entry in result.entries
+    }
+    # Paper: RAELLA Center+Offset loses little to no accuracy without
+    # retraining (drops within a fraction of a point up to ~0.2pp); Zero+Offset
+    # is never better and collapses on skew-sensitive models.
+    for entry in result.entries:
+        assert entry.center_offset_drop_pct < 3.0
+        assert entry.zero_offset_drop_pct >= entry.center_offset_drop_pct - 1.0

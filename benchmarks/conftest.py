@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures through the
+experiment harnesses in :mod:`repro.experiments`.  Long-running experiments
+use ``benchmark.pedantic(..., rounds=1)`` so the suite stays tractable; the
+headline measured values are attached to ``benchmark.extra_info`` so they
+appear in the pytest-benchmark report and can be compared against
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,38 @@
+"""Efficiency study: RAELLA vs ISAAC on the paper's seven DNNs (Fig. 12).
+
+Uses the full-scale layer-shape tables and the analytical hardware cost model
+to compare energy per inference and throughput, normalised to the ISAAC
+baseline -- the headline result of the paper.
+
+Run with:  python examples/efficiency_study.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig01_breakdown import format_fig01, run_fig01
+from repro.experiments.fig12_efficiency import format_fig12, run_fig12
+from repro.experiments.fig13_retraining import format_fig13, run_fig13
+from repro.experiments.table2_titanium import format_table2, run_table2
+
+
+def main() -> None:
+    print("Why PIM accelerators are ADC-limited (Fig. 1):\n")
+    print(format_fig01(run_fig01("resnet18")))
+
+    print("\n\nThe Titanium Law decomposition (Table 2):\n")
+    print(format_table2(run_table2("resnet18")))
+
+    print("\n\nRAELLA vs ISAAC across the seven DNNs (Fig. 12):\n")
+    result = run_fig12()
+    print(format_fig12(result))
+    print(
+        f"\npaper reference: efficiency geomean 3.9x (range 2.9-4.9), "
+        f"throughput geomean 2.0x (range 0.7-3.3)"
+    )
+
+    print("\n\nComparison with retraining architectures (Fig. 13):\n")
+    print(format_fig13(run_fig13()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so that
+fully-offline environments without the ``wheel`` package can still install the
+library with ``python setup.py develop`` or ``python setup.py install``.
+"""
+
+from setuptools import setup
+
+setup()

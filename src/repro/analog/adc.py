@@ -1,0 +1,160 @@
+"""Analog-to-digital converter models.
+
+Two conversion policies matter in the paper:
+
+* :class:`SaturatingADC` -- RAELLA's policy (Section 3): the ADC always
+  captures the least-significant bits of the column sum with a unit step size,
+  so small sums are converted exactly and sums outside the signed range
+  saturate at the bounds.  Saturation is what Adaptive/Dynamic slicing keep
+  rare, and detecting a saturated output is how speculation failures are found.
+* :class:`TruncatingADC` -- the policy of Sum-Fidelity-Limited designs
+  (PRIME, TIMELY, CASCADE): the ADC captures the most-significant bits of a
+  wide column sum and drops LSBs, losing fidelity on every conversion.
+
+Both return an :class:`ADCResult` with the converted values and bookkeeping
+needed by the executors (saturation masks and convert counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ADCResult", "SaturatingADC", "TruncatingADC"]
+
+
+@dataclass(frozen=True)
+class ADCResult:
+    """Outcome of converting an array of column sums.
+
+    Attributes
+    ----------
+    values:
+        Converted (digital) column sums, same shape as the input.
+    saturated:
+        Boolean mask of entries that hit the ADC bounds (only meaningful for
+        the saturating ADC; always ``False`` for the truncating ADC).
+    n_converts:
+        Number of ADC conversions performed (the array size, unless a mask
+        restricted conversion to a subset of columns).
+    """
+
+    values: np.ndarray
+    saturated: np.ndarray
+    n_converts: int
+
+    @property
+    def saturation_rate(self) -> float:
+        """Fraction of converted entries that saturated."""
+        if self.saturated.size == 0:
+            return 0.0
+        return float(np.mean(self.saturated))
+
+
+@dataclass(frozen=True)
+class SaturatingADC:
+    """Signed LSB-capture ADC with saturation (RAELLA's 7-bit ADC).
+
+    A ``bits``-bit signed ADC represents the range ``[-2**(bits-1),
+    2**(bits-1) - 1]`` with a step size of one, i.e. it captures the
+    ``bits`` least-significant bits of the column sum exactly and clamps
+    anything outside the range to the nearest bound.
+    """
+
+    bits: int = 7
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 16:
+            raise ValueError("ADC resolution must be in [1, 16] bits")
+
+    @property
+    def min_value(self) -> int:
+        """Most negative representable value."""
+        return -(1 << (self.bits - 1))
+
+    @property
+    def max_value(self) -> int:
+        """Most positive representable value."""
+        return (1 << (self.bits - 1)) - 1
+
+    def convert(
+        self, column_sums: np.ndarray, mask: np.ndarray | None = None
+    ) -> ADCResult:
+        """Convert analog column sums to digital values.
+
+        Parameters
+        ----------
+        column_sums:
+            Analog column sums (integers, possibly perturbed by noise; noisy
+            values are rounded to the nearest integer step first).
+        mask:
+            Optional boolean mask of entries to convert.  Unconverted entries
+            are returned as zero and do not count toward ``n_converts`` --
+            this models recovery cycles where ADCs are power-gated for columns
+            whose speculation succeeded (Section 4.3).
+        """
+        sums = np.round(np.asarray(column_sums, dtype=np.float64)).astype(np.int64)
+        clipped = np.clip(sums, self.min_value, self.max_value)
+        saturated = (clipped == self.min_value) | (clipped == self.max_value)
+        if mask is None:
+            return ADCResult(values=clipped, saturated=saturated,
+                             n_converts=int(sums.size))
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != sums.shape:
+            raise ValueError("mask shape must match column_sums shape")
+        values = np.where(mask, clipped, 0)
+        saturated = saturated & mask
+        return ADCResult(values=values, saturated=saturated,
+                         n_converts=int(mask.sum()))
+
+    def detects_saturation(self, converted: np.ndarray) -> np.ndarray:
+        """Mask of converted outputs that equal an ADC bound.
+
+        This is how RAELLA detects speculation failures: any output equal to
+        the min or max code is treated as possibly-saturated (Section 4.3).
+        """
+        arr = np.asarray(converted, dtype=np.int64)
+        return (arr <= self.min_value) | (arr >= self.max_value)
+
+
+@dataclass(frozen=True)
+class TruncatingADC:
+    """Unsigned MSB-capture ADC that drops least-significant bits.
+
+    Models Sum-Fidelity-Limited conversion: a column sum that needs
+    ``sum_bits`` bits is quantized by a ``bits``-bit ADC that keeps the top
+    ``bits`` bits, i.e. divides by ``2**(sum_bits - bits)``.  When
+    ``sum_bits <= bits`` conversion is exact.
+    """
+
+    bits: int = 8
+    signed: bool = False
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 16:
+            raise ValueError("ADC resolution must be in [1, 16] bits")
+
+    def convert(self, column_sums: np.ndarray, sum_bits: int) -> ADCResult:
+        """Convert column sums that span ``sum_bits`` bits of range.
+
+        The returned values are re-scaled back to the original magnitude
+        (truncated LSBs become zeros) so downstream shift+add logic is
+        unchanged; the information in the dropped bits is simply lost.
+        """
+        if sum_bits <= 0:
+            raise ValueError("sum_bits must be positive")
+        sums = np.round(np.asarray(column_sums, dtype=np.float64)).astype(np.int64)
+        dropped = max(sum_bits - self.bits, 0)
+        step = 1 << dropped
+        quantized = (sums // step) * step
+        lo = -(1 << (sum_bits - 1)) if self.signed else 0
+        hi = (1 << (sum_bits - 1)) - 1 if self.signed else (1 << sum_bits) - 1
+        clipped = np.clip(quantized, lo, hi)
+        saturated = np.zeros_like(clipped, dtype=bool)
+        return ADCResult(values=clipped, saturated=saturated,
+                         n_converts=int(sums.size))
+
+    def lsbs_dropped(self, sum_bits: int) -> int:
+        """Number of least-significant bits lost for a given sum width."""
+        return max(sum_bits - self.bits, 0)

@@ -1,0 +1,212 @@
+"""ReRAM crossbar array model.
+
+A crossbar stores one slice matrix (rows x columns of slice values) and
+computes analog column sums: every row's DAC applies an input-slice value,
+every cell multiplies it with its stored slice, and per-column currents
+accumulate.  For 2T2R cells each cell holds a positive and a negative slice
+value and the two contributions subtract in analog (Section 4.1.4).
+
+The model is functional: slice values are integers and column sums are exact
+integer dot products, optionally perturbed by a :class:`~repro.analog.noise`
+model, before an ADC converts them.  Data-dependent cost metrics (input pulse
+counts and analog activity) are reported so the hardware cost model in
+:mod:`repro.hw` can translate them into energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analog.devices import DEFAULT_RERAM, CellType, ReRAMDevice
+from repro.analog.noise import NoiseModel, NoiselessModel
+
+__all__ = ["CrossbarConfig", "CrossbarComputeResult", "Crossbar"]
+
+
+@dataclass(frozen=True)
+class CrossbarConfig:
+    """Static configuration of a crossbar array.
+
+    Parameters
+    ----------
+    rows / cols:
+        Array dimensions.  RAELLA uses 512 x 512; ISAAC uses 128 x 128.
+    cell_type:
+        1T1R (unsigned) or 2T2R (signed) cells.
+    device:
+        The ReRAM device used in each cell.
+    """
+
+    rows: int = 512
+    cols: int = 512
+    cell_type: CellType = CellType.TWO_T_TWO_R
+    device: ReRAMDevice = DEFAULT_RERAM
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("crossbar dimensions must be positive")
+
+    @property
+    def n_cells(self) -> int:
+        """Number of cells in the array."""
+        return self.rows * self.cols
+
+    @property
+    def n_devices(self) -> int:
+        """Number of ReRAM devices in the array."""
+        return self.n_cells * self.cell_type.devices_per_cell
+
+    @property
+    def signed(self) -> bool:
+        """Whether cells can subtract from column sums."""
+        return self.cell_type.signed
+
+
+@dataclass
+class CrossbarComputeResult:
+    """Result of one analog crossbar evaluation (one input-slice cycle).
+
+    Attributes
+    ----------
+    column_sums:
+        Analog column sums after noise, shape ``inputs.shape[:-1] + (cols,)``.
+    positive_activity / negative_activity:
+        Sums of positive / negative sliced products per column (pre-noise);
+        their sum is the analog activity that the noise model and the
+        data-dependent crossbar energy model scale with.
+    input_pulses:
+        Total DAC pulses applied (sum of input slice values over active rows).
+    """
+
+    column_sums: np.ndarray
+    positive_activity: np.ndarray
+    negative_activity: np.ndarray
+    input_pulses: int
+
+    @property
+    def total_activity(self) -> float:
+        """Total analog activity (positive + negative sliced-product sums)."""
+        return float(self.positive_activity.sum() + self.negative_activity.sum())
+
+
+@dataclass
+class Crossbar:
+    """A programmable crossbar array.
+
+    The crossbar is programmed once with positive (and, for 2T2R, negative)
+    slice matrices and then evaluated many times with input-slice vectors.
+    """
+
+    config: CrossbarConfig = field(default_factory=CrossbarConfig)
+    noise: NoiseModel = field(default_factory=NoiselessModel)
+    _positive: np.ndarray | None = field(default=None, init=False, repr=False)
+    _negative: np.ndarray | None = field(default=None, init=False, repr=False)
+
+    @property
+    def is_programmed(self) -> bool:
+        """Whether weight slices have been programmed."""
+        return self._positive is not None
+
+    @property
+    def positive_slices(self) -> np.ndarray:
+        """Programmed positive slice matrix (rows x cols)."""
+        self._require_programmed()
+        return self._positive
+
+    @property
+    def negative_slices(self) -> np.ndarray:
+        """Programmed negative slice matrix (rows x cols)."""
+        self._require_programmed()
+        return self._negative
+
+    def _require_programmed(self) -> None:
+        if not self.is_programmed:
+            raise RuntimeError("crossbar has not been programmed")
+
+    def program(
+        self, positive: np.ndarray, negative: np.ndarray | None = None
+    ) -> None:
+        """Program slice matrices into the array.
+
+        ``positive`` and ``negative`` may be smaller than the array (the used
+        sub-array); the rest of the array is treated as unprogrammed zeros.
+        For 1T1R crossbars ``negative`` must be omitted or all zero.
+        """
+        positive = np.asarray(positive, dtype=np.int64)
+        if positive.ndim != 2:
+            raise ValueError("slice matrices must be 2-D (rows x cols)")
+        rows, cols = positive.shape
+        if rows > self.config.rows or cols > self.config.cols:
+            raise ValueError(
+                f"slice matrix {positive.shape} exceeds crossbar "
+                f"{self.config.rows}x{self.config.cols}"
+            )
+        if negative is None:
+            negative = np.zeros_like(positive)
+        negative = np.asarray(negative, dtype=np.int64)
+        if negative.shape != positive.shape:
+            raise ValueError("positive and negative matrices must match in shape")
+        max_value = self.config.device.max_slice_value
+        for name, matrix in (("positive", positive), ("negative", negative)):
+            if np.any(matrix < 0) or np.any(matrix > max_value):
+                raise ValueError(
+                    f"{name} slice values outside device range [0, {max_value}]"
+                )
+        if not self.config.signed and np.any(negative != 0):
+            raise ValueError("1T1R crossbars cannot store negative slices")
+        self._positive = positive
+        self._negative = negative
+
+    @property
+    def used_rows(self) -> int:
+        """Number of programmed rows."""
+        self._require_programmed()
+        return self._positive.shape[0]
+
+    @property
+    def used_cols(self) -> int:
+        """Number of programmed columns."""
+        self._require_programmed()
+        return self._positive.shape[1]
+
+    @property
+    def programming_energy_pj(self) -> float:
+        """One-time energy to write the programmed devices."""
+        self._require_programmed()
+        written = int(np.count_nonzero(self._positive) + np.count_nonzero(self._negative))
+        return written * self.config.device.write_energy_pj
+
+    def compute(self, input_slice: np.ndarray) -> CrossbarComputeResult:
+        """Evaluate one input-slice cycle.
+
+        Parameters
+        ----------
+        input_slice:
+            Non-negative input-slice values for the programmed rows; shape
+            ``(..., used_rows)`` (a batch of input vectors is allowed).
+
+        Returns
+        -------
+        :class:`CrossbarComputeResult` with noisy column sums over the
+        programmed columns.
+        """
+        self._require_programmed()
+        inputs = np.asarray(input_slice, dtype=np.int64)
+        if inputs.shape[-1] != self.used_rows:
+            raise ValueError(
+                f"input has {inputs.shape[-1]} rows, crossbar programmed with "
+                f"{self.used_rows}"
+            )
+        if np.any(inputs < 0):
+            raise ValueError("input slice values must be non-negative")
+        positive_activity = inputs @ self._positive
+        negative_activity = inputs @ self._negative
+        column_sums = self.noise.apply(positive_activity, negative_activity)
+        return CrossbarComputeResult(
+            column_sums=column_sums,
+            positive_activity=positive_activity,
+            negative_activity=negative_activity,
+            input_pulses=int(inputs.sum()),
+        )

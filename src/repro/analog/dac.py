@@ -1,0 +1,78 @@
+"""Pulse-train digital-to-analog converters.
+
+RAELLA drives crossbar rows with 4-bit pulse-train DACs (Section 5.1): an
+N-bit input slice is encoded as up to ``2**N - 1`` unit pulses, giving simple
+hardware and good linearity.  The DAC model exposes both the functional view
+(the integer value applied to the row) and the cost view (number of pulses,
+which the crossbar energy model scales with).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PulseTrainDAC"]
+
+
+@dataclass(frozen=True)
+class PulseTrainDAC:
+    """A pulse-train DAC driving one crossbar row.
+
+    Parameters
+    ----------
+    bits:
+        Maximum input-slice width the DAC supports (4 for RAELLA).
+    pulse_width_ns:
+        Width of a single on pulse; with an equal off time, an N-bit slice
+        takes ``2 * pulse_width_ns * (2**N - 1)`` nanoseconds to stream.
+    energy_per_pulse_fj:
+        Driver energy per emitted pulse (flip-flop + AND gate + row driver).
+    """
+
+    bits: int = 4
+    pulse_width_ns: float = 1.0
+    energy_per_pulse_fj: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 8:
+            raise ValueError("DAC bits must be in [1, 8]")
+        if self.pulse_width_ns <= 0:
+            raise ValueError("pulse width must be positive")
+        if self.energy_per_pulse_fj < 0:
+            raise ValueError("pulse energy must be non-negative")
+
+    @property
+    def max_value(self) -> int:
+        """Largest slice value the DAC can emit."""
+        return (1 << self.bits) - 1
+
+    def validate_slice(self, values: np.ndarray, slice_bits: int) -> np.ndarray:
+        """Check that an input slice fits the DAC (narrower slices use the
+        lowest levels only, Section 4.3.1) and return it as int64."""
+        if not 1 <= slice_bits <= self.bits:
+            raise ValueError(
+                f"slice of {slice_bits}b does not fit a {self.bits}b DAC"
+            )
+        arr = np.asarray(values, dtype=np.int64)
+        if np.any(arr < 0) or np.any(arr >= (1 << slice_bits)):
+            raise ValueError(f"values outside the {slice_bits}-bit DAC range")
+        return arr
+
+    def pulses(self, values: np.ndarray) -> np.ndarray:
+        """Number of pulses emitted for each slice value (equal to the value)."""
+        arr = np.asarray(values, dtype=np.int64)
+        if np.any(arr < 0) or np.any(arr > self.max_value):
+            raise ValueError("values outside the DAC range")
+        return arr
+
+    def stream_time_ns(self, slice_bits: int) -> float:
+        """Worst-case time to stream one slice of ``slice_bits`` bits."""
+        if not 1 <= slice_bits <= self.bits:
+            raise ValueError("slice_bits outside DAC range")
+        return 2.0 * self.pulse_width_ns * ((1 << slice_bits) - 1)
+
+    def energy_fj(self, values: np.ndarray) -> float:
+        """Total driver energy (fJ) to emit the given slice values."""
+        return float(self.pulses(values).sum()) * self.energy_per_pulse_fj

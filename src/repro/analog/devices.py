@@ -1,0 +1,120 @@
+"""ReRAM device and cell models.
+
+The paper's crossbars are built from ReRAM devices programmable with up to
+4 bits (Section 2.2), organised either as single 1T1R cells (unsigned weights,
+as in ISAAC) or as 2T2R pairs (signed weights, one device adds current and the
+other subtracts -- Section 4.1.4).  Device parameters follow the TIMELY /
+Gao et al. devices the paper uses: 0.2 V read voltage, 1 kOhm / 20 kOhm on/off
+resistance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["CellType", "ReRAMDevice", "DEFAULT_RERAM", "TIMELY_RERAM"]
+
+
+class CellType(Enum):
+    """Crossbar cell organisations.
+
+    ``ONE_T_ONE_R`` -- a single device per cell storing an unsigned slice
+    (ISAAC-style).  ``TWO_T_TWO_R`` -- a device pair per cell: one device holds
+    the positive offset slice and the other the negative offset slice, so the
+    cell adds or subtracts from the column sum (RAELLA-style).
+    """
+
+    ONE_T_ONE_R = "1T1R"
+    TWO_T_TWO_R = "2T2R"
+
+    @property
+    def devices_per_cell(self) -> int:
+        """Number of ReRAM devices in one cell."""
+        return 1 if self is CellType.ONE_T_ONE_R else 2
+
+    @property
+    def signed(self) -> bool:
+        """Whether the cell can represent signed slice values."""
+        return self is CellType.TWO_T_TWO_R
+
+
+@dataclass(frozen=True)
+class ReRAMDevice:
+    """Physical parameters of a single ReRAM device.
+
+    Parameters
+    ----------
+    bits_per_device:
+        Number of programmable bits (levels = ``2**bits - 1`` usable
+        conductance steps above zero; RAELLA programs narrower slices by using
+        only the lowest levels, Section 4.2.3).
+    read_voltage_v:
+        Read voltage applied across the device during compute.
+    r_on_ohm / r_off_ohm:
+        Low- and high-resistance-state resistances.
+    write_energy_pj:
+        Energy to program one device (amortised over many inferences).
+    """
+
+    bits_per_device: int = 4
+    read_voltage_v: float = 0.2
+    r_on_ohm: float = 1_000.0
+    r_off_ohm: float = 20_000.0
+    write_energy_pj: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits_per_device <= 5:
+            raise ValueError("ReRAM devices support 1-5 bits per device")
+        if self.read_voltage_v <= 0:
+            raise ValueError("read voltage must be positive")
+        if self.r_on_ohm <= 0 or self.r_off_ohm <= self.r_on_ohm:
+            raise ValueError("require 0 < r_on < r_off")
+        if self.write_energy_pj < 0:
+            raise ValueError("write energy must be non-negative")
+
+    @property
+    def levels(self) -> int:
+        """Number of programmable conductance levels (including zero)."""
+        return 1 << self.bits_per_device
+
+    @property
+    def max_slice_value(self) -> int:
+        """Largest slice value a device can hold: ``2**bits - 1``."""
+        return self.levels - 1
+
+    @property
+    def g_on_s(self) -> float:
+        """On-state conductance in siemens."""
+        return 1.0 / self.r_on_ohm
+
+    @property
+    def g_off_s(self) -> float:
+        """Off-state conductance in siemens."""
+        return 1.0 / self.r_off_ohm
+
+    def conductance_for_level(self, level: int) -> float:
+        """Conductance (S) for an integer slice value ``level``.
+
+        Levels interpolate linearly between off- and on-state conductance, the
+        standard multi-level-cell assumption used by NeuroSim-style models.
+        """
+        if not 0 <= level <= self.max_slice_value:
+            raise ValueError(
+                f"level {level} outside [0, {self.max_slice_value}]"
+            )
+        fraction = level / self.max_slice_value
+        return self.g_off_s + fraction * (self.g_on_s - self.g_off_s)
+
+    def supports_slice_bits(self, bits: int) -> bool:
+        """Whether a slice of ``bits`` bits fits in one device."""
+        return 1 <= bits <= self.bits_per_device
+
+
+#: Default device used by RAELLA and the re-modelled baselines (32 nm node).
+DEFAULT_RERAM = ReRAMDevice()
+
+#: Device parameters used for the TIMELY (65 nm) comparison.
+TIMELY_RERAM = ReRAMDevice(bits_per_device=4, read_voltage_v=0.2,
+                           r_on_ohm=1_000.0, r_off_ohm=20_000.0,
+                           write_energy_pj=150.0)

@@ -1,0 +1,98 @@
+"""Analog non-ideality analysis: IR drop and sneak current (Section 5.6).
+
+Beyond ADC fidelity, analog crossbars suffer from two structural effects:
+
+* **IR drop** -- current flowing down a long column loses voltage across the
+  wire resistance, distorting large column sums.  The paper argues RAELLA is
+  robust because its ADC saturates at 64, i.e. a column never needs to carry
+  more than the current of about five fully-on devices, whereas an ISAAC-like
+  design sums the current of up to 128 devices.
+* **Sneak current** -- leakage through unselected devices.  In 2T2R crossbars
+  the leakage of the positive and negative device of each pair cancels, so the
+  net sneak contribution is (to first order) zero.
+
+These helpers quantify both effects for a configuration so the claims can be
+tested and compared across architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analog.devices import DEFAULT_RERAM, CellType, ReRAMDevice
+
+__all__ = ["ColumnCurrentAnalysis", "analyze_column_current", "sneak_current_bound"]
+
+
+@dataclass(frozen=True)
+class ColumnCurrentAnalysis:
+    """Worst-case column current and the resulting IR drop estimate."""
+
+    arch_name: str
+    max_devices_conducting: float
+    worst_case_current_ma: float
+    ir_drop_mv: float
+    read_voltage_mv: float
+
+    @property
+    def relative_ir_drop(self) -> float:
+        """IR drop as a fraction of the read voltage."""
+        return self.ir_drop_mv / self.read_voltage_mv if self.read_voltage_mv else 0.0
+
+
+def analyze_column_current(
+    arch_name: str,
+    rows: int,
+    max_column_sum: float,
+    max_slice_value: int = 15,
+    device: ReRAMDevice = DEFAULT_RERAM,
+    wire_resistance_per_row_ohm: float = 0.5,
+) -> ColumnCurrentAnalysis:
+    """Estimate worst-case column current and IR drop.
+
+    ``max_column_sum`` is the largest analog column sum the design must carry
+    without distortion: for RAELLA this is the ADC saturation bound (64); for
+    a full-fidelity design it is ``rows * max_slice * max_input_slice``.
+    The column sum is expressed in units of (input value x slice value); one
+    unit corresponds to one device at 1/``max_slice_value`` of on-state
+    conductance driven by one unit pulse.
+    """
+    if rows <= 0:
+        raise ValueError("rows must be positive")
+    if max_column_sum < 0:
+        raise ValueError("max_column_sum must be non-negative")
+    # Devices-worth of on-state current the column must tolerate.
+    devices_conducting = max_column_sum / max_slice_value
+    current_a = devices_conducting * device.read_voltage_v * device.g_on_s
+    # Average current traverses roughly half the column's wire resistance.
+    wire_resistance = wire_resistance_per_row_ohm * rows / 2.0
+    ir_drop_v = current_a * wire_resistance
+    return ColumnCurrentAnalysis(
+        arch_name=arch_name,
+        max_devices_conducting=devices_conducting,
+        worst_case_current_ma=current_a * 1e3,
+        ir_drop_mv=ir_drop_v * 1e3,
+        read_voltage_mv=device.read_voltage_v * 1e3,
+    )
+
+
+def sneak_current_bound(
+    cell_type: CellType,
+    rows: int,
+    device: ReRAMDevice = DEFAULT_RERAM,
+    off_device_fraction: float = 1.0,
+) -> float:
+    """Worst-case sneak (leakage) current per column in milliamps.
+
+    For 1T1R cells every off device leaks through its off-state conductance;
+    for 2T2R cells the positive and negative leakages cancel and the bound is
+    zero (Section 5.6).
+    """
+    if rows <= 0:
+        raise ValueError("rows must be positive")
+    if not 0.0 <= off_device_fraction <= 1.0:
+        raise ValueError("off_device_fraction must be in [0, 1]")
+    if cell_type is CellType.TWO_T_TWO_R:
+        return 0.0
+    leak_a = rows * off_device_fraction * device.read_voltage_v * device.g_off_s
+    return leak_a * 1e3

@@ -1,0 +1,73 @@
+"""The ISAAC baseline (Shafiee et al., ISCA 2016), scaled to 8-bit DNNs.
+
+ISAAC stores unsigned weight codes in 1T1R cells across 128x128 crossbars,
+slices weights into four 2-bit slices and inputs into eight 1-bit slices, and
+converts every column sum with an 8-bit ADC.  It requires no retraining and
+loses no fidelity, but pays a high ADC cost -- it is the "low-accuracy-loss"
+reference RAELLA's Fig. 12 normalises against.
+
+This module bundles the architecture spec (for the cost model) with the
+matching functional executor configuration (for accuracy / noise experiments).
+The functional configuration widens the ADC clip range just enough to make the
+noiseless path exact, standing in for ISAAC's data-encoding trick that flips
+weights to keep column sums in range; the cost model still charges 8-bit
+conversions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.arithmetic.slicing import ISAAC_WEIGHT_SLICING, Slicing
+from repro.core.center_offset import WeightEncoding
+from repro.core.dynamic_input import SpeculationMode
+from repro.core.executor import PimLayerConfig
+from repro.hw.architecture import ISAAC_ARCH, ArchitectureSpec
+from repro.hw.energy import EnergyBreakdown, EnergyModel
+from repro.hw.throughput import ThroughputModel, ThroughputReport
+from repro.nn.zoo import ModelShapes
+
+__all__ = ["IsaacBaseline"]
+
+
+@dataclass
+class IsaacBaseline:
+    """ISAAC: architecture spec + functional executor configuration."""
+
+    arch: ArchitectureSpec = field(default_factory=lambda: ISAAC_ARCH)
+
+    def pim_config(
+        self, collect_column_sums: bool = False, lossless_adc: bool = True
+    ) -> PimLayerConfig:
+        """Functional executor configuration for ISAAC.
+
+        With ``lossless_adc`` (default) the clip range covers the worst-case
+        column sum of the configured crossbar, mirroring ISAAC's guarantee
+        that conversions never overflow; disable it to model a hard 8-bit
+        clip.
+        """
+        if lossless_adc:
+            max_weight_slice = (1 << ISAAC_WEIGHT_SLICING.max_slice_bits) - 1
+            worst_case = self.arch.crossbar_rows * max_weight_slice
+            adc_bits = max(int(math.ceil(math.log2(worst_case + 1))), self.arch.adc_bits)
+        else:
+            adc_bits = self.arch.adc_bits
+        return PimLayerConfig(
+            crossbar_rows=self.arch.crossbar_rows,
+            crossbar_cols=self.arch.crossbar_cols,
+            adc_bits=adc_bits,
+            adc_signed=False,
+            weight_encoding=WeightEncoding.UNSIGNED,
+            weight_slicing=ISAAC_WEIGHT_SLICING,
+            speculation=SpeculationMode.BIT_SERIAL,
+            collect_column_sums=collect_column_sums,
+        )
+
+    def energy(self, shapes: ModelShapes, batch_size: int = 1) -> EnergyBreakdown:
+        """Energy breakdown for a full-scale DNN."""
+        return EnergyModel(self.arch).model_energy(shapes, batch_size=batch_size)
+
+    def throughput(self, shapes: ModelShapes) -> ThroughputReport:
+        """Throughput report for a full-scale DNN."""
+        return ThroughputModel(self.arch).evaluate(shapes)

@@ -1,0 +1,139 @@
+"""The RAELLA accelerator model.
+
+Ties the functional simulation (compiled programs and their measured
+statistics) to the hardware cost model.  Two evaluation paths are provided:
+
+* :meth:`RaellaAccelerator.run` executes a compiled
+  :class:`~repro.core.compiler.RaellaProgram` on real inputs and converts the
+  *measured* event counts (ADC conversions, crossbar activity, DAC pulses,
+  speculation failures) into energy -- this is used by the runnable
+  scaled-down models and the ablation experiments.
+* :meth:`RaellaAccelerator.evaluate_shapes` evaluates a *full-scale* DNN shape
+  table analytically through :mod:`repro.hw` -- this is what reproduces the
+  paper's Fig. 12/13 energy and throughput numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.compiler import RaellaProgram
+from repro.core.executor import LayerStatistics
+from repro.hw.architecture import RAELLA_ARCH, ArchitectureSpec
+from repro.hw.energy import EnergyBreakdown, EnergyModel
+from repro.hw.throughput import ThroughputModel, ThroughputReport
+from repro.nn.zoo import ModelShapes
+
+__all__ = ["AcceleratorReport", "RaellaAccelerator", "statistics_to_energy"]
+
+
+def statistics_to_energy(
+    stats: LayerStatistics, arch: ArchitectureSpec, name: str | None = None
+) -> EnergyBreakdown:
+    """Convert measured layer statistics into an energy breakdown.
+
+    The conversion uses the same per-action energies as the analytical model
+    but with event counts measured by the functional executor, so it captures
+    data-dependent effects (actual speculation failures, actual crossbar
+    activity) instead of average-case estimates.
+    """
+    lib = arch.components
+    device = 15.0  # max slice value of a 4-bit device: activity is scaled by
+    # conductance fraction = (programmed slice value / 15).
+    adc = stats.total_adc_converts * lib.adc_energy_pj(arch.adc_bits)
+    crossbar = (stats.crossbar_activity / device) * lib.reram_energy_per_device_pulse_pj
+    dac = stats.input_pulses * lib.dac_energy_per_pulse_pj
+    periphery = stats.cycles * stats.n_columns / max(stats.n_crossbars, 1) * 0.0
+    digital = stats.total_adc_converts * lib.shift_add_energy_pj
+    psum_buffer = stats.total_adc_converts * 3.0 * lib.sram_energy_per_byte_pj
+    input_buffer = stats.input_pulses * 0.125 * lib.sram_energy_per_byte_pj
+    quantization = stats.psums_produced * lib.quantize_energy_pj
+    center = stats.psums_produced * lib.center_apply_energy_pj
+    return EnergyBreakdown(
+        name=name or stats.layer_name,
+        components_pj={
+            "adc": adc,
+            "crossbar": crossbar,
+            "dac": dac,
+            "column_periphery": periphery,
+            "digital": digital,
+            "center_processing": center,
+            "input_buffer": input_buffer,
+            "psum_buffer": psum_buffer,
+            "quantization": quantization,
+        },
+    )
+
+
+@dataclass
+class AcceleratorReport:
+    """Result of running a compiled program on an accelerator model."""
+
+    model_name: str
+    arch: ArchitectureSpec
+    outputs: np.ndarray
+    statistics: LayerStatistics
+    energy: EnergyBreakdown
+    per_layer_statistics: dict[str, LayerStatistics] = field(default_factory=dict)
+
+    @property
+    def converts_per_mac(self) -> float:
+        """Measured ADC conversions per MAC."""
+        return self.statistics.converts_per_mac
+
+    @property
+    def speculation_failure_rate(self) -> float:
+        """Measured speculation failure rate."""
+        return self.statistics.speculation_failure_rate
+
+    @property
+    def fidelity_loss_rate(self) -> float:
+        """Measured rate of accepted saturations (fidelity loss)."""
+        return self.statistics.fidelity_loss_rate
+
+    def summary(self) -> str:
+        """Human-readable report."""
+        lines = [
+            f"model: {self.model_name} on {self.arch.name}",
+            f"  MACs simulated:        {self.statistics.macs:,}",
+            f"  ADC converts/MAC:      {self.converts_per_mac:.4f}",
+            f"  speculation failures:  {self.speculation_failure_rate:.2%}",
+            f"  fidelity loss rate:    {self.fidelity_loss_rate:.2e}",
+            f"  energy:                {self.energy.total_uj:.3f} uJ",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class RaellaAccelerator:
+    """The RAELLA accelerator: functional + analytical evaluation."""
+
+    arch: ArchitectureSpec = field(default_factory=lambda: RAELLA_ARCH)
+
+    def run(self, program: RaellaProgram, inputs: np.ndarray) -> AcceleratorReport:
+        """Execute a compiled program on inputs and report measured costs."""
+        program.reset_statistics()
+        outputs = program.run(inputs)
+        per_layer = program.layer_statistics()
+        total = program.aggregate_statistics()
+        energy = EnergyBreakdown(name=f"{program.model.name}@{self.arch.name}")
+        for name, stats in per_layer.items():
+            energy.add(statistics_to_energy(stats, self.arch, name=name))
+        return AcceleratorReport(
+            model_name=program.model.name,
+            arch=self.arch,
+            outputs=outputs,
+            statistics=total,
+            energy=energy,
+            per_layer_statistics=per_layer,
+        )
+
+    def evaluate_shapes(
+        self, shapes: ModelShapes
+    ) -> tuple[EnergyBreakdown, ThroughputReport]:
+        """Analytically evaluate a full-scale DNN shape table."""
+        energy = EnergyModel(self.arch).model_energy(shapes)
+        throughput = ThroughputModel(self.arch).evaluate(shapes)
+        return energy, throughput

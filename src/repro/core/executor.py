@@ -1,0 +1,478 @@
+"""Functional PIM layer executor.
+
+:class:`PimLayerExecutor` simulates one quantized DNN layer running on ReRAM
+crossbars.  It is the workhorse behind every functional experiment in the
+paper: RAELLA (Center+Offset, adaptive weight slicing, speculation/recovery),
+the Zero+Offset differential baseline, and the ISAAC-style unsigned baseline
+all run through the same executor with different :class:`PimLayerConfig`
+settings, which is what makes the ablations apples-to-apples.
+
+The executor computes the *raw* integer product of input codes and weight
+codes (``sum_r I_r * W_r``) the way the hardware would: weights are encoded
+and sliced across columns, inputs are sliced across cycles, analog column sums
+are perturbed by the noise model, converted by a resolution-limited ADC, and
+reassembled with digital shift+add.  Zero-point corrections, bias and
+requantization stay in the digital layer code
+(:class:`repro.nn.layers.MatmulLayer`).
+
+Cost-relevant event counts (ADC conversions, speculation failures, crossbar
+activity, DAC pulses, cycles) are accumulated in :class:`LayerStatistics`,
+which the hardware model (:mod:`repro.hw`) converts into energy and latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analog.noise import GaussianColumnNoise, NoiselessModel, NoiseModel
+from repro.arithmetic.slicing import (
+    RAELLA_DEFAULT_WEIGHT_SLICING,
+    RAELLA_SPECULATIVE_INPUT_SLICING,
+    Slicing,
+)
+from repro.core.center_offset import CenterOffsetEncoder, EncodedWeights, WeightEncoding
+from repro.core.dynamic_input import (
+    InputPhase,
+    InputSlicePlan,
+    SpeculationMode,
+    extract_input_slice,
+)
+from repro.nn.layers import MatmulLayer
+
+__all__ = ["PimLayerConfig", "LayerStatistics", "PimLayerExecutor"]
+
+
+@dataclass(frozen=True)
+class PimLayerConfig:
+    """Configuration of the PIM execution of one layer.
+
+    The defaults describe RAELLA: a 512x512 2T2R crossbar, a signed 7-bit
+    LSB-capture ADC, Center+Offset encoding, a 4b-2b-2b weight slicing and
+    speculative 4b-2b-2b input slicing with bit-serial recovery.
+    """
+
+    crossbar_rows: int = 512
+    crossbar_cols: int = 512
+    adc_bits: int = 7
+    adc_signed: bool = True
+    weight_encoding: WeightEncoding = WeightEncoding.CENTER_OFFSET
+    weight_slicing: Slicing = RAELLA_DEFAULT_WEIGHT_SLICING
+    speculation: SpeculationMode = SpeculationMode.SPECULATIVE
+    speculative_input_slicing: Slicing = RAELLA_SPECULATIVE_INPUT_SLICING
+    serial_input_slicing: Slicing | None = None
+    input_bits: int = 8
+    device_bits: int = 4
+    center_power: float = 4.0
+    collect_column_sums: bool = False
+    max_column_sum_samples: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.crossbar_rows <= 0 or self.crossbar_cols <= 0:
+            raise ValueError("crossbar dimensions must be positive")
+        if not 1 <= self.adc_bits <= 16:
+            raise ValueError("ADC resolution must be in [1, 16]")
+        if self.weight_slicing.total_bits != 8:
+            raise ValueError("weight slicing must cover 8 bits")
+        if self.weight_slicing.max_slice_bits > self.device_bits:
+            raise ValueError(
+                f"weight slices of {self.weight_slicing.max_slice_bits}b exceed "
+                f"{self.device_bits}b devices"
+            )
+        if not self.adc_signed and self.weight_encoding.uses_centers:
+            raise ValueError("offset encodings need a signed (2T2R) crossbar/ADC")
+        if (
+            self.serial_input_slicing is not None
+            and self.serial_input_slicing.total_bits != self.input_bits
+        ):
+            raise ValueError("serial input slicing must cover input_bits")
+
+    @property
+    def adc_min(self) -> int:
+        """Lower ADC bound."""
+        return -(1 << (self.adc_bits - 1)) if self.adc_signed else 0
+
+    @property
+    def adc_max(self) -> int:
+        """Upper ADC bound."""
+        if self.adc_signed:
+            return (1 << (self.adc_bits - 1)) - 1
+        return (1 << self.adc_bits) - 1
+
+    def with_changes(self, **kwargs) -> "PimLayerConfig":
+        """Return a copy with selected fields replaced."""
+        from dataclasses import replace
+
+        return replace(self, **kwargs)
+
+
+@dataclass
+class LayerStatistics:
+    """Cost-relevant event counts accumulated while executing a layer."""
+
+    layer_name: str = ""
+    n_inputs: int = 0
+    macs: int = 0
+    n_crossbars: int = 0
+    n_columns: int = 0
+    cycles: int = 0
+    adc_converts_speculative: int = 0
+    adc_converts_recovery: int = 0
+    adc_converts_serial: int = 0
+    speculation_slots: int = 0
+    speculation_failures: int = 0
+    fidelity_loss_events: int = 0
+    fidelity_loss_opportunities: int = 0
+    crossbar_activity: float = 0.0
+    input_pulses: int = 0
+    psums_produced: int = 0
+    column_sums: dict[str, list] = field(default_factory=dict)
+
+    @property
+    def total_adc_converts(self) -> int:
+        """All ADC conversions performed."""
+        return (
+            self.adc_converts_speculative
+            + self.adc_converts_recovery
+            + self.adc_converts_serial
+        )
+
+    @property
+    def converts_per_mac(self) -> float:
+        """ADC conversions per multiply-accumulate."""
+        return self.total_adc_converts / self.macs if self.macs else 0.0
+
+    @property
+    def speculation_failure_rate(self) -> float:
+        """Fraction of speculative conversions that saturated."""
+        if self.speculation_slots == 0:
+            return 0.0
+        return self.speculation_failures / self.speculation_slots
+
+    @property
+    def fidelity_loss_rate(self) -> float:
+        """Fraction of accepted conversions that saturated (lost fidelity)."""
+        if self.fidelity_loss_opportunities == 0:
+            return 0.0
+        return self.fidelity_loss_events / self.fidelity_loss_opportunities
+
+    def column_sum_array(self, kind: str) -> np.ndarray:
+        """Collected pre-ADC column sums for a phase kind."""
+        return np.concatenate(self.column_sums.get(kind, [np.empty(0)]))
+
+    def merge(self, other: "LayerStatistics") -> "LayerStatistics":
+        """Accumulate another statistics object into this one (in place)."""
+        self.n_inputs += other.n_inputs
+        self.macs += other.macs
+        self.n_crossbars = max(self.n_crossbars, other.n_crossbars)
+        self.n_columns = max(self.n_columns, other.n_columns)
+        self.cycles += other.cycles
+        self.adc_converts_speculative += other.adc_converts_speculative
+        self.adc_converts_recovery += other.adc_converts_recovery
+        self.adc_converts_serial += other.adc_converts_serial
+        self.speculation_slots += other.speculation_slots
+        self.speculation_failures += other.speculation_failures
+        self.fidelity_loss_events += other.fidelity_loss_events
+        self.fidelity_loss_opportunities += other.fidelity_loss_opportunities
+        self.crossbar_activity += other.crossbar_activity
+        self.input_pulses += other.input_pulses
+        self.psums_produced += other.psums_produced
+        for kind, chunks in other.column_sums.items():
+            self.column_sums.setdefault(kind, []).extend(chunks)
+        return self
+
+
+@dataclass
+class _EncodedChunk:
+    """Weights of one crossbar (row chunk) pre-arranged for fast matmuls."""
+
+    row_start: int
+    rows: int
+    encoded: EncodedWeights
+    diff_flat: np.ndarray  # (rows, n_slices * filters): W+ - W-
+    sum_flat: np.ndarray  # (rows, n_slices * filters): W+ + W-
+
+
+class PimLayerExecutor:
+    """Simulate one quantized mat-mul layer on PIM crossbars.
+
+    Parameters
+    ----------
+    layer:
+        The calibrated :class:`~repro.nn.layers.MatmulLayer` to execute.
+    config:
+        Crossbar / ADC / encoding / slicing configuration.
+    noise:
+        Column-sum noise model (ideal by default).
+    """
+
+    def __init__(
+        self,
+        layer: MatmulLayer,
+        config: PimLayerConfig | None = None,
+        noise: NoiseModel | None = None,
+    ):
+        self.layer = layer
+        self.config = config or PimLayerConfig()
+        self.noise = noise or NoiselessModel()
+        self.plan = InputSlicePlan.build(
+            mode=self.config.speculation,
+            speculative_slicing=self.config.speculative_input_slicing,
+            input_bits=self.config.input_bits,
+            serial_slicing=self.config.serial_input_slicing,
+        )
+        self.encoder = CenterOffsetEncoder(
+            slicing=self.config.weight_slicing,
+            encoding=self.config.weight_encoding,
+            power=self.config.center_power,
+        )
+        self.stats = LayerStatistics(layer_name=layer.name)
+        self._chunks: list[_EncodedChunk] = []
+        self._encode_weights()
+
+    # -- weight programming ----------------------------------------------------
+
+    def _encode_weights(self) -> None:
+        codes = self.layer.weight_codes  # (K, filters)
+        if codes is None:
+            raise RuntimeError("layer weights have not been quantized")
+        n_filters = codes.shape[1]
+        filters_per_crossbar = max(
+            self.config.crossbar_cols // self.config.weight_slicing.n_slices, 1
+        )
+        rows = self.config.crossbar_rows
+        zero_points = self.layer.weight_zero_point
+        for row_start in range(0, codes.shape[0], rows):
+            block = codes[row_start : row_start + rows]
+            encoded = self.encoder.encode(block, zero_points)
+            n_slices = encoded.slicing.n_slices
+            diff = encoded.positive_slices - encoded.negative_slices
+            total = encoded.positive_slices + encoded.negative_slices
+            diff_flat = diff.transpose(1, 0, 2).reshape(block.shape[0], -1)
+            sum_flat = total.transpose(1, 0, 2).reshape(block.shape[0], -1)
+            self._chunks.append(
+                _EncodedChunk(
+                    row_start=row_start,
+                    rows=block.shape[0],
+                    encoded=encoded,
+                    diff_flat=np.ascontiguousarray(diff_flat),
+                    sum_flat=np.ascontiguousarray(sum_flat),
+                )
+            )
+        self.stats.n_crossbars = len(self._chunks) * int(
+            np.ceil(n_filters / filters_per_crossbar)
+        )
+        self.stats.n_columns = (
+            n_filters * self.config.weight_slicing.n_slices * len(self._chunks)
+        )
+
+    @property
+    def encoded_chunks(self) -> list[EncodedWeights]:
+        """Encoded weights, one entry per crossbar row chunk."""
+        return [chunk.encoded for chunk in self._chunks]
+
+    @property
+    def n_row_chunks(self) -> int:
+        """Number of crossbar row chunks the reduction dimension spans."""
+        return len(self._chunks)
+
+    # -- statistics helpers -----------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Clear accumulated statistics."""
+        n_crossbars, n_columns = self.stats.n_crossbars, self.stats.n_columns
+        self.stats = LayerStatistics(layer_name=self.layer.name)
+        self.stats.n_crossbars = n_crossbars
+        self.stats.n_columns = n_columns
+
+    def _record_column_sums(self, kind: str, sums: np.ndarray) -> None:
+        if not self.config.collect_column_sums:
+            return
+        bucket = self.stats.column_sums.setdefault(kind, [])
+        collected = sum(chunk.size for chunk in bucket)
+        remaining = self.config.max_column_sum_samples - collected
+        if remaining <= 0:
+            return
+        flat = np.asarray(sums).ravel()
+        bucket.append(flat[:remaining].astype(np.float64, copy=True))
+
+    # -- execution ---------------------------------------------------------------
+
+    def __call__(self, input_codes: np.ndarray, layer: MatmulLayer | None = None) -> np.ndarray:
+        """PIM mat-mul hook interface (see :class:`repro.nn.layers.PimMatmul`)."""
+        if layer is not None and layer is not self.layer:
+            raise ValueError(
+                f"executor built for layer {self.layer.name!r} got {layer.name!r}"
+            )
+        return self.matmul(input_codes)
+
+    def matmul(self, input_codes: np.ndarray) -> np.ndarray:
+        """Compute the raw code product ``input_codes @ weight_codes``.
+
+        ``input_codes`` has shape ``(M, reduction_dim)``; the result has shape
+        ``(M, n_filters)`` and approximates the exact integer product up to
+        ADC fidelity loss and analog noise.
+        """
+        codes = np.asarray(input_codes, dtype=np.int64)
+        if codes.ndim != 2 or codes.shape[1] != self.layer.reduction_dim:
+            raise ValueError(
+                f"expected inputs of shape (M, {self.layer.reduction_dim})"
+            )
+        signed_inputs = bool(np.any(codes < 0))
+        if signed_inputs:
+            positive = np.maximum(codes, 0)
+            negative = np.maximum(-codes, 0)
+            raw = self._matmul_unsigned(positive) - self._matmul_unsigned(negative)
+        else:
+            raw = self._matmul_unsigned(codes)
+        self.stats.n_inputs += codes.shape[0]
+        self.stats.macs += codes.shape[0] * codes.shape[1] * self.layer.out_features
+        self.stats.psums_produced += codes.shape[0] * self.layer.out_features
+        return raw
+
+    def _matmul_unsigned(self, codes: np.ndarray) -> np.ndarray:
+        m = codes.shape[0]
+        n_filters = self.layer.out_features
+        raw = np.zeros((m, n_filters), dtype=np.float64)
+        for chunk in self._chunks:
+            chunk_codes = codes[:, chunk.row_start : chunk.row_start + chunk.rows]
+            raw += self._chunk_matmul(chunk_codes, chunk)
+        # All row chunks operate on parallel crossbars, so latency is set by
+        # one chunk's schedule; a batch of M input vectors is processed
+        # sequentially through each crossbar.
+        self.stats.cycles += m * self.plan.n_cycles
+        return raw
+
+    def _phase_column_sums(
+        self, slice_values: np.ndarray, chunk: _EncodedChunk
+    ) -> tuple[np.ndarray, float]:
+        """Analog column sums for one phase: (M, n_slices, filters) and activity."""
+        m = slice_values.shape[0]
+        n_slices = chunk.encoded.slicing.n_slices
+        n_filters = chunk.encoded.n_filters
+        if isinstance(self.noise, NoiselessModel):
+            sums = (slice_values @ chunk.diff_flat).astype(np.float64)
+            # Total analog activity has a cheap closed form when it is only
+            # needed in aggregate (energy accounting).
+            activity = float(slice_values.sum(axis=0) @ chunk.sum_flat.sum(axis=1))
+        else:
+            total = (slice_values @ chunk.sum_flat).astype(np.float64)
+            diff = (slice_values @ chunk.diff_flat).astype(np.float64)
+            positive = 0.5 * (total + diff)
+            negative = 0.5 * (total - diff)
+            activity = float(total.sum())
+            sums = self.noise.apply(positive, negative)
+        self.stats.crossbar_activity += activity
+        self.stats.input_pulses += int(slice_values.sum())
+        return sums.reshape(m, n_slices, n_filters), activity
+
+    def _convert(self, sums: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """ADC conversion: returns (clipped integer values, saturation mask)."""
+        rounded = np.round(sums)
+        clipped = np.clip(rounded, self.config.adc_min, self.config.adc_max)
+        if self.config.adc_signed:
+            saturated = (clipped <= self.config.adc_min) | (
+                clipped >= self.config.adc_max
+            )
+        else:
+            saturated = clipped >= self.config.adc_max
+        return clipped, saturated
+
+    def _chunk_matmul(self, codes: np.ndarray, chunk: _EncodedChunk) -> np.ndarray:
+        m = codes.shape[0]
+        encoded = chunk.encoded
+        n_filters = encoded.n_filters
+        weight_shifts = np.array(encoded.slicing.shifts, dtype=np.int64)
+        analog = np.zeros((m, n_filters), dtype=np.float64)
+        if encoded.encoding.uses_centers:
+            digital = encoded.centers[np.newaxis, :].astype(np.float64) * codes.sum(
+                axis=1, keepdims=True
+            )
+        else:
+            digital = np.zeros((m, n_filters), dtype=np.float64)
+
+        if self.plan.mode is SpeculationMode.SPECULATIVE:
+            analog += self._run_speculative(codes, chunk, weight_shifts)
+        else:
+            analog += self._run_serial(codes, chunk, weight_shifts)
+        return digital + analog
+
+    def _run_serial(
+        self, codes: np.ndarray, chunk: _EncodedChunk, weight_shifts: np.ndarray
+    ) -> np.ndarray:
+        m = codes.shape[0]
+        n_filters = chunk.encoded.n_filters
+        accum = np.zeros((m, n_filters), dtype=np.float64)
+        for phase in self.plan.phases:
+            slice_values = extract_input_slice(codes, phase)
+            sums, _ = self._phase_column_sums(slice_values, chunk)
+            self._record_column_sums("serial", sums)
+            converted, saturated = self._convert(sums)
+            self.stats.adc_converts_serial += converted.size
+            self.stats.fidelity_loss_events += int(saturated.sum())
+            self.stats.fidelity_loss_opportunities += converted.size
+            scale = 2.0 ** (phase.shift + weight_shifts)
+            accum += (converted * scale[np.newaxis, :, np.newaxis]).sum(axis=1)
+        return accum
+
+    def _run_speculative(
+        self, codes: np.ndarray, chunk: _EncodedChunk, weight_shifts: np.ndarray
+    ) -> np.ndarray:
+        m = codes.shape[0]
+        n_filters = chunk.encoded.n_filters
+        accum = np.zeros((m, n_filters), dtype=np.float64)
+        phases = self.plan.phases
+        idx = 0
+        while idx < len(phases):
+            spec_phase = phases[idx]
+            assert spec_phase.kind == "speculative"
+            recovery_phases = []
+            j = idx + 1
+            while j < len(phases) and phases[j].kind == "recovery":
+                recovery_phases.append(phases[j])
+                j += 1
+            accum += self._speculate_and_recover(
+                codes, chunk, weight_shifts, spec_phase, recovery_phases
+            )
+            idx = j
+        return accum
+
+    def _speculate_and_recover(
+        self,
+        codes: np.ndarray,
+        chunk: _EncodedChunk,
+        weight_shifts: np.ndarray,
+        spec_phase: InputPhase,
+        recovery_phases: list[InputPhase],
+    ) -> np.ndarray:
+        m = codes.shape[0]
+        n_filters = chunk.encoded.n_filters
+        # Speculative cycle: all columns converted.
+        slice_values = extract_input_slice(codes, spec_phase)
+        sums, _ = self._phase_column_sums(slice_values, chunk)
+        self._record_column_sums("speculative", sums)
+        converted, saturated = self._convert(sums)
+        self.stats.adc_converts_speculative += converted.size
+        self.stats.speculation_slots += converted.size
+        self.stats.speculation_failures += int(saturated.sum())
+        ok = ~saturated
+        scale = 2.0 ** (spec_phase.shift + weight_shifts)
+        accum = (np.where(ok, converted, 0.0) * scale[np.newaxis, :, np.newaxis]).sum(
+            axis=1
+        )
+        # Recovery cycles: crossbars always run them; ADCs convert only the
+        # columns whose speculative conversion saturated.
+        for phase in recovery_phases:
+            bit_values = extract_input_slice(codes, phase)
+            bit_sums, _ = self._phase_column_sums(bit_values, chunk)
+            self._record_column_sums("recovery", bit_sums)
+            converted_bits, bit_saturated = self._convert(bit_sums)
+            needed = saturated
+            self.stats.adc_converts_recovery += int(needed.sum())
+            self.stats.fidelity_loss_events += int((bit_saturated & needed).sum())
+            self.stats.fidelity_loss_opportunities += int(needed.sum())
+            bit_scale = 2.0 ** (phase.shift + weight_shifts)
+            contribution = converted_bits * bit_scale[np.newaxis, :, np.newaxis]
+            accum += np.where(needed, contribution, 0.0).sum(axis=1)
+        return accum

@@ -1,0 +1,39 @@
+"""Experiment harnesses: one module per paper table / figure.
+
+Every module exposes a ``run_*`` function returning a plain result object and
+a ``format_*`` helper printing rows in the shape the paper reports.  The
+benchmark suite (``benchmarks/``) wraps these functions with pytest-benchmark;
+``EXPERIMENTS.md`` records paper-vs-measured values for each.
+
+| Module                | Paper artifact                                     |
+|-----------------------|----------------------------------------------------|
+| ``fig01_breakdown``   | Fig. 1  -- ISAAC energy breakdown                  |
+| ``table1_slicing``    | Table 1 -- slicing tradeoffs                       |
+| ``table2_titanium``   | Table 2 -- Titanium Law terms                      |
+| ``fig03_column_sums`` | Fig. 3  -- column-sum distributions / saturation   |
+| ``fig05_encoding``    | Fig. 5  -- differential vs Center+Offset           |
+| ``fig07_slicings``    | Fig. 7  -- per-layer weight slicings               |
+| ``fig08_densities``   | Fig. 8  -- operand distributions / bit densities   |
+| ``fig12_efficiency``  | Fig. 12 -- efficiency & throughput vs ISAAC        |
+| ``fig13_retraining``  | Fig. 13 -- comparison with FORMS / TIMELY          |
+| ``table3_prior``      | Table 3 -- qualitative prior-work comparison       |
+| ``table4_accuracy``   | Table 4 -- accuracy comparison                     |
+| ``fig14_ablation``    | Fig. 14 -- energy ablation                         |
+| ``fig15_noise``       | Fig. 15 -- accuracy under analog noise             |
+"""
+
+__all__ = [
+    "fig01_breakdown",
+    "table1_slicing",
+    "table2_titanium",
+    "fig03_column_sums",
+    "fig05_encoding",
+    "fig07_slicings",
+    "fig08_densities",
+    "fig12_efficiency",
+    "fig13_retraining",
+    "table3_prior",
+    "table4_accuracy",
+    "fig14_ablation",
+    "fig15_noise",
+]

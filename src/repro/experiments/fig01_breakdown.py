@@ -1,0 +1,69 @@
+"""Fig. 1 (part 2): energy breakdown of an ISAAC-based 8-bit PIM design.
+
+The paper's motivating observation: crossbars compute 8-bit MACs for well
+under 100 fJ, yet overall PIM energy is dominated by the ADCs.  This
+experiment reproduces the per-component energy breakdown of the ISAAC
+baseline on a full-scale DNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.isaac import IsaacBaseline
+from repro.experiments.runner import ExperimentResult
+from repro.hw.energy import COMPONENT_KEYS
+from repro.nn.zoo import model_shapes
+
+__all__ = ["Fig01Result", "run_fig01", "format_fig01"]
+
+
+@dataclass
+class Fig01Result:
+    """ISAAC energy breakdown for one DNN."""
+
+    model_name: str
+    total_uj: float
+    fractions: dict[str, float]
+    crossbar_energy_per_mac_fj: float
+
+    @property
+    def adc_fraction(self) -> float:
+        """Fraction of energy spent in ADCs (the paper's headline ~58%)."""
+        return self.fractions["adc"]
+
+
+def run_fig01(model_name: str = "resnet18") -> Fig01Result:
+    """Compute the ISAAC per-component energy breakdown for one DNN."""
+    baseline = IsaacBaseline()
+    shapes = model_shapes(model_name)
+    breakdown = baseline.energy(shapes)
+    macs = shapes.total_macs
+    crossbar_fj_per_mac = breakdown.components_pj["crossbar"] / macs * 1e3
+    return Fig01Result(
+        model_name=model_name,
+        total_uj=breakdown.total_uj,
+        fractions={key: breakdown.fraction(key) for key in COMPONENT_KEYS},
+        crossbar_energy_per_mac_fj=crossbar_fj_per_mac,
+    )
+
+
+def format_fig01(result: Fig01Result) -> str:
+    """Render the breakdown as a table."""
+    table = ExperimentResult(
+        name=f"Fig. 1 -- ISAAC energy breakdown ({result.model_name})",
+        headers=("component", "fraction"),
+    )
+    for key, fraction in sorted(result.fractions.items(), key=lambda kv: -kv[1]):
+        if fraction > 0:
+            table.add_row(key, fraction)
+    text = table.to_text()
+    text += (
+        f"\ntotal energy: {result.total_uj:.1f} uJ / inference"
+        f"\ncrossbar energy per 8b MAC: {result.crossbar_energy_per_mac_fj:.1f} fJ"
+    )
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(format_fig01(run_fig01()))

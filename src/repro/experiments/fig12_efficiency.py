@@ -1,0 +1,143 @@
+"""Fig. 12: energy efficiency and throughput normalised to ISAAC.
+
+RAELLA (with and without speculation) and ISAAC run all seven DNNs without
+retraining; results are normalised to ISAAC.  The paper reports efficiency
+gains of 2.9-4.9x (geomean 3.9x) and throughput gains of 0.7-3.3x (geomean
+2.0x) with speculation, and 2.8x / 2.7x geomean without.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.isaac import IsaacBaseline
+from repro.experiments.runner import ExperimentResult, geomean
+from repro.hw.architecture import RAELLA_ARCH, RAELLA_NO_SPEC_ARCH, ArchitectureSpec
+from repro.hw.energy import EnergyModel
+from repro.hw.throughput import ThroughputModel
+from repro.nn.zoo import MODEL_NAMES, model_shapes
+
+__all__ = ["Fig12Row", "Fig12Result", "run_fig12", "format_fig12"]
+
+
+@dataclass(frozen=True)
+class Fig12Row:
+    """Normalised results of one DNN."""
+
+    model_name: str
+    isaac_energy_uj: float
+    raella_energy_uj: float
+    raella_no_spec_energy_uj: float
+    isaac_throughput: float
+    raella_throughput: float
+    raella_no_spec_throughput: float
+
+    @property
+    def efficiency_gain(self) -> float:
+        """RAELLA energy-efficiency gain over ISAAC (with speculation)."""
+        return self.isaac_energy_uj / self.raella_energy_uj
+
+    @property
+    def efficiency_gain_no_spec(self) -> float:
+        """Efficiency gain with speculation disabled."""
+        return self.isaac_energy_uj / self.raella_no_spec_energy_uj
+
+    @property
+    def throughput_gain(self) -> float:
+        """RAELLA throughput gain over ISAAC (with speculation)."""
+        return self.raella_throughput / self.isaac_throughput
+
+    @property
+    def throughput_gain_no_spec(self) -> float:
+        """Throughput gain with speculation disabled."""
+        return self.raella_no_spec_throughput / self.isaac_throughput
+
+
+@dataclass
+class Fig12Result:
+    """Per-model rows plus geomeans."""
+
+    rows: list[Fig12Row] = field(default_factory=list)
+
+    @property
+    def geomean_efficiency_gain(self) -> float:
+        """Geomean efficiency gain with speculation."""
+        return geomean(row.efficiency_gain for row in self.rows)
+
+    @property
+    def geomean_efficiency_gain_no_spec(self) -> float:
+        """Geomean efficiency gain without speculation."""
+        return geomean(row.efficiency_gain_no_spec for row in self.rows)
+
+    @property
+    def geomean_throughput_gain(self) -> float:
+        """Geomean throughput gain with speculation."""
+        return geomean(row.throughput_gain for row in self.rows)
+
+    @property
+    def geomean_throughput_gain_no_spec(self) -> float:
+        """Geomean throughput gain without speculation."""
+        return geomean(row.throughput_gain_no_spec for row in self.rows)
+
+
+def run_fig12(
+    model_names: tuple[str, ...] = MODEL_NAMES,
+    raella_arch: ArchitectureSpec = RAELLA_ARCH,
+    raella_no_spec_arch: ArchitectureSpec = RAELLA_NO_SPEC_ARCH,
+) -> Fig12Result:
+    """Evaluate all DNNs on ISAAC and RAELLA (with/without speculation)."""
+    isaac = IsaacBaseline()
+    result = Fig12Result()
+    raella_energy = EnergyModel(raella_arch)
+    raella_ns_energy = EnergyModel(raella_no_spec_arch)
+    raella_throughput = ThroughputModel(raella_arch)
+    raella_ns_throughput = ThroughputModel(raella_no_spec_arch)
+    for name in model_names:
+        shapes = model_shapes(name)
+        result.rows.append(
+            Fig12Row(
+                model_name=name,
+                isaac_energy_uj=isaac.energy(shapes).total_uj,
+                raella_energy_uj=raella_energy.model_energy(shapes).total_uj,
+                raella_no_spec_energy_uj=raella_ns_energy.model_energy(shapes).total_uj,
+                isaac_throughput=isaac.throughput(shapes).throughput_samples_per_s,
+                raella_throughput=raella_throughput.evaluate(
+                    shapes
+                ).throughput_samples_per_s,
+                raella_no_spec_throughput=raella_ns_throughput.evaluate(
+                    shapes
+                ).throughput_samples_per_s,
+            )
+        )
+    return result
+
+
+def format_fig12(result: Fig12Result) -> str:
+    """Render the normalised efficiency/throughput table."""
+    table = ExperimentResult(
+        name="Fig. 12 -- efficiency and throughput normalised to ISAAC",
+        headers=(
+            "model", "efficiency x", "efficiency x (no spec)",
+            "throughput x", "throughput x (no spec)",
+        ),
+    )
+    for row in result.rows:
+        table.add_row(
+            row.model_name,
+            row.efficiency_gain,
+            row.efficiency_gain_no_spec,
+            row.throughput_gain,
+            row.throughput_gain_no_spec,
+        )
+    table.add_row(
+        "geomean",
+        result.geomean_efficiency_gain,
+        result.geomean_efficiency_gain_no_spec,
+        result.geomean_throughput_gain,
+        result.geomean_throughput_gain_no_spec,
+    )
+    return table.to_text()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(format_fig12(run_fig12()))

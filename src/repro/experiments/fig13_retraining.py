@@ -1,0 +1,122 @@
+"""Fig. 13: comparison with DNN-retraining architectures (FORMS, TIMELY).
+
+FORMS runs pruned-and-retrained DNNs and TIMELY runs requantized-and-retrained
+DNNs; RAELLA runs the off-the-shelf models.  The paper reports geomean
+ResNet18/ResNet50 results: RAELLA matches FORMS's throughput and exceeds the
+efficiency of both.  For the TIMELY comparison RAELLA is rebuilt with TIMELY's
+65 nm analog components, where the no-speculation configuration is the more
+efficient one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.forms import FormsBaseline
+from repro.baselines.isaac import IsaacBaseline
+from repro.baselines.timely import TimelyBaseline
+from repro.experiments.runner import ExperimentResult, geomean
+from repro.hw.architecture import (
+    RAELLA_65NM_ARCH,
+    RAELLA_65NM_NO_SPEC_ARCH,
+    RAELLA_ARCH,
+    ArchitectureSpec,
+)
+from repro.hw.energy import EnergyModel
+from repro.hw.throughput import ThroughputModel
+from repro.nn.zoo import model_shapes
+
+__all__ = ["ArchResult", "Fig13Result", "run_fig13", "format_fig13"]
+
+_DEFAULT_MODELS = ("resnet18", "resnet50")
+
+
+@dataclass(frozen=True)
+class ArchResult:
+    """Geomean energy/throughput of one architecture over the model set."""
+
+    arch_name: str
+    requires_retraining: bool
+    geomean_energy_uj: float
+    geomean_throughput: float
+
+
+@dataclass
+class Fig13Result:
+    """Comparison rows, all normalised against ISAAC."""
+
+    model_names: tuple[str, ...]
+    isaac: ArchResult
+    entries: list[ArchResult] = field(default_factory=list)
+
+    def relative_efficiency(self, entry: ArchResult) -> float:
+        """Energy-efficiency gain over ISAAC."""
+        return self.isaac.geomean_energy_uj / entry.geomean_energy_uj
+
+    def relative_throughput(self, entry: ArchResult) -> float:
+        """Throughput gain over ISAAC."""
+        return entry.geomean_throughput / self.isaac.geomean_throughput
+
+
+def _evaluate(arch: ArchitectureSpec, model_names, retraining: bool) -> ArchResult:
+    energies, throughputs = [], []
+    energy_model = EnergyModel(arch)
+    throughput_model = ThroughputModel(arch)
+    for name in model_names:
+        shapes = model_shapes(name)
+        energies.append(energy_model.model_energy(shapes).total_uj)
+        throughputs.append(throughput_model.evaluate(shapes).throughput_samples_per_s)
+    return ArchResult(
+        arch_name=arch.name,
+        requires_retraining=retraining,
+        geomean_energy_uj=geomean(energies),
+        geomean_throughput=geomean(throughputs),
+    )
+
+
+def run_fig13(model_names: tuple[str, ...] = _DEFAULT_MODELS) -> Fig13Result:
+    """Compare RAELLA with FORMS and TIMELY on ResNet18/ResNet50 geomeans."""
+    isaac = IsaacBaseline()
+    forms = FormsBaseline()
+    timely = TimelyBaseline()
+    result = Fig13Result(
+        model_names=model_names,
+        isaac=_evaluate(isaac.arch, model_names, retraining=False),
+    )
+    result.entries.append(_evaluate(RAELLA_ARCH, model_names, retraining=False))
+    result.entries.append(_evaluate(forms.arch, model_names, retraining=True))
+    result.entries.append(
+        _evaluate(RAELLA_65NM_ARCH, model_names, retraining=False)
+    )
+    result.entries.append(
+        _evaluate(RAELLA_65NM_NO_SPEC_ARCH, model_names, retraining=False)
+    )
+    result.entries.append(_evaluate(timely.arch, model_names, retraining=True))
+    return result
+
+
+def format_fig13(result: Fig13Result) -> str:
+    """Render the retraining-architecture comparison."""
+    table = ExperimentResult(
+        name=(
+            "Fig. 13 -- comparison with retraining architectures "
+            f"(geomean of {', '.join(result.model_names)})"
+        ),
+        headers=(
+            "architecture", "retrains DNN", "efficiency vs ISAAC",
+            "throughput vs ISAAC",
+        ),
+    )
+    table.add_row(result.isaac.arch_name, "no", 1.0, 1.0)
+    for entry in result.entries:
+        table.add_row(
+            entry.arch_name,
+            "yes" if entry.requires_retraining else "no",
+            result.relative_efficiency(entry),
+            result.relative_throughput(entry),
+        )
+    return table.to_text()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(format_fig13(run_fig13()))

@@ -1,0 +1,123 @@
+"""Fig. 14: energy ablation of RAELLA's strategies.
+
+Starting from the 8-bit ISAAC architecture, the paper applies RAELLA's
+strategies one at a time and measures the energy effect of each:
+
+1. **ISAAC** -- 128x128 unsigned crossbars, 8b ADC, four 2b weight slices,
+   eight 1b input slices.
+2. **+ Center+Offset** -- crossbars grow to 512x512 2T2R, ADC drops to 7b.
+3. **+ Adaptive Weight Slicing** -- most layers use three weight slices.
+4. **RAELLA** -- Dynamic Input Slicing speculation enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.runner import ExperimentResult
+from repro.hw.actions import count_model_actions
+from repro.hw.architecture import ISAAC_ARCH, RAELLA_ARCH, ArchitectureSpec
+from repro.hw.energy import EnergyBreakdown, EnergyModel
+from repro.nn.zoo import CNN_MODEL_NAMES, model_shapes
+
+__all__ = ["ablation_architectures", "Fig14Result", "run_fig14", "format_fig14"]
+
+
+def ablation_architectures() -> tuple[ArchitectureSpec, ...]:
+    """The four ablation setups of Section 7."""
+    from repro.hw.architecture import OperandStatistics
+
+    center_offset = RAELLA_ARCH.with_changes(
+        name="center_offset",
+        typical_weight_slices=4,
+        last_layer_weight_slices=4,
+        speculative=False,
+        converting_cycles_per_presentation=8.0,
+        cycles_per_presentation=8,
+        input_streams=1,
+        operand_stats=OperandStatistics.for_bit_serial_offsets(),
+    )
+    adaptive = center_offset.with_changes(
+        name="center_offset+adaptive_slicing",
+        typical_weight_slices=3,
+        last_layer_weight_slices=8,
+    )
+    return (ISAAC_ARCH, center_offset, adaptive, RAELLA_ARCH)
+
+
+@dataclass
+class Fig14Result:
+    """Energy breakdowns per (setup, model)."""
+
+    breakdowns: dict[tuple[str, str], EnergyBreakdown] = field(default_factory=dict)
+    converts_per_mac: dict[tuple[str, str], float] = field(default_factory=dict)
+    model_names: tuple[str, ...] = ()
+    setup_names: tuple[str, ...] = ()
+
+    def total_energy_uj(self, setup: str, model: str) -> float:
+        """Total energy of one setup on one model."""
+        return self.breakdowns[(setup, model)].total_uj
+
+    def mean_converts_per_mac(self, setup: str) -> float:
+        """Average Converts/MAC of a setup across the models."""
+        values = [
+            self.converts_per_mac[(setup, model)] for model in self.model_names
+        ]
+        return float(sum(values) / len(values))
+
+    def energy_reduction_vs_isaac(self, setup: str, model: str) -> float:
+        """Energy reduction factor of a setup relative to ISAAC."""
+        return self.total_energy_uj(self.setup_names[0], model) / self.total_energy_uj(
+            setup, model
+        )
+
+
+def run_fig14(model_names: tuple[str, ...] = CNN_MODEL_NAMES) -> Fig14Result:
+    """Compute per-component energy for each ablation setup and model."""
+    setups = ablation_architectures()
+    result = Fig14Result(
+        model_names=tuple(model_names),
+        setup_names=tuple(arch.name for arch in setups),
+    )
+    for arch in setups:
+        energy_model = EnergyModel(arch)
+        for model_name in model_names:
+            shapes = model_shapes(model_name)
+            breakdown = energy_model.model_energy(shapes)
+            actions = count_model_actions(shapes, arch)
+            total_macs = sum(a.macs for a in actions)
+            total_converts = sum(a.adc_converts for a in actions)
+            key = (arch.name, model_name)
+            result.breakdowns[key] = breakdown
+            result.converts_per_mac[key] = (
+                total_converts / total_macs if total_macs else 0.0
+            )
+    return result
+
+
+def format_fig14(result: Fig14Result) -> str:
+    """Render the ablation as energy + ADC-fraction rows."""
+    table = ExperimentResult(
+        name="Fig. 14 -- energy ablation",
+        headers=(
+            "setup", "model", "energy (uJ)", "ADC fraction",
+            "crossbar fraction", "converts/MAC", "reduction vs ISAAC",
+        ),
+    )
+    for setup in result.setup_names:
+        for model in result.model_names:
+            breakdown = result.breakdowns[(setup, model)]
+            table.add_row(
+                setup,
+                model,
+                breakdown.total_uj,
+                breakdown.fraction("adc"),
+                breakdown.fraction("crossbar"),
+                result.converts_per_mac[(setup, model)],
+                result.energy_reduction_vs_isaac(setup, model),
+            )
+    return table.to_text()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(format_fig14(run_fig14()))

@@ -1,0 +1,72 @@
+"""Shared helpers for experiment harnesses: tables, geomeans, result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["geomean", "format_table", "ExperimentResult"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geomean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as a fixed-width plain-text table."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """A generic experiment result: named rows plus free-form metadata."""
+
+    name: str
+    headers: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def add_row(self, *values: object) -> None:
+        """Append one result row."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(tuple(values))
+
+    def to_text(self) -> str:
+        """Render the result as a plain-text table."""
+        return f"== {self.name} ==\n" + format_table(self.headers, self.rows)
+
+    def column(self, header: str) -> list:
+        """Extract one column by header name."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]

@@ -1,0 +1,89 @@
+"""Table 1: how slicing works and its tradeoffs.
+
+A 2-bit input and a 2-bit weight are multiplied, with each operand either
+kept whole or sliced into two 1-bit slices.  More slices reduce the bits per
+MAC (allowing a lower-resolution ADC) but require more cycles, columns and ADC
+conversions per MAC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["Table1Row", "run_table1", "format_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One slicing option of the 2b x 2b example."""
+
+    sliced_input: bool
+    sliced_weight: bool
+    input_slices: int
+    weight_slices: int
+    bits_per_input_slice: int
+    bits_per_weight_slice: int
+
+    @property
+    def cycles(self) -> int:
+        """Cycles needed (one per input slice)."""
+        return self.input_slices
+
+    @property
+    def columns(self) -> int:
+        """Crossbar columns needed (one per weight slice)."""
+        return self.weight_slices
+
+    @property
+    def bits_per_mac(self) -> int:
+        """Resolution of each sliced product (bits of input x bits of weight)."""
+        return self.bits_per_input_slice * self.bits_per_weight_slice
+
+    @property
+    def converts_per_mac(self) -> int:
+        """ADC conversions per full 2b x 2b MAC."""
+        return self.input_slices * self.weight_slices
+
+
+def run_table1(operand_bits: int = 2) -> list[Table1Row]:
+    """Enumerate the four slicing options of Table 1."""
+    rows = []
+    for sliced_input in (False, True):
+        for sliced_weight in (False, True):
+            input_slices = operand_bits if sliced_input else 1
+            weight_slices = operand_bits if sliced_weight else 1
+            rows.append(
+                Table1Row(
+                    sliced_input=sliced_input,
+                    sliced_weight=sliced_weight,
+                    input_slices=input_slices,
+                    weight_slices=weight_slices,
+                    bits_per_input_slice=operand_bits // input_slices,
+                    bits_per_weight_slice=operand_bits // weight_slices,
+                )
+            )
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Render Table 1."""
+    table = ExperimentResult(
+        name="Table 1 -- slicing tradeoffs (2b input x 2b weight)",
+        headers=(
+            "sliced input", "sliced weight", "cycles", "columns",
+            "bits/MAC", "converts/MAC",
+        ),
+    )
+    for row in rows:
+        table.add_row(
+            "yes" if row.sliced_input else "no",
+            "yes" if row.sliced_weight else "no",
+            row.cycles, row.columns, row.bits_per_mac, row.converts_per_mac,
+        )
+    return table.to_text()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(format_table1(run_table1()))

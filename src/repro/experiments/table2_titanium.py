@@ -1,0 +1,99 @@
+"""Table 2: the Titanium Law of ADC energy and its tradeoffs.
+
+ADC energy per DNN is the product of Energy/Convert, Converts/MAC, MACs/DNN
+and 1/Utilization.  This experiment decomposes the evaluated architectures
+into those terms and sweeps the two coupled knobs (ADC resolution and crossbar
+rows / bits per slice) to exhibit the tradeoff the table describes: reducing
+one term without an architectural change inflates another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import ExperimentResult
+from repro.hw.architecture import (
+    FORMS_ARCH,
+    ISAAC_ARCH,
+    RAELLA_ARCH,
+    RAELLA_NO_SPEC_ARCH,
+    ArchitectureSpec,
+)
+from repro.hw.titanium import TitaniumLawTerms, titanium_law
+from repro.nn.zoo import model_shapes
+
+__all__ = ["Table2Result", "run_table2", "run_titanium_tradeoff_sweep", "format_table2"]
+
+_DEFAULT_ARCHS = (ISAAC_ARCH, FORMS_ARCH, RAELLA_NO_SPEC_ARCH, RAELLA_ARCH)
+
+
+@dataclass
+class Table2Result:
+    """Titanium-Law terms for several architectures on one DNN."""
+
+    model_name: str
+    terms: list[TitaniumLawTerms]
+
+
+def run_table2(
+    model_name: str = "resnet18",
+    archs: tuple[ArchitectureSpec, ...] = _DEFAULT_ARCHS,
+) -> Table2Result:
+    """Decompose ADC energy for each architecture."""
+    shapes = model_shapes(model_name)
+    return Table2Result(
+        model_name=model_name,
+        terms=[titanium_law(shapes, arch) for arch in archs],
+    )
+
+
+def run_titanium_tradeoff_sweep(
+    model_name: str = "resnet18",
+    adc_bits: tuple[int, ...] = (5, 6, 7, 8, 9),
+) -> list[TitaniumLawTerms]:
+    """Sweep ADC resolution at iso-fidelity to exhibit the Table 2 tradeoff.
+
+    Keeping fidelity constant while lowering ADC resolution requires
+    accumulating fewer sliced products per conversion -- fewer crossbar rows --
+    which raises Converts/MAC.  The sweep scales RAELLA's rows proportionally
+    to the ADC range so that the worst-case column-sum resolution tracks the
+    ADC resolution.
+    """
+    shapes = model_shapes(model_name)
+    reference_bits = RAELLA_ARCH.adc_bits
+    results = []
+    for bits in adc_bits:
+        scale = 2.0 ** (bits - reference_bits)
+        rows = max(int(RAELLA_ARCH.crossbar_rows * scale), 16)
+        arch = RAELLA_ARCH.with_changes(
+            name=f"raella_{bits}b_adc",
+            adc_bits=bits,
+            crossbar_rows=rows,
+        )
+        results.append(titanium_law(shapes, arch))
+    return results
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render the Titanium-Law decomposition."""
+    table = ExperimentResult(
+        name=f"Table 2 -- Titanium Law terms ({result.model_name})",
+        headers=(
+            "architecture", "energy/convert (pJ)", "converts/MAC",
+            "MACs/DNN (G)", "utilization", "ADC energy (uJ)",
+        ),
+    )
+    for terms in result.terms:
+        table.add_row(
+            terms.arch_name,
+            terms.energy_per_convert_pj,
+            terms.converts_per_mac,
+            terms.macs_per_dnn / 1e9,
+            terms.utilization,
+            terms.adc_energy_uj,
+        )
+    return table.to_text()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(format_table2(run_table2()))

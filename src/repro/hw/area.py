@@ -1,0 +1,120 @@
+"""Chip area model and tile-count derivation.
+
+The paper evaluates every accelerator under a 600 mm^2 area budget: RAELLA
+fits 743 tiles while ISAAC and FORMS fit 1024 (Section 6.1).  RAELLA's tiles
+are larger because its crossbars are 16x bigger, its cells are 2T2R, and it
+adds center buffers and success-flag storage -- but its 7-bit ADCs are smaller
+than ISAAC's 8-bit ones and it needs fewer ADCs per column.
+
+This module estimates per-tile area from the component library and derives how
+many tiles fit a given budget, reproducing the relative tile counts and the
+paper's observation that 2T2R cells add only ~10% system area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.architecture import ArchitectureSpec
+
+__all__ = ["TileAreaBreakdown", "AreaModel"]
+
+
+@dataclass(frozen=True)
+class TileAreaBreakdown:
+    """Per-tile area in mm^2, split by component."""
+
+    arch_name: str
+    crossbars_mm2: float
+    adcs_mm2: float
+    dacs_mm2: float
+    column_periphery_mm2: float
+    buffers_mm2: float
+    edram_mm2: float
+    router_share_mm2: float
+    digital_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        """Total tile area."""
+        return (
+            self.crossbars_mm2
+            + self.adcs_mm2
+            + self.dacs_mm2
+            + self.column_periphery_mm2
+            + self.buffers_mm2
+            + self.edram_mm2
+            + self.router_share_mm2
+            + self.digital_mm2
+        )
+
+    def fraction(self, component: str) -> float:
+        """Fraction of tile area taken by one component attribute."""
+        value = getattr(self, component)
+        return value / self.total_mm2 if self.total_mm2 else 0.0
+
+
+class AreaModel:
+    """Estimates tile area and chip tile counts for an architecture."""
+
+    #: Input + psum + center SRAM per crossbar, in kB (2 kB IMA input buffer
+    #: shared by four crossbars, 768 B psum buffer, center storage).
+    _SRAM_KB_PER_CROSSBAR = 1.5
+
+    def __init__(self, arch: ArchitectureSpec):
+        self.arch = arch
+        self.lib = arch.components
+
+    def crossbar_area_mm2(self) -> float:
+        """Area of one crossbar array (cells only)."""
+        cell_area = self.lib.reram_area_per_cell_mm2
+        if self.arch.cell_devices == 2:
+            cell_area *= self.lib.t2r2_cell_area_factor
+        return self.arch.crossbar_rows * self.arch.crossbar_cols * cell_area
+
+    def tile_area(self) -> TileAreaBreakdown:
+        """Per-tile area breakdown."""
+        arch, lib = self.arch, self.lib
+        crossbars = arch.crossbars_per_tile
+        crossbar_area = crossbars * self.crossbar_area_mm2()
+        adcs = crossbars * arch.adcs_per_crossbar * lib.adc_area_mm2(arch.adc_bits)
+        dacs = crossbars * arch.crossbar_rows * lib.dac_area_per_row_mm2
+        periphery = (
+            crossbars * arch.crossbar_cols * lib.column_periphery_area_per_col_mm2
+        )
+        buffers = crossbars * self._SRAM_KB_PER_CROSSBAR * lib.sram_area_per_kb_mm2
+        edram = arch.edram_kb_per_tile * lib.edram_area_per_kb_mm2
+        router_share = lib.router_area_mm2 / 4.0  # four tiles share a router
+        digital = lib.digital_area_per_tile_mm2
+        return TileAreaBreakdown(
+            arch_name=arch.name,
+            crossbars_mm2=crossbar_area,
+            adcs_mm2=adcs,
+            dacs_mm2=dacs,
+            column_periphery_mm2=periphery,
+            buffers_mm2=buffers,
+            edram_mm2=edram,
+            router_share_mm2=router_share,
+            digital_mm2=digital,
+        )
+
+    def tiles_for_budget(self, budget_mm2: float | None = None) -> int:
+        """How many tiles fit the area budget (600 mm^2 by default)."""
+        budget = self.arch.area_budget_mm2 if budget_mm2 is None else budget_mm2
+        if budget <= 0:
+            raise ValueError("area budget must be positive")
+        tile = self.tile_area().total_mm2
+        return max(int(budget // tile), 1)
+
+    def chip_area_mm2(self, n_tiles: int | None = None) -> float:
+        """Total chip area for a tile count (defaults to the spec's tiles)."""
+        tiles = self.arch.n_tiles if n_tiles is None else n_tiles
+        return tiles * self.tile_area().total_mm2
+
+    def cell_area_overhead_vs_1t1r(self) -> float:
+        """Relative chip-area overhead of using 2T2R cells instead of 1T1R."""
+        if self.arch.cell_devices == 1:
+            return 0.0
+        with_2t2r = self.tile_area().total_mm2
+        smaller = AreaModel(self.arch.with_changes(cell_devices=1))
+        return with_2t2r / smaller.tile_area().total_mm2 - 1.0

@@ -1,0 +1,103 @@
+"""Throughput and latency model.
+
+DNN layers run as a pipeline across tiles (Section 5.5): every layer works on
+a different input sample (or a different output row), so steady-state
+throughput is set by the slowest layer after weight replication.  Latency of a
+single sample is the sum of per-layer latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.architecture import ArchitectureSpec
+from repro.hw.mapping import DnnMapping, Mapper
+from repro.nn.zoo import ModelShapes
+
+__all__ = ["LayerTiming", "ThroughputReport", "ThroughputModel"]
+
+
+@dataclass(frozen=True)
+class LayerTiming:
+    """Per-layer timing results."""
+
+    layer_name: str
+    latency_cycles: float
+    latency_us: float
+    replicas: int
+    crossbars: int
+
+
+@dataclass
+class ThroughputReport:
+    """Whole-DNN throughput/latency results."""
+
+    model_name: str
+    arch_name: str
+    layer_timings: list[LayerTiming] = field(default_factory=list)
+    cycle_time_ns: float = 100.0
+
+    @property
+    def bottleneck(self) -> LayerTiming:
+        """The slowest (throughput-limiting) layer."""
+        return max(self.layer_timings, key=lambda t: t.latency_cycles)
+
+    @property
+    def steady_state_latency_us(self) -> float:
+        """Pipeline initiation interval: time per sample in steady state."""
+        return self.bottleneck.latency_us
+
+    @property
+    def throughput_samples_per_s(self) -> float:
+        """Steady-state throughput (inferences per second)."""
+        interval = self.steady_state_latency_us
+        return 1e6 / interval if interval else float("inf")
+
+    @property
+    def single_sample_latency_us(self) -> float:
+        """End-to-end latency of one sample through the pipeline."""
+        return float(sum(t.latency_us for t in self.layer_timings))
+
+    def summary(self) -> str:
+        """Human-readable throughput summary."""
+        bottleneck = self.bottleneck
+        return (
+            f"{self.model_name}@{self.arch_name}: "
+            f"{self.throughput_samples_per_s:,.0f} samples/s "
+            f"(bottleneck {bottleneck.layer_name}, "
+            f"{bottleneck.latency_us:.1f} us/sample, "
+            f"{bottleneck.replicas} replicas)"
+        )
+
+
+class ThroughputModel:
+    """Computes throughput and latency for full-scale DNN shape tables."""
+
+    def __init__(self, arch: ArchitectureSpec):
+        self.arch = arch
+        self.mapper = Mapper(arch)
+
+    def report_from_mapping(self, mapping: DnnMapping) -> ThroughputReport:
+        """Build a throughput report from an existing mapping."""
+        cycle_ns = self.arch.cycle_time_ns
+        timings = [
+            LayerTiming(
+                layer_name=m.layer_name,
+                latency_cycles=m.latency_cycles,
+                latency_us=m.latency_cycles * cycle_ns / 1e3,
+                replicas=m.total_replicas,
+                crossbars=m.crossbars,
+            )
+            for m in mapping.layers
+        ]
+        return ThroughputReport(
+            model_name=mapping.model_name,
+            arch_name=self.arch.name,
+            layer_timings=timings,
+            cycle_time_ns=cycle_ns,
+        )
+
+    def evaluate(self, shapes: ModelShapes, replicate: bool = True) -> ThroughputReport:
+        """Map a model and report its throughput."""
+        mapping = self.mapper.map(shapes, replicate=replicate)
+        return self.report_from_mapping(mapping)

@@ -1,0 +1,82 @@
+"""The Titanium Law of ADC energy (Table 2).
+
+    ADC energy / DNN = Energy/Convert x Converts/MAC x MACs/DNN x 1/Utilization
+
+This module decomposes an architecture+workload pair into the four terms so
+the tradeoffs of Table 2 can be reproduced and swept: lowering ADC resolution
+reduces Energy/Convert but (with fixed fidelity) raises Converts/MAC; pruning
+lowers MACs/DNN at an accuracy cost; mapping improvements raise utilisation
+but cannot push it past one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.actions import count_model_actions
+from repro.hw.architecture import ArchitectureSpec
+from repro.nn.zoo import ModelShapes
+
+__all__ = ["TitaniumLawTerms", "titanium_law"]
+
+
+@dataclass(frozen=True)
+class TitaniumLawTerms:
+    """The four Titanium-Law factors plus the resulting ADC energy."""
+
+    arch_name: str
+    model_name: str
+    energy_per_convert_pj: float
+    converts_per_mac: float
+    macs_per_dnn: float
+    utilization: float
+
+    @property
+    def adc_energy_pj(self) -> float:
+        """ADC energy per inference implied by the four terms."""
+        return (
+            self.energy_per_convert_pj
+            * self.converts_per_mac
+            * self.macs_per_dnn
+            / max(self.utilization, 1e-12)
+        )
+
+    @property
+    def adc_energy_uj(self) -> float:
+        """ADC energy per inference in microjoules."""
+        return self.adc_energy_pj / 1e6
+
+    def as_dict(self) -> dict[str, float]:
+        """The terms as a plain dictionary (for tabular reporting)."""
+        return {
+            "energy_per_convert_pj": self.energy_per_convert_pj,
+            "converts_per_mac": self.converts_per_mac,
+            "macs_per_dnn": self.macs_per_dnn,
+            "utilization": self.utilization,
+            "adc_energy_uj": self.adc_energy_uj,
+        }
+
+
+def titanium_law(shapes: ModelShapes, arch: ArchitectureSpec) -> TitaniumLawTerms:
+    """Decompose ADC energy into the Titanium-Law terms for one DNN."""
+    actions = count_model_actions(shapes, arch)
+    total_macs = sum(a.macs for a in actions)
+    total_converts = sum(a.adc_converts for a in actions)
+    # Utilization: MAC-weighted fraction of allocated crossbar rows used.
+    if total_macs:
+        utilization = sum(a.row_utilization * a.macs for a in actions) / total_macs
+    else:
+        utilization = 1.0
+    energy_per_convert = arch.components.adc_energy_pj(arch.adc_bits)
+    converts_per_mac_utilized = total_converts / total_macs if total_macs else 0.0
+    # Converts/MAC in the law excludes the utilisation penalty, which appears
+    # as its own 1/Utilization factor.
+    converts_per_mac = converts_per_mac_utilized * utilization
+    return TitaniumLawTerms(
+        arch_name=arch.name,
+        model_name=shapes.name,
+        energy_per_convert_pj=energy_per_convert,
+        converts_per_mac=converts_per_mac,
+        macs_per_dnn=float(total_macs),
+        utilization=utilization,
+    )

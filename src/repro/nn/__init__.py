@@ -1,0 +1,39 @@
+"""NumPy quantized-DNN substrate.
+
+The paper evaluates RAELLA on off-the-shelf 8-bit quantized PyTorch models.
+PyTorch and the pretrained weights are not available in this environment, so
+this subpackage provides a from-scratch substitute (see DESIGN.md):
+
+* :mod:`repro.nn.functional` -- tensor ops (im2col, conv, pooling, softmax).
+* :mod:`repro.nn.layers`     -- quantized layers (Conv2d, Linear, ReLU, pooling).
+* :mod:`repro.nn.model`      -- the :class:`QuantizedModel` container with a
+  float path, an integer reference path and a pluggable PIM mat-mul hook.
+* :mod:`repro.nn.synthetic`  -- realistic synthetic weight/activation generators.
+* :mod:`repro.nn.zoo`        -- shape-faithful layer tables for the paper's
+  seven DNNs plus runnable scaled-down models.
+* :mod:`repro.nn.datasets`   -- synthetic classification datasets.
+* :mod:`repro.nn.training`   -- a small SGD trainer so accuracy-drop
+  experiments have a real task to measure.
+"""
+
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.model import QuantizedModel
+
+__all__ = [
+    "AvgPool2d",
+    "Conv2d",
+    "Flatten",
+    "GlobalAvgPool",
+    "Linear",
+    "MaxPool2d",
+    "ReLU",
+    "QuantizedModel",
+]

@@ -1,0 +1,111 @@
+"""Synthetic classification datasets.
+
+ImageNet and SQuAD are not available offline, so accuracy experiments use
+synthetic tasks where a real top-1 accuracy can be measured: Gaussian-cluster
+classification for MLPs and procedurally-generated images (class-specific
+spatial templates plus noise) for small CNNs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ClassificationDataset", "gaussian_clusters", "procedural_images"]
+
+
+@dataclass
+class ClassificationDataset:
+    """A train/test split of a classification task."""
+
+    name: str
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.x_train) != len(self.y_train):
+            raise ValueError("train inputs and labels differ in length")
+        if len(self.x_test) != len(self.y_test):
+            raise ValueError("test inputs and labels differ in length")
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct classes."""
+        return int(max(self.y_train.max(), self.y_test.max())) + 1
+
+    @property
+    def input_shape(self) -> tuple[int, ...]:
+        """Shape of one input sample."""
+        return tuple(self.x_train.shape[1:])
+
+
+def gaussian_clusters(
+    n_classes: int = 10,
+    n_features: int = 96,
+    n_train: int = 1000,
+    n_test: int = 400,
+    separation: float = 1.05,
+    noise: float = 1.2,
+    seed: int = 0,
+) -> ClassificationDataset:
+    """Gaussian-cluster classification with non-negative features.
+
+    Class centroids are drawn from a half-normal distribution scaled by
+    ``separation``; samples add Gaussian noise and are clipped at zero so that
+    the features look like post-ReLU activations (unsigned 8-bit friendly).
+    """
+    if n_classes < 2:
+        raise ValueError("need at least two classes")
+    rng = np.random.default_rng(seed)
+    centroids = np.abs(rng.normal(0.0, separation, size=(n_classes, n_features)))
+
+    def sample(n: int) -> tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, n_classes, size=n)
+        x = centroids[labels] + rng.normal(0.0, noise, size=(n, n_features))
+        return np.maximum(x, 0.0), labels
+
+    x_train, y_train = sample(n_train)
+    x_test, y_test = sample(n_test)
+    return ClassificationDataset(
+        name=f"gaussian_clusters_{n_classes}c_{n_features}f",
+        x_train=x_train, y_train=y_train, x_test=x_test, y_test=y_test,
+    )
+
+
+def procedural_images(
+    n_classes: int = 8,
+    image_shape: tuple[int, int, int] = (3, 16, 16),
+    n_train: int = 700,
+    n_test: int = 300,
+    noise: float = 0.4,
+    seed: int = 0,
+) -> ClassificationDataset:
+    """Image classification from class-specific spatial templates plus noise."""
+    if n_classes < 2:
+        raise ValueError("need at least two classes")
+    rng = np.random.default_rng(seed)
+    c, h, w = image_shape
+    yy, xx = np.meshgrid(np.linspace(0, 1, h), np.linspace(0, 1, w), indexing="ij")
+    templates = np.empty((n_classes, c, h, w))
+    for cls in range(n_classes):
+        freq = rng.uniform(1.0, 5.0, size=(c, 2))
+        phase = rng.uniform(0, 2 * np.pi, size=(c, 2))
+        templates[cls] = (
+            np.sin(2 * np.pi * freq[:, 0, None, None] * yy + phase[:, 0, None, None])
+            + np.cos(2 * np.pi * freq[:, 1, None, None] * xx + phase[:, 1, None, None])
+        )
+
+    def sample(n: int) -> tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, n_classes, size=n)
+        x = templates[labels] + rng.normal(0.0, noise, size=(n, c, h, w))
+        return np.maximum(x + 2.0, 0.0) * 0.5, labels
+
+    x_train, y_train = sample(n_train)
+    x_test, y_test = sample(n_test)
+    return ClassificationDataset(
+        name=f"procedural_images_{n_classes}c_{h}x{w}",
+        x_train=x_train, y_train=y_train, x_test=x_test, y_test=y_test,
+    )

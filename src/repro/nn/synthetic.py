@@ -1,0 +1,131 @@
+"""Synthetic weight and activation generators.
+
+The column-sum statistics RAELLA exploits depend on operand *distributions*
+(Fig. 8 of the paper): DNN weights follow rough per-filter bell curves whose
+means differ filter to filter, and post-ReLU activations follow right-skewed
+distributions with sparse high-order bits.  These generators produce tensors
+with those statistics so that shape-faithful synthetic models exhibit the same
+crossbar behaviour as the paper's pretrained models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "synthetic_conv_weights",
+    "synthetic_linear_weights",
+    "negative_skewed_filter_weights",
+    "synthetic_activations",
+    "synthetic_images",
+    "synthetic_signed_activations",
+]
+
+
+def _per_filter_means(
+    n_filters: int, rng: np.random.Generator, mean_spread: float
+) -> np.ndarray:
+    """Random per-filter mean offsets (different filters converge differently)."""
+    return rng.normal(0.0, mean_spread, size=n_filters)
+
+
+def synthetic_conv_weights(
+    out_channels: int,
+    in_channels: int,
+    kernel: int,
+    rng: np.random.Generator,
+    std: float = 0.05,
+    mean_spread: float = 0.015,
+) -> np.ndarray:
+    """Bell-curve convolution weights with per-filter mean offsets.
+
+    Returns an array of shape ``(out_channels, in_channels, kernel, kernel)``.
+    Each output filter draws from a Gaussian whose mean is itself randomly
+    offset, reproducing the "individual weight filters randomly converge to
+    different distributions" observation of Section 4.1.1.
+    """
+    means = _per_filter_means(out_channels, rng, mean_spread)
+    shape = (out_channels, in_channels, kernel, kernel)
+    weights = rng.normal(0.0, std, size=shape)
+    return weights + means[:, np.newaxis, np.newaxis, np.newaxis]
+
+
+def synthetic_linear_weights(
+    out_features: int,
+    in_features: int,
+    rng: np.random.Generator,
+    std: float = 0.05,
+    mean_spread: float = 0.01,
+) -> np.ndarray:
+    """Bell-curve fully-connected weights with per-row mean offsets."""
+    means = _per_filter_means(out_features, rng, mean_spread)
+    weights = rng.normal(0.0, std, size=(out_features, in_features))
+    return weights + means[:, np.newaxis]
+
+
+def negative_skewed_filter_weights(
+    n_weights: int,
+    rng: np.random.Generator,
+    std: float = 0.05,
+    mean: float = -0.04,
+) -> np.ndarray:
+    """A mostly-negative weight filter like the InceptionV3 filter of Fig. 5.
+
+    Differential (Zero+Offset) encoding represents such filters with
+    mostly-negative slices whose biases accumulate into large negative column
+    sums; Center+Offset picks a non-zero center and avoids this.
+    """
+    return rng.normal(mean, std, size=n_weights)
+
+
+def synthetic_activations(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    scale: float = 1.0,
+    sparsity: float = 0.35,
+) -> np.ndarray:
+    """Right-skewed, non-negative post-ReLU-like activations.
+
+    A fraction ``sparsity`` of entries are exactly zero (ReLU kills them); the
+    rest follow a half-normal distribution, giving the sparse high-order input
+    bits of Fig. 8.
+    """
+    values = np.abs(rng.normal(0.0, scale, size=shape))
+    mask = rng.random(size=shape) >= sparsity
+    return values * mask
+
+
+def synthetic_signed_activations(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Signed activations (e.g. GELU outputs feeding BERT's feed-forward)."""
+    return rng.normal(0.0, scale, size=shape)
+
+
+def synthetic_images(
+    n: int,
+    image_shape: tuple[int, int, int],
+    rng: np.random.Generator,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Non-negative image-like input tensors of shape ``(n, C, H, W)``.
+
+    Images mix smooth spatial structure (low-frequency patterns) with pixel
+    noise so that convolution outputs have realistic dynamic range.
+    """
+    c, h, w = image_shape
+    yy, xx = np.meshgrid(np.linspace(0, 1, h), np.linspace(0, 1, w), indexing="ij")
+    images = np.empty((n, c, h, w), dtype=np.float64)
+    for i in range(n):
+        freq_y = rng.uniform(1.0, 4.0, size=c)
+        freq_x = rng.uniform(1.0, 4.0, size=c)
+        phase = rng.uniform(0, 2 * np.pi, size=(c, 2))
+        base = (
+            np.sin(2 * np.pi * freq_y[:, None, None] * yy + phase[:, 0, None, None])
+            + np.cos(2 * np.pi * freq_x[:, None, None] * xx + phase[:, 1, None, None])
+        )
+        noise = rng.normal(0.0, 0.3, size=(c, h, w))
+        images[i] = np.maximum(base + noise + 1.0, 0.0) * scale * 0.5
+    return images

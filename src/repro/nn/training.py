@@ -1,0 +1,236 @@
+"""A small SGD trainer for accuracy experiments.
+
+RAELLA's headline claim is accuracy preservation *without retraining*.  To
+measure accuracy drops (Table 4, Fig. 15) we need models with a real accuracy
+on a real task.  This module trains multi-layer perceptrons (and CNNs with a
+trained linear head over fixed random convolution features) with plain NumPy
+SGD on the synthetic datasets, then packages them as calibrated
+:class:`~repro.nn.model.QuantizedModel` instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.datasets import ClassificationDataset
+from repro.nn.layers import Conv2d, Flatten, Linear, MaxPool2d
+from repro.nn.model import QuantizedModel
+from repro.nn.synthetic import synthetic_conv_weights
+
+__all__ = ["TrainingResult", "train_mlp", "train_cnn", "evaluate_accuracy"]
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a training run.
+
+    Attributes
+    ----------
+    model:
+        The calibrated quantized model.
+    float_accuracy:
+        Test accuracy of the float reference path.
+    quantized_accuracy:
+        Test accuracy of the exact 8-bit integer path (the no-PIM baseline all
+        accuracy-drop numbers are measured against).
+    loss_history:
+        Mean training loss per epoch.
+    """
+
+    model: QuantizedModel
+    float_accuracy: float
+    quantized_accuracy: float
+    loss_history: list[float] = field(default_factory=list)
+
+
+def _init_dense(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """He-style initialisation for a dense layer."""
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_out, fan_in))
+
+
+def _train_dense_stack(
+    features: np.ndarray,
+    labels: np.ndarray,
+    hidden_sizes: list[int],
+    n_classes: int,
+    epochs: int,
+    lr: float,
+    batch_size: int,
+    rng: np.random.Generator,
+) -> tuple[list[tuple[np.ndarray, np.ndarray]], list[float]]:
+    """Train a ReLU MLP with SGD; returns [(W, b), ...] and the loss history."""
+    sizes = [features.shape[1], *hidden_sizes, n_classes]
+    params = [
+        (_init_dense(rng, sizes[i], sizes[i + 1]), np.zeros(sizes[i + 1]))
+        for i in range(len(sizes) - 1)
+    ]
+    n = features.shape[0]
+    history = []
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        n_batches = 0
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            x, y = features[idx], labels[idx]
+            # Forward pass, keeping pre-activations for backprop.
+            activations = [x]
+            for i, (w, b) in enumerate(params):
+                z = activations[-1] @ w.T + b
+                a = F.relu(z) if i < len(params) - 1 else z
+                activations.append(a)
+            logits = activations[-1]
+            probs = F.softmax(logits)
+            epoch_loss += F.cross_entropy(logits, y)
+            n_batches += 1
+            # Backward pass.
+            grad = (probs - F.one_hot(y, n_classes)) / len(idx)
+            for i in reversed(range(len(params))):
+                w, b = params[i]
+                a_prev = activations[i]
+                grad_w = grad.T @ a_prev
+                grad_b = grad.sum(axis=0)
+                if i > 0:
+                    grad = (grad @ w) * (activations[i] > 0)
+                params[i] = (w - lr * grad_w, b - lr * grad_b)
+        history.append(epoch_loss / max(n_batches, 1))
+    return params, history
+
+
+def _dense_stack_to_layers(
+    params: list[tuple[np.ndarray, np.ndarray]], prefix: str
+) -> list[Linear]:
+    """Package trained dense parameters as quantized Linear layers."""
+    layers = []
+    for i, (w, b) in enumerate(params):
+        is_last = i == len(params) - 1
+        layers.append(
+            Linear(
+                name=f"{prefix}_fc{i}",
+                weights=w,
+                bias=b,
+                fuse_relu=not is_last,
+            )
+        )
+    return layers
+
+
+def evaluate_accuracy(
+    model: QuantizedModel,
+    dataset: ClassificationDataset,
+    pim_matmul=None,
+    use_float: bool = False,
+    max_samples: int | None = None,
+) -> float:
+    """Top-1 test accuracy of a model on a dataset.
+
+    ``pim_matmul`` plugs an analog-PIM simulation into the integer path;
+    ``use_float`` evaluates the float reference instead.
+    """
+    x, y = dataset.x_test, dataset.y_test
+    if max_samples is not None:
+        x, y = x[:max_samples], y[:max_samples]
+    if use_float:
+        predictions = model.predict_float(x)
+    else:
+        predictions = model.predict(x, pim_matmul=pim_matmul)
+    return float(np.mean(predictions == y))
+
+
+def train_mlp(
+    dataset: ClassificationDataset,
+    hidden_sizes: list[int] | None = None,
+    epochs: int = 30,
+    lr: float = 0.05,
+    batch_size: int = 64,
+    seed: int = 0,
+    name: str | None = None,
+) -> TrainingResult:
+    """Train an MLP classifier and return it as a calibrated quantized model."""
+    hidden_sizes = [256, 128] if hidden_sizes is None else list(hidden_sizes)
+    rng = np.random.default_rng(seed)
+    features = dataset.x_train.reshape(len(dataset.x_train), -1)
+    params, history = _train_dense_stack(
+        features, dataset.y_train, hidden_sizes, dataset.n_classes,
+        epochs, lr, batch_size, rng,
+    )
+    model_name = name or f"mlp_{dataset.name}"
+    layers = _dense_stack_to_layers(params, model_name)
+    model = QuantizedModel(model_name, layers, input_shape=(features.shape[1],))
+    calibration = features[: min(256, len(features))]
+    model.calibrate(calibration)
+
+    flat_dataset = ClassificationDataset(
+        name=dataset.name,
+        x_train=features, y_train=dataset.y_train,
+        x_test=dataset.x_test.reshape(len(dataset.x_test), -1),
+        y_test=dataset.y_test,
+    )
+    return TrainingResult(
+        model=model,
+        float_accuracy=evaluate_accuracy(model, flat_dataset, use_float=True),
+        quantized_accuracy=evaluate_accuracy(model, flat_dataset),
+        loss_history=history,
+    )
+
+
+def train_cnn(
+    dataset: ClassificationDataset,
+    conv_channels: list[int] | None = None,
+    hidden_sizes: list[int] | None = None,
+    epochs: int = 30,
+    lr: float = 0.05,
+    batch_size: int = 64,
+    seed: int = 0,
+    name: str | None = None,
+) -> TrainingResult:
+    """Train a CNN with fixed random convolution features and a trained head.
+
+    The convolution layers use realistic synthetic weights and stay fixed (a
+    random-feature extractor); the dense head is trained with SGD.  The whole
+    network -- convolutions included -- runs through the quantized / PIM path,
+    so analog errors in the convolutions affect accuracy.
+    """
+    conv_channels = [16, 24] if conv_channels is None else list(conv_channels)
+    hidden_sizes = [96] if hidden_sizes is None else list(hidden_sizes)
+    rng = np.random.default_rng(seed)
+    c, h, w = dataset.input_shape
+    model_name = name or f"cnn_{dataset.name}"
+
+    conv_layers: list = []
+    in_c, cur_h, cur_w = c, h, w
+    for i, out_c in enumerate(conv_channels):
+        weights = synthetic_conv_weights(out_c, in_c, 3, rng, std=0.25)
+        conv_layers.append(
+            Conv2d(f"{model_name}_conv{i}", weights, stride=1, padding=1,
+                   fuse_relu=True)
+        )
+        conv_layers.append(MaxPool2d(2, name=f"{model_name}_pool{i}"))
+        in_c = out_c
+        cur_h, cur_w = cur_h // 2, cur_w // 2
+    conv_layers.append(Flatten(name=f"{model_name}_flatten"))
+
+    # Extract fixed features by running the float conv stack.
+    def extract(x: np.ndarray) -> np.ndarray:
+        out = x
+        for layer in conv_layers:
+            out = layer.forward_float(out)
+        return out
+
+    train_features = extract(dataset.x_train)
+    params, history = _train_dense_stack(
+        train_features, dataset.y_train, hidden_sizes, dataset.n_classes,
+        epochs, lr, batch_size, rng,
+    )
+    layers = conv_layers + _dense_stack_to_layers(params, model_name)
+    model = QuantizedModel(model_name, layers, input_shape=(c, h, w))
+    model.calibrate(dataset.x_train[: min(128, len(dataset.x_train))])
+    return TrainingResult(
+        model=model,
+        float_accuracy=evaluate_accuracy(model, dataset, use_float=True),
+        quantized_accuracy=evaluate_accuracy(model, dataset),
+        loss_history=history,
+    )

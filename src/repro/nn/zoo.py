@@ -1,0 +1,592 @@
+"""Model zoo: shape-faithful layer tables and runnable scaled-down models.
+
+The paper evaluates seven DNNs (GoogLeNet, InceptionV3, ResNet18, ResNet50,
+ShuffleNetV2, MobileNetV2 and BERT-Large's feed-forward layers).  This module
+provides two views of each model:
+
+* **Full-scale layer-shape tables** (:func:`model_shapes`) describing every
+  crossbar-mapped layer of the original network -- kind, channels, kernel,
+  stride, spatial size.  The hardware cost model (:mod:`repro.hw`) consumes
+  these tables; it needs dimensions, not data, so the tables are full size and
+  the derived MAC / weight counts land close to the published numbers.
+
+* **Runnable scaled-down models** (:func:`build_runnable` and the
+  ``*_like`` helpers) -- small sequential :class:`QuantizedModel` instances
+  with synthetic weights whose per-layer operand distributions match the
+  original family (bell-curve weights with per-filter mean offsets, compact
+  vs. large filters, signed inputs for the Transformer).  Functional
+  experiments (column-sum distributions, adaptive slicing, accuracy proxies)
+  run on these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d
+from repro.nn.model import QuantizedModel
+from repro.nn.synthetic import (
+    synthetic_conv_weights,
+    synthetic_images,
+    synthetic_linear_weights,
+    synthetic_signed_activations,
+)
+
+__all__ = [
+    "LayerShape",
+    "ModelShapes",
+    "model_shapes",
+    "MODEL_NAMES",
+    "CNN_MODEL_NAMES",
+    "build_runnable",
+    "resnet18_like",
+    "resnet50_like",
+    "googlenet_like",
+    "inceptionv3_like",
+    "mobilenetv2_like",
+    "shufflenetv2_like",
+    "bert_large_ffn_like",
+]
+
+
+# ---------------------------------------------------------------------------
+# Full-scale layer-shape tables
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """Shape description of one crossbar-mapped DNN layer.
+
+    Parameters
+    ----------
+    name:
+        Layer name (unique within a model).
+    kind:
+        ``"conv"``, ``"dwconv"`` (depthwise) or ``"linear"``.
+    in_channels / out_channels:
+        Channel counts (for linear layers these are in/out features).
+    kernel_h / kernel_w:
+        Kernel size (1 for linear layers).
+    stride:
+        Convolution stride (1 for linear layers).
+    input_size:
+        Input spatial size H (= W assumed) for convolutions; for linear layers
+        the number of positions the layer is applied to (sequence length for
+        Transformers, 1 for classifier heads).
+    groups:
+        Convolution groups (``in_channels`` for depthwise convolutions).
+    signed_input:
+        Whether the layer's input activations are signed (BERT).
+    """
+
+    name: str
+    kind: str
+    in_channels: int
+    out_channels: int
+    kernel_h: int = 1
+    kernel_w: int = 1
+    stride: int = 1
+    input_size: int = 1
+    groups: int = 1
+    signed_input: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("conv", "dwconv", "linear"):
+            raise ValueError(f"unknown layer kind {self.kind!r}")
+        if min(self.in_channels, self.out_channels, self.kernel_h, self.kernel_w,
+               self.stride, self.input_size, self.groups) <= 0:
+            raise ValueError("layer shape dimensions must be positive")
+        if self.in_channels % self.groups != 0:
+            raise ValueError("in_channels must be divisible by groups")
+
+    @property
+    def output_size(self) -> int:
+        """Output spatial size (convolutions use same-padding semantics)."""
+        if self.kind == "linear":
+            return self.input_size
+        return max((self.input_size + self.stride - 1) // self.stride, 1)
+
+    @property
+    def output_positions(self) -> int:
+        """Number of output positions (pixels or sequence tokens) per sample."""
+        if self.kind == "linear":
+            return self.input_size
+        return self.output_size ** 2
+
+    @property
+    def reduction_dim(self) -> int:
+        """Length of each filter's dot product (crossbar rows per filter)."""
+        return (self.in_channels // self.groups) * self.kernel_h * self.kernel_w
+
+    @property
+    def n_filters(self) -> int:
+        """Number of filters (crossbar-column groups)."""
+        return self.out_channels
+
+    @property
+    def weights(self) -> int:
+        """Weight count of the layer."""
+        return self.reduction_dim * self.out_channels
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulates per input sample."""
+        return self.weights * self.output_positions
+
+
+@dataclass(frozen=True)
+class ModelShapes:
+    """Full-scale shape table of one DNN."""
+
+    name: str
+    layers: tuple[LayerShape, ...]
+    signed_input: bool = False
+    compact: bool = False
+
+    @property
+    def total_macs(self) -> int:
+        """Total MACs per input sample."""
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_weights(self) -> int:
+        """Total weights across layers."""
+        return sum(layer.weights for layer in self.layers)
+
+    @property
+    def n_layers(self) -> int:
+        """Number of crossbar-mapped layers."""
+        return len(self.layers)
+
+
+def _conv(name, cin, cout, k, stride, size, groups=1, signed=False) -> LayerShape:
+    kind = "dwconv" if groups == cin and groups > 1 else "conv"
+    return LayerShape(name=name, kind=kind, in_channels=cin, out_channels=cout,
+                      kernel_h=k, kernel_w=k, stride=stride, input_size=size,
+                      groups=groups, signed_input=signed)
+
+
+def _rect_conv(name, cin, cout, kh, kw, size) -> LayerShape:
+    return LayerShape(name=name, kind="conv", in_channels=cin, out_channels=cout,
+                      kernel_h=kh, kernel_w=kw, stride=1, input_size=size)
+
+
+def _linear(name, cin, cout, positions=1, signed=False) -> LayerShape:
+    return LayerShape(name=name, kind="linear", in_channels=cin, out_channels=cout,
+                      input_size=positions, signed_input=signed)
+
+
+def _resnet18_shapes() -> ModelShapes:
+    layers = [_conv("conv1", 3, 64, 7, 2, 224)]
+    size = 56  # after maxpool
+    in_c = 64
+    stage_cfg = [(64, 2, 1), (128, 2, 2), (256, 2, 2), (512, 2, 2)]
+    for stage, (out_c, blocks, first_stride) in enumerate(stage_cfg, start=1):
+        for block in range(blocks):
+            stride = first_stride if block == 0 else 1
+            prefix = f"layer{stage}.{block}"
+            layers.append(_conv(f"{prefix}.conv1", in_c, out_c, 3, stride, size))
+            out_size = max(size // stride, 1)
+            layers.append(_conv(f"{prefix}.conv2", out_c, out_c, 3, 1, out_size))
+            if stride != 1 or in_c != out_c:
+                layers.append(_conv(f"{prefix}.downsample", in_c, out_c, 1, stride, size))
+            in_c = out_c
+            size = out_size
+    layers.append(_linear("fc", 512, 1000))
+    return ModelShapes("resnet18", tuple(layers))
+
+
+def _resnet50_shapes() -> ModelShapes:
+    layers = [_conv("conv1", 3, 64, 7, 2, 224)]
+    size = 56
+    in_c = 64
+    stage_cfg = [(64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)]
+    for stage, (mid_c, out_c, blocks, first_stride) in enumerate(stage_cfg, start=1):
+        for block in range(blocks):
+            stride = first_stride if block == 0 else 1
+            prefix = f"layer{stage}.{block}"
+            layers.append(_conv(f"{prefix}.conv1", in_c, mid_c, 1, 1, size))
+            layers.append(_conv(f"{prefix}.conv2", mid_c, mid_c, 3, stride, size))
+            out_size = max(size // stride, 1)
+            layers.append(_conv(f"{prefix}.conv3", mid_c, out_c, 1, 1, out_size))
+            if stride != 1 or in_c != out_c:
+                layers.append(_conv(f"{prefix}.downsample", in_c, out_c, 1, stride, size))
+            in_c = out_c
+            size = out_size
+    layers.append(_linear("fc", 2048, 1000))
+    return ModelShapes("resnet50", tuple(layers))
+
+
+_GOOGLENET_INCEPTIONS = [
+    # name, in_c, b1, b2_reduce, b2, b3_reduce, b3, b4, size
+    ("inception3a", 192, 64, 96, 128, 16, 32, 32, 28),
+    ("inception3b", 256, 128, 128, 192, 32, 96, 64, 28),
+    ("inception4a", 480, 192, 96, 208, 16, 48, 64, 14),
+    ("inception4b", 512, 160, 112, 224, 24, 64, 64, 14),
+    ("inception4c", 512, 128, 128, 256, 24, 64, 64, 14),
+    ("inception4d", 512, 112, 144, 288, 32, 64, 64, 14),
+    ("inception4e", 528, 256, 160, 320, 32, 128, 128, 14),
+    ("inception5a", 832, 256, 160, 320, 32, 128, 128, 7),
+    ("inception5b", 832, 384, 192, 384, 48, 128, 128, 7),
+]
+
+
+def _googlenet_shapes() -> ModelShapes:
+    layers = [
+        _conv("conv1", 3, 64, 7, 2, 224),
+        _conv("conv2", 64, 64, 1, 1, 56),
+        _conv("conv3", 64, 192, 3, 1, 56),
+    ]
+    for (name, in_c, b1, b2r, b2, b3r, b3, b4, size) in _GOOGLENET_INCEPTIONS:
+        layers.extend([
+            _conv(f"{name}.branch1", in_c, b1, 1, 1, size),
+            _conv(f"{name}.branch2_reduce", in_c, b2r, 1, 1, size),
+            _conv(f"{name}.branch2", b2r, b2, 3, 1, size),
+            _conv(f"{name}.branch3_reduce", in_c, b3r, 1, 1, size),
+            _conv(f"{name}.branch3", b3r, b3, 3, 1, size),
+            _conv(f"{name}.branch4", in_c, b4, 1, 1, size),
+        ])
+    layers.append(_linear("fc", 1024, 1000))
+    return ModelShapes("googlenet", tuple(layers))
+
+
+def _inceptionv3_shapes() -> ModelShapes:
+    layers = [
+        _conv("stem.conv1", 3, 32, 3, 2, 299),
+        _conv("stem.conv2", 32, 32, 3, 1, 149),
+        _conv("stem.conv3", 32, 64, 3, 1, 147),
+        _conv("stem.conv4", 64, 80, 1, 1, 73),
+        _conv("stem.conv5", 80, 192, 3, 1, 73),
+    ]
+    # Three InceptionA blocks at 35x35.
+    in_c = 192
+    for i, pool_c in enumerate((32, 64, 64)):
+        name = f"mixed5{chr(ord('b') + i)}"
+        layers.extend([
+            _conv(f"{name}.branch1x1", in_c, 64, 1, 1, 35),
+            _conv(f"{name}.branch5x5_1", in_c, 48, 1, 1, 35),
+            _conv(f"{name}.branch5x5_2", 48, 64, 5, 1, 35),
+            _conv(f"{name}.branch3x3dbl_1", in_c, 64, 1, 1, 35),
+            _conv(f"{name}.branch3x3dbl_2", 64, 96, 3, 1, 35),
+            _conv(f"{name}.branch3x3dbl_3", 96, 96, 3, 1, 35),
+            _conv(f"{name}.branch_pool", in_c, pool_c, 1, 1, 35),
+        ])
+        in_c = 64 + 64 + 96 + pool_c
+    # Reduction to 17x17.
+    layers.extend([
+        _conv("mixed6a.branch3x3", 288, 384, 3, 2, 35),
+        _conv("mixed6a.branch3x3dbl_1", 288, 64, 1, 1, 35),
+        _conv("mixed6a.branch3x3dbl_2", 64, 96, 3, 1, 35),
+        _conv("mixed6a.branch3x3dbl_3", 96, 96, 3, 2, 35),
+    ])
+    # Four InceptionB (factorized 7x7) blocks at 17x17.
+    for i, mid in enumerate((128, 160, 160, 192)):
+        name = f"mixed6{chr(ord('b') + i)}"
+        layers.extend([
+            _conv(f"{name}.branch1x1", 768, 192, 1, 1, 17),
+            _conv(f"{name}.branch7x7_1", 768, mid, 1, 1, 17),
+            _rect_conv(f"{name}.branch7x7_2", mid, mid, 1, 7, 17),
+            _rect_conv(f"{name}.branch7x7_3", mid, 192, 7, 1, 17),
+            _conv(f"{name}.branch7x7dbl_1", 768, mid, 1, 1, 17),
+            _rect_conv(f"{name}.branch7x7dbl_2", mid, mid, 7, 1, 17),
+            _rect_conv(f"{name}.branch7x7dbl_3", mid, mid, 1, 7, 17),
+            _rect_conv(f"{name}.branch7x7dbl_4", mid, mid, 7, 1, 17),
+            _rect_conv(f"{name}.branch7x7dbl_5", mid, 192, 1, 7, 17),
+            _conv(f"{name}.branch_pool", 768, 192, 1, 1, 17),
+        ])
+    # Reduction to 8x8.
+    layers.extend([
+        _conv("mixed7a.branch3x3_1", 768, 192, 1, 1, 17),
+        _conv("mixed7a.branch3x3_2", 192, 320, 3, 2, 17),
+        _conv("mixed7a.branch7x7x3_1", 768, 192, 1, 1, 17),
+        _rect_conv("mixed7a.branch7x7x3_2", 192, 192, 1, 7, 17),
+        _rect_conv("mixed7a.branch7x7x3_3", 192, 192, 7, 1, 17),
+        _conv("mixed7a.branch7x7x3_4", 192, 192, 3, 2, 17),
+    ])
+    # Two InceptionC blocks at 8x8.
+    in_c = 1280
+    for i in range(2):
+        name = f"mixed7{chr(ord('b') + i)}"
+        layers.extend([
+            _conv(f"{name}.branch1x1", in_c, 320, 1, 1, 8),
+            _conv(f"{name}.branch3x3_1", in_c, 384, 1, 1, 8),
+            _rect_conv(f"{name}.branch3x3_2a", 384, 384, 1, 3, 8),
+            _rect_conv(f"{name}.branch3x3_2b", 384, 384, 3, 1, 8),
+            _conv(f"{name}.branch3x3dbl_1", in_c, 448, 1, 1, 8),
+            _conv(f"{name}.branch3x3dbl_2", 448, 384, 3, 1, 8),
+            _rect_conv(f"{name}.branch3x3dbl_3a", 384, 384, 1, 3, 8),
+            _rect_conv(f"{name}.branch3x3dbl_3b", 384, 384, 3, 1, 8),
+            _conv(f"{name}.branch_pool", in_c, 192, 1, 1, 8),
+        ])
+        in_c = 2048
+    layers.append(_linear("fc", 2048, 1000))
+    return ModelShapes("inceptionv3", tuple(layers))
+
+
+_MOBILENETV2_CFG = [
+    # expansion, out_channels, repeats, stride
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _mobilenetv2_shapes() -> ModelShapes:
+    layers = [_conv("conv_stem", 3, 32, 3, 2, 224)]
+    in_c, size = 32, 112
+    for stage, (t, out_c, n, s) in enumerate(_MOBILENETV2_CFG):
+        for block in range(n):
+            stride = s if block == 0 else 1
+            prefix = f"block{stage}.{block}"
+            hidden = in_c * t
+            if t != 1:
+                layers.append(_conv(f"{prefix}.expand", in_c, hidden, 1, 1, size))
+            layers.append(_conv(f"{prefix}.dw", hidden, hidden, 3, stride, size,
+                                groups=hidden))
+            size = max(size // stride, 1)
+            layers.append(_conv(f"{prefix}.project", hidden, out_c, 1, 1, size))
+            in_c = out_c
+    layers.append(_conv("conv_head", 320, 1280, 1, 1, 7))
+    layers.append(_linear("fc", 1280, 1000))
+    return ModelShapes("mobilenetv2", tuple(layers), compact=True)
+
+
+_SHUFFLENETV2_CFG = [
+    # out_channels, repeats
+    (116, 4),
+    (232, 8),
+    (464, 4),
+]
+
+
+def _shufflenetv2_shapes() -> ModelShapes:
+    layers = [_conv("conv1", 3, 24, 3, 2, 224)]
+    in_c, size = 24, 56  # after maxpool
+    for stage, (out_c, repeats) in enumerate(_SHUFFLENETV2_CFG, start=2):
+        for block in range(repeats):
+            prefix = f"stage{stage}.{block}"
+            half = out_c // 2
+            if block == 0:
+                # Downsampling unit: both branches are processed.
+                layers.extend([
+                    _conv(f"{prefix}.branch1_dw", in_c, in_c, 3, 2, size, groups=in_c),
+                    _conv(f"{prefix}.branch1_pw", in_c, half, 1, 1, size // 2),
+                    _conv(f"{prefix}.branch2_pw1", in_c, half, 1, 1, size),
+                    _conv(f"{prefix}.branch2_dw", half, half, 3, 2, size, groups=half),
+                    _conv(f"{prefix}.branch2_pw2", half, half, 1, 1, size // 2),
+                ])
+                size = size // 2
+            else:
+                layers.extend([
+                    _conv(f"{prefix}.branch2_pw1", half, half, 1, 1, size),
+                    _conv(f"{prefix}.branch2_dw", half, half, 3, 1, size, groups=half),
+                    _conv(f"{prefix}.branch2_pw2", half, half, 1, 1, size),
+                ])
+            in_c = out_c
+    layers.append(_conv("conv5", 464, 1024, 1, 1, 7))
+    layers.append(_linear("fc", 1024, 1000))
+    return ModelShapes("shufflenetv2", tuple(layers), compact=True)
+
+
+def _bert_large_ffn_shapes(seq_len: int = 384, n_layers: int = 24) -> ModelShapes:
+    layers = []
+    for i in range(n_layers):
+        layers.append(
+            _linear(f"encoder{i}.ffn_in", 1024, 4096, positions=seq_len, signed=True)
+        )
+        layers.append(
+            _linear(f"encoder{i}.ffn_out", 4096, 1024, positions=seq_len, signed=True)
+        )
+    return ModelShapes("bert_large_ffn", tuple(layers), signed_input=True)
+
+
+_SHAPE_BUILDERS: dict[str, Callable[[], ModelShapes]] = {
+    "googlenet": _googlenet_shapes,
+    "inceptionv3": _inceptionv3_shapes,
+    "resnet18": _resnet18_shapes,
+    "resnet50": _resnet50_shapes,
+    "shufflenetv2": _shufflenetv2_shapes,
+    "mobilenetv2": _mobilenetv2_shapes,
+    "bert_large_ffn": _bert_large_ffn_shapes,
+}
+
+#: The seven evaluation DNNs, in the paper's Fig. 12 order.
+MODEL_NAMES = tuple(_SHAPE_BUILDERS)
+
+#: The six CNNs (everything except the Transformer).
+CNN_MODEL_NAMES = tuple(name for name in MODEL_NAMES if name != "bert_large_ffn")
+
+
+def model_shapes(name: str) -> ModelShapes:
+    """Return the full-scale layer-shape table for one of the seven DNNs."""
+    try:
+        return _SHAPE_BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(MODEL_NAMES)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Runnable scaled-down models
+# ---------------------------------------------------------------------------
+
+
+def _runnable_conv_stack(
+    name: str,
+    stack: list[tuple[int, int, int, int]],
+    classes: int,
+    head_width: int,
+    rng: np.random.Generator,
+    image_size: int = 32,
+    weight_std: float = 0.18,
+    mean_spread: float = 0.05,
+) -> QuantizedModel:
+    """Build a sequential conv stack: each entry is (out_c, kernel, stride, pool)."""
+    layers: list = []
+    in_c = 3
+    size = image_size
+    for i, (out_c, kernel, stride, pool) in enumerate(stack):
+        weights = synthetic_conv_weights(
+            out_c, in_c, kernel, rng, std=weight_std, mean_spread=mean_spread
+        )
+        layers.append(
+            Conv2d(f"{name}_conv{i}", weights, stride=stride,
+                   padding=kernel // 2, fuse_relu=True)
+        )
+        size = (size + stride - 1) // stride
+        if pool > 1:
+            layers.append(MaxPool2d(pool, name=f"{name}_pool{i}"))
+            size //= pool
+        in_c = out_c
+    layers.append(GlobalAvgPool(name=f"{name}_gap"))
+    head = synthetic_linear_weights(head_width, in_c, rng, std=weight_std)
+    layers.append(Linear(f"{name}_fc_hidden", head, fuse_relu=True))
+    classifier = synthetic_linear_weights(classes, head_width, rng, std=weight_std)
+    layers.append(Linear(f"{name}_fc", classifier, fuse_relu=False))
+    model = QuantizedModel(name, layers, input_shape=(3, image_size, image_size))
+    calibration = synthetic_images(4, (3, image_size, image_size), rng)
+    model.calibrate(calibration)
+    return model
+
+
+def resnet18_like(seed: int = 0, image_size: int = 32) -> QuantizedModel:
+    """Small ResNet18-flavoured conv stack (large 3x3 filters, wide channels)."""
+    rng = np.random.default_rng(seed)
+    stack = [
+        (32, 3, 1, 1), (32, 3, 1, 2),
+        (48, 3, 1, 1), (48, 3, 1, 2),
+        (64, 3, 1, 1), (96, 3, 1, 2),
+    ]
+    return _runnable_conv_stack("resnet18_like", stack, 16, 96, rng, image_size)
+
+
+def resnet50_like(seed: int = 0, image_size: int = 32) -> QuantizedModel:
+    """Small ResNet50-flavoured stack (1x1 bottlenecks around 3x3 convs)."""
+    rng = np.random.default_rng(seed)
+    stack = [
+        (32, 3, 1, 1), (24, 1, 1, 1), (48, 3, 1, 2),
+        (32, 1, 1, 1), (64, 3, 1, 2), (96, 1, 1, 1), (96, 3, 1, 2),
+    ]
+    return _runnable_conv_stack("resnet50_like", stack, 16, 128, rng, image_size)
+
+
+def googlenet_like(seed: int = 0, image_size: int = 32) -> QuantizedModel:
+    """Small GoogLeNet-flavoured stack mixing 1x1, 3x3 and 5x5 kernels."""
+    rng = np.random.default_rng(seed)
+    stack = [
+        (24, 5, 1, 2), (32, 1, 1, 1), (48, 3, 1, 2),
+        (32, 1, 1, 1), (64, 3, 1, 2),
+    ]
+    return _runnable_conv_stack("googlenet_like", stack, 16, 96, rng, image_size)
+
+
+def inceptionv3_like(seed: int = 0, image_size: int = 32) -> QuantizedModel:
+    """Small InceptionV3-flavoured stack with skewed per-filter weight means."""
+    rng = np.random.default_rng(seed)
+    stack = [
+        (24, 3, 2, 1), (32, 3, 1, 1), (48, 3, 1, 2),
+        (64, 5, 1, 1), (80, 3, 1, 2),
+    ]
+    return _runnable_conv_stack(
+        "inceptionv3_like", stack, 16, 96, rng, image_size, mean_spread=0.09
+    )
+
+
+def mobilenetv2_like(seed: int = 0, image_size: int = 32) -> QuantizedModel:
+    """Small MobileNetV2-flavoured stack dominated by 1x1 convs (small filters)."""
+    rng = np.random.default_rng(seed)
+    stack = [
+        (16, 3, 2, 1), (32, 1, 1, 1), (32, 3, 1, 2),
+        (48, 1, 1, 1), (48, 1, 1, 2), (64, 1, 1, 1),
+    ]
+    return _runnable_conv_stack("mobilenetv2_like", stack, 16, 64, rng, image_size)
+
+
+def shufflenetv2_like(seed: int = 0, image_size: int = 32) -> QuantizedModel:
+    """Small ShuffleNetV2-flavoured stack with narrow 1x1-heavy layers."""
+    rng = np.random.default_rng(seed)
+    stack = [
+        (12, 3, 2, 1), (24, 1, 1, 1), (24, 3, 1, 2),
+        (32, 1, 1, 1), (48, 1, 1, 2),
+    ]
+    return _runnable_conv_stack("shufflenetv2_like", stack, 16, 64, rng, image_size)
+
+
+def bert_large_ffn_like(
+    seed: int = 0, hidden: int = 96, intermediate: int = 256, n_blocks: int = 2
+) -> QuantizedModel:
+    """Small Transformer feed-forward stack with signed inputs.
+
+    Mirrors BERT-Large's FFN structure (expand then project, GELU-like signed
+    activations) at a reduced width so it is runnable in NumPy.
+    """
+    rng = np.random.default_rng(seed)
+    layers: list = []
+    for block in range(n_blocks):
+        expand = synthetic_linear_weights(intermediate, hidden, rng, std=0.12)
+        layers.append(
+            Linear(f"bert_ffn{block}_in", expand, fuse_relu=True,
+                   signed_input=True)
+        )
+        project = synthetic_linear_weights(hidden, intermediate, rng, std=0.12)
+        layers.append(
+            Linear(f"bert_ffn{block}_out", project, fuse_relu=False,
+                   signed_input=False)
+        )
+    model = QuantizedModel(
+        "bert_large_ffn_like", layers, input_shape=(hidden,), signed_input=True
+    )
+    calibration = synthetic_signed_activations((32, hidden), rng)
+    model.calibrate(calibration)
+    return model
+
+
+_RUNNABLE_BUILDERS: dict[str, Callable[..., QuantizedModel]] = {
+    "googlenet": googlenet_like,
+    "inceptionv3": inceptionv3_like,
+    "resnet18": resnet18_like,
+    "resnet50": resnet50_like,
+    "shufflenetv2": shufflenetv2_like,
+    "mobilenetv2": mobilenetv2_like,
+    "bert_large_ffn": bert_large_ffn_like,
+}
+
+
+def build_runnable(name: str, seed: int = 0) -> QuantizedModel:
+    """Build the runnable scaled-down counterpart of one of the seven DNNs."""
+    try:
+        builder = _RUNNABLE_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(MODEL_NAMES)}"
+        ) from None
+    return builder(seed=seed)

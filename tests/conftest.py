@@ -1,0 +1,67 @@
+"""Shared fixtures for the RAELLA reproduction test suite.
+
+Fixtures are deliberately tiny (a few dozen rows / filters) so the whole suite
+runs quickly while still exercising every code path of the functional
+simulator and cost models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2d, GlobalAvgPool, Linear
+from repro.nn.model import QuantizedModel
+from repro.nn.synthetic import synthetic_conv_weights, synthetic_linear_weights
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_linear_layer(rng) -> Linear:
+    """A calibrated linear layer with 24 inputs and 6 outputs."""
+    weights = synthetic_linear_weights(6, 24, rng, std=0.2, mean_spread=0.05)
+    layer = Linear("tiny_fc", weights, bias=rng.normal(0, 0.1, size=6), fuse_relu=True)
+    inputs = np.abs(rng.normal(0.0, 1.0, size=(32, 24)))
+    outputs = layer.forward_float(inputs)
+    layer.calibrate(inputs, outputs)
+    return layer
+
+
+@pytest.fixture
+def tiny_patches(rng, tiny_linear_layer) -> np.ndarray:
+    """Input code patches for the tiny linear layer."""
+    inputs = np.abs(rng.normal(0.0, 1.0, size=(48, 24)))
+    return tiny_linear_layer.input_quant.quantize(inputs)
+
+
+@pytest.fixture
+def tiny_conv_model(rng) -> QuantizedModel:
+    """A two-conv calibrated model on 8x8 RGB inputs."""
+    conv1 = Conv2d(
+        "c1", synthetic_conv_weights(4, 3, 3, rng, std=0.3), stride=1, padding=1
+    )
+    conv2 = Conv2d(
+        "c2", synthetic_conv_weights(6, 4, 3, rng, std=0.3), stride=2, padding=1
+    )
+    head = Linear("fc", synthetic_linear_weights(5, 6, rng, std=0.3))
+    model = QuantizedModel(
+        "tiny_conv", [conv1, conv2, GlobalAvgPool(), head], input_shape=(3, 8, 8)
+    )
+    calibration = np.abs(rng.normal(0.0, 1.0, size=(4, 3, 8, 8)))
+    model.calibrate(calibration)
+    return model
+
+
+@pytest.fixture
+def tiny_mlp_model(rng) -> QuantizedModel:
+    """A two-layer calibrated MLP on 16 features."""
+    fc1 = Linear("fc1", synthetic_linear_weights(12, 16, rng, std=0.25), fuse_relu=True)
+    fc2 = Linear("fc2", synthetic_linear_weights(4, 12, rng, std=0.25))
+    model = QuantizedModel("tiny_mlp", [fc1, fc2], input_shape=(16,))
+    model.calibrate(np.abs(rng.normal(0.0, 1.0, size=(32, 16))))
+    return model

@@ -1,0 +1,135 @@
+"""Tests for ADC and DAC models."""
+
+import numpy as np
+import pytest
+
+from repro.analog.adc import SaturatingADC, TruncatingADC
+from repro.analog.dac import PulseTrainDAC
+
+
+class TestSaturatingADC:
+    def test_range_of_7bit_adc(self):
+        adc = SaturatingADC(bits=7)
+        assert adc.min_value == -64
+        assert adc.max_value == 63
+
+    def test_in_range_values_pass_exactly(self):
+        adc = SaturatingADC(bits=7)
+        values = np.arange(-64, 64)
+        result = adc.convert(values)
+        assert np.array_equal(result.values, values)
+
+    def test_saturation_clamps_to_bounds(self):
+        adc = SaturatingADC(bits=7)
+        result = adc.convert(np.array([1000, -1000]))
+        assert list(result.values) == [63, -64]
+        assert result.saturated.all()
+
+    def test_saturation_rate(self):
+        adc = SaturatingADC(bits=7)
+        result = adc.convert(np.array([0, 10, 100, -100]))
+        assert result.saturation_rate == 0.5
+
+    def test_noisy_values_are_rounded(self):
+        adc = SaturatingADC(bits=7)
+        assert adc.convert(np.array([10.4])).values[0] == 10
+        assert adc.convert(np.array([10.6])).values[0] == 11
+
+    def test_mask_restricts_conversions(self):
+        adc = SaturatingADC(bits=7)
+        result = adc.convert(np.array([5, 100]), mask=np.array([False, True]))
+        assert result.values[0] == 0
+        assert result.values[1] == 63
+        assert result.n_converts == 1
+
+    def test_mask_shape_mismatch_raises(self):
+        adc = SaturatingADC(bits=7)
+        with pytest.raises(ValueError):
+            adc.convert(np.zeros(3), mask=np.zeros(2, dtype=bool))
+
+    def test_detects_saturation_at_bounds(self):
+        adc = SaturatingADC(bits=7)
+        detected = adc.detects_saturation(np.array([63, -64, 0]))
+        assert list(detected) == [True, True, False]
+
+    def test_boundary_values_count_as_possible_saturation(self):
+        # An exact 63 is indistinguishable from a clipped 100, so RAELLA
+        # conservatively treats it as a failed speculation.
+        adc = SaturatingADC(bits=7)
+        result = adc.convert(np.array([63]))
+        assert result.saturated[0]
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            SaturatingADC(bits=0)
+
+
+class TestTruncatingADC:
+    def test_exact_when_sum_fits(self):
+        adc = TruncatingADC(bits=8)
+        result = adc.convert(np.array([200]), sum_bits=8)
+        assert result.values[0] == 200
+
+    def test_drops_lsbs_when_sum_is_wider(self):
+        adc = TruncatingADC(bits=8)
+        result = adc.convert(np.array([0b1111111111]), sum_bits=10)
+        assert result.values[0] == 0b1111111100
+
+    def test_lsbs_dropped_count(self):
+        adc = TruncatingADC(bits=8)
+        assert adc.lsbs_dropped(24) == 16
+        assert adc.lsbs_dropped(8) == 0
+
+    def test_never_reports_saturation(self):
+        adc = TruncatingADC(bits=8)
+        assert not adc.convert(np.array([10**6]), sum_bits=20).saturated.any()
+
+    def test_rejects_bad_sum_bits(self):
+        with pytest.raises(ValueError):
+            TruncatingADC(bits=8).convert(np.array([1]), sum_bits=0)
+
+    def test_truncation_error_bounded(self):
+        adc = TruncatingADC(bits=8)
+        values = np.arange(0, 1 << 12, 7)
+        result = adc.convert(values, sum_bits=12)
+        assert np.all(np.abs(values - result.values) < (1 << 4))
+
+
+class TestPulseTrainDAC:
+    def test_max_value(self):
+        assert PulseTrainDAC(bits=4).max_value == 15
+
+    def test_pulses_equal_value(self):
+        dac = PulseTrainDAC(bits=4)
+        assert np.array_equal(dac.pulses(np.array([0, 7, 15])), [0, 7, 15])
+
+    def test_rejects_out_of_range_pulses(self):
+        with pytest.raises(ValueError):
+            PulseTrainDAC(bits=4).pulses(np.array([16]))
+
+    def test_validate_slice_checks_width(self):
+        dac = PulseTrainDAC(bits=4)
+        with pytest.raises(ValueError):
+            dac.validate_slice(np.array([1]), slice_bits=5)
+        with pytest.raises(ValueError):
+            dac.validate_slice(np.array([4]), slice_bits=2)
+
+    def test_narrow_slices_use_low_levels(self):
+        dac = PulseTrainDAC(bits=4)
+        values = dac.validate_slice(np.array([0, 1, 2, 3]), slice_bits=2)
+        assert values.max() == 3
+
+    def test_stream_time_scales_with_levels(self):
+        dac = PulseTrainDAC(bits=4, pulse_width_ns=1.0)
+        assert dac.stream_time_ns(4) == 30.0
+        assert dac.stream_time_ns(1) == 2.0
+
+    def test_energy_proportional_to_pulses(self):
+        dac = PulseTrainDAC(bits=4, energy_per_pulse_fj=2.0)
+        assert dac.energy_fj(np.array([3, 5])) == pytest.approx(16.0)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            PulseTrainDAC(bits=0)
+        with pytest.raises(ValueError):
+            PulseTrainDAC(pulse_width_ns=0)

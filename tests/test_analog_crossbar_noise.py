@@ -1,0 +1,160 @@
+"""Tests for the crossbar model, devices and noise models."""
+
+import numpy as np
+import pytest
+
+from repro.analog.crossbar import Crossbar, CrossbarConfig
+from repro.analog.devices import DEFAULT_RERAM, CellType, ReRAMDevice
+from repro.analog.noise import GaussianColumnNoise, NoiselessModel
+
+
+class TestReRAMDevice:
+    def test_default_levels(self):
+        assert DEFAULT_RERAM.levels == 16
+        assert DEFAULT_RERAM.max_slice_value == 15
+
+    def test_conductance_monotonic_in_level(self):
+        conductances = [DEFAULT_RERAM.conductance_for_level(v) for v in range(16)]
+        assert all(b > a for a, b in zip(conductances, conductances[1:]))
+
+    def test_conductance_bounds(self):
+        assert DEFAULT_RERAM.conductance_for_level(0) == pytest.approx(DEFAULT_RERAM.g_off_s)
+        assert DEFAULT_RERAM.conductance_for_level(15) == pytest.approx(DEFAULT_RERAM.g_on_s)
+
+    def test_rejects_out_of_range_level(self):
+        with pytest.raises(ValueError):
+            DEFAULT_RERAM.conductance_for_level(16)
+
+    def test_supports_slice_bits(self):
+        assert DEFAULT_RERAM.supports_slice_bits(4)
+        assert not DEFAULT_RERAM.supports_slice_bits(5)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ReRAMDevice(bits_per_device=6)
+        with pytest.raises(ValueError):
+            ReRAMDevice(r_on_ohm=10, r_off_ohm=5)
+
+    def test_cell_type_properties(self):
+        assert CellType.TWO_T_TWO_R.devices_per_cell == 2
+        assert CellType.TWO_T_TWO_R.signed
+        assert CellType.ONE_T_ONE_R.devices_per_cell == 1
+        assert not CellType.ONE_T_ONE_R.signed
+
+
+class TestNoiseModels:
+    def test_noiseless_returns_difference(self):
+        model = NoiselessModel()
+        assert np.array_equal(model.apply(np.array([5.0]), np.array([2.0])), [3.0])
+
+    def test_zero_level_gaussian_is_ideal(self):
+        model = GaussianColumnNoise(level=0.0, seed=0)
+        assert np.array_equal(model.apply(np.array([5.0]), np.array([2.0])), [3.0])
+
+    def test_noise_std_scales_with_activity(self):
+        model = GaussianColumnNoise(level=0.1, seed=0)
+        big = model.apply(np.full(20_000, 10_000.0), np.zeros(20_000)) - 10_000.0
+        small = model.apply(np.full(20_000, 100.0), np.zeros(20_000)) - 100.0
+        assert np.std(big) > 5 * np.std(small)
+
+    def test_noise_is_unbiased(self):
+        model = GaussianColumnNoise(level=0.1, seed=1)
+        samples = model.apply(np.full(50_000, 400.0), np.zeros(50_000))
+        assert abs(samples.mean() - 400.0) < 0.5
+
+    def test_reproducible_with_seed(self):
+        a = GaussianColumnNoise(level=0.1, seed=7).apply(np.full(10, 100.0), np.zeros(10))
+        b = GaussianColumnNoise(level=0.1, seed=7).apply(np.full(10, 100.0), np.zeros(10))
+        assert np.array_equal(a, b)
+
+    def test_reseed_changes_draws(self):
+        model = GaussianColumnNoise(level=0.1, seed=7)
+        a = model.apply(np.full(10, 100.0), np.zeros(10))
+        model.reseed(8)
+        b = model.apply(np.full(10, 100.0), np.zeros(10))
+        assert not np.array_equal(a, b)
+
+    def test_rejects_negative_level(self):
+        with pytest.raises(ValueError):
+            GaussianColumnNoise(level=-0.1)
+
+
+class TestCrossbar:
+    def _programmed(self, rows=8, cols=4, signed=True):
+        config = CrossbarConfig(
+            rows=16, cols=8,
+            cell_type=CellType.TWO_T_TWO_R if signed else CellType.ONE_T_ONE_R,
+        )
+        crossbar = Crossbar(config=config)
+        rng = np.random.default_rng(0)
+        positive = rng.integers(0, 16, size=(rows, cols))
+        negative = rng.integers(0, 16, size=(rows, cols)) if signed else None
+        crossbar.program(positive, negative)
+        return crossbar, positive, (negative if signed else np.zeros_like(positive))
+
+    def test_config_device_counts(self):
+        config = CrossbarConfig(rows=4, cols=4, cell_type=CellType.TWO_T_TWO_R)
+        assert config.n_cells == 16
+        assert config.n_devices == 32
+
+    def test_compute_matches_integer_dot_product(self):
+        crossbar, positive, negative = self._programmed()
+        inputs = np.random.default_rng(1).integers(0, 16, size=(3, 8))
+        result = crossbar.compute(inputs)
+        assert np.array_equal(result.column_sums, inputs @ (positive - negative))
+
+    def test_activity_tracks_positive_and_negative(self):
+        crossbar, positive, negative = self._programmed()
+        inputs = np.ones((1, 8), dtype=int)
+        result = crossbar.compute(inputs)
+        assert result.total_activity == pytest.approx(positive.sum() + negative.sum())
+
+    def test_input_pulses_counted(self):
+        crossbar, _, _ = self._programmed()
+        inputs = np.full((2, 8), 3, dtype=int)
+        assert crossbar.compute(inputs).input_pulses == 48
+
+    def test_unprogrammed_crossbar_raises(self):
+        with pytest.raises(RuntimeError):
+            Crossbar().compute(np.zeros((1, 4), dtype=int))
+
+    def test_program_rejects_oversized_matrix(self):
+        crossbar = Crossbar(CrossbarConfig(rows=4, cols=4))
+        with pytest.raises(ValueError):
+            crossbar.program(np.zeros((8, 2), dtype=int))
+
+    def test_program_rejects_out_of_range_values(self):
+        crossbar = Crossbar(CrossbarConfig(rows=4, cols=4))
+        with pytest.raises(ValueError):
+            crossbar.program(np.full((2, 2), 99))
+
+    def test_1t1r_rejects_negative_slices(self):
+        crossbar = Crossbar(CrossbarConfig(rows=4, cols=4, cell_type=CellType.ONE_T_ONE_R))
+        with pytest.raises(ValueError):
+            crossbar.program(np.ones((2, 2), dtype=int), np.ones((2, 2), dtype=int))
+
+    def test_compute_rejects_negative_inputs(self):
+        crossbar, _, _ = self._programmed()
+        with pytest.raises(ValueError):
+            crossbar.compute(np.full((1, 8), -1))
+
+    def test_compute_rejects_wrong_width(self):
+        crossbar, _, _ = self._programmed()
+        with pytest.raises(ValueError):
+            crossbar.compute(np.zeros((1, 5), dtype=int))
+
+    def test_programming_energy_counts_nonzero_devices(self):
+        crossbar = Crossbar(CrossbarConfig(rows=4, cols=4))
+        crossbar.program(np.array([[1, 0], [0, 2]]), np.array([[0, 3], [0, 0]]))
+        expected = 3 * crossbar.config.device.write_energy_pj
+        assert crossbar.programming_energy_pj == pytest.approx(expected)
+
+    def test_noisy_crossbar_perturbs_sums(self):
+        config = CrossbarConfig(rows=32, cols=4)
+        crossbar = Crossbar(config=config, noise=GaussianColumnNoise(0.2, seed=3))
+        rng = np.random.default_rng(2)
+        positive = rng.integers(0, 16, size=(32, 4))
+        crossbar.program(positive, np.zeros_like(positive))
+        inputs = rng.integers(0, 16, size=(8, 32))
+        noisy = crossbar.compute(inputs).column_sums
+        assert not np.array_equal(noisy, inputs @ positive)

@@ -1,0 +1,220 @@
+"""Tests for Adaptive Weight Slicing, the compiler and the accelerator model."""
+
+import numpy as np
+import pytest
+
+from repro.analog.noise import GaussianColumnNoise
+from repro.arithmetic.slicing import Slicing
+from repro.core.accelerator import RaellaAccelerator, statistics_to_energy
+from repro.core.adaptive_slicing import (
+    AdaptiveSlicingConfig,
+    choose_weight_slicing,
+    layer_output_error,
+    quantized_layer_outputs,
+)
+from repro.core.center_offset import WeightEncoding
+from repro.core.compiler import RaellaCompiler, RaellaCompilerConfig
+from repro.core.dynamic_input import SpeculationMode
+from repro.core.executor import PimLayerConfig
+from repro.hw.architecture import RAELLA_ARCH
+
+
+@pytest.fixture
+def fast_adaptive_config() -> AdaptiveSlicingConfig:
+    return AdaptiveSlicingConfig(max_test_patches=48)
+
+
+@pytest.fixture
+def fast_compiler_config(fast_adaptive_config) -> RaellaCompilerConfig:
+    return RaellaCompilerConfig(adaptive=fast_adaptive_config, n_test_inputs=2)
+
+
+class TestAdaptiveSlicingConfig:
+    def test_candidate_count(self, fast_adaptive_config):
+        assert len(fast_adaptive_config.candidate_slicings) == 108
+
+    def test_most_conservative_slicing(self, fast_adaptive_config):
+        assert fast_adaptive_config.most_conservative_slicing == Slicing((1,) * 8)
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            AdaptiveSlicingConfig(error_budget=-1.0)
+
+    def test_rejects_bad_patch_budget(self):
+        with pytest.raises(ValueError):
+            AdaptiveSlicingConfig(max_test_patches=0)
+
+
+class TestErrorMeasurement:
+    def test_quantized_outputs_shape(self, tiny_linear_layer, tiny_patches):
+        out = quantized_layer_outputs(tiny_linear_layer, tiny_patches)
+        assert out.shape == (tiny_patches.shape[0], tiny_linear_layer.out_features)
+
+    def test_exact_execution_has_zero_error(self, tiny_linear_layer, tiny_patches):
+        error = layer_output_error(
+            tiny_linear_layer, tiny_patches, PimLayerConfig(adc_bits=16)
+        )
+        assert error == 0.0
+
+    def test_error_grows_as_adc_narrows(self, tiny_linear_layer, tiny_patches):
+        wide = layer_output_error(tiny_linear_layer, tiny_patches, PimLayerConfig(adc_bits=9))
+        narrow = layer_output_error(tiny_linear_layer, tiny_patches, PimLayerConfig(adc_bits=4))
+        assert narrow >= wide
+
+
+class TestChooseWeightSlicing:
+    def test_picks_fewest_slices_under_budget(self, tiny_linear_layer, tiny_patches,
+                                              fast_adaptive_config):
+        choice = choose_weight_slicing(
+            tiny_linear_layer, tiny_patches, config=fast_adaptive_config
+        )
+        assert choice.within_budget
+        # A 24-row filter never saturates a 7b ADC, so the densest slicing wins.
+        assert choice.slicing == Slicing((4, 4))
+
+    def test_last_layer_is_conservative(self, tiny_linear_layer, tiny_patches,
+                                        fast_adaptive_config):
+        choice = choose_weight_slicing(
+            tiny_linear_layer, tiny_patches, config=fast_adaptive_config,
+            is_last_layer=True,
+        )
+        assert choice.slicing == Slicing((1,) * 8)
+
+    def test_tight_budget_forces_more_slices(self, rng):
+        from repro.nn.layers import Linear
+        from repro.nn.synthetic import synthetic_linear_weights
+
+        weights = synthetic_linear_weights(4, 320, rng, std=0.08, mean_spread=0.02)
+        layer = Linear("wide", weights, fuse_relu=True)
+        inputs = np.abs(rng.normal(0, 1.0, size=(24, 320)))
+        layer.calibrate(inputs, layer.forward_float(inputs))
+        patches = layer.input_quant.quantize(inputs)
+        loose = choose_weight_slicing(
+            layer, patches, AdaptiveSlicingConfig(error_budget=10.0, max_test_patches=24)
+        )
+        tight = choose_weight_slicing(
+            layer, patches, AdaptiveSlicingConfig(error_budget=0.02, max_test_patches=24)
+        )
+        assert tight.slicing.n_slices >= loose.slicing.n_slices
+
+    def test_noise_aware_search_uses_more_slices(self, rng):
+        from repro.nn.layers import Linear
+        from repro.nn.synthetic import synthetic_linear_weights
+
+        weights = synthetic_linear_weights(4, 256, rng, std=0.08)
+        layer = Linear("noisy", weights, fuse_relu=True)
+        inputs = np.abs(rng.normal(0, 1.0, size=(24, 256)))
+        layer.calibrate(inputs, layer.forward_float(inputs))
+        patches = layer.input_quant.quantize(inputs)
+        config = AdaptiveSlicingConfig(max_test_patches=24, error_budget=0.05)
+        clean = choose_weight_slicing(layer, patches, config)
+        noisy = choose_weight_slicing(
+            layer, patches, config, noise=GaussianColumnNoise(0.12, seed=0)
+        )
+        assert noisy.slicing.n_slices >= clean.slicing.n_slices
+
+    def test_exhaustive_and_early_stop_agree(self, tiny_linear_layer, tiny_patches):
+        early = choose_weight_slicing(
+            tiny_linear_layer, tiny_patches,
+            AdaptiveSlicingConfig(max_test_patches=32, group_early_stop=True),
+        )
+        full = choose_weight_slicing(
+            tiny_linear_layer, tiny_patches,
+            AdaptiveSlicingConfig(max_test_patches=32, group_early_stop=False),
+        )
+        assert early.slicing.n_slices == full.slicing.n_slices
+
+
+class TestCompiler:
+    def test_compile_produces_executor_per_layer(self, tiny_mlp_model, fast_compiler_config):
+        program = RaellaCompiler(fast_compiler_config).compile(tiny_mlp_model)
+        assert set(program.layers) == {"fc1", "fc2"}
+
+    def test_last_layer_uses_conservative_slicing(self, tiny_mlp_model, fast_compiler_config):
+        program = RaellaCompiler(fast_compiler_config).compile(tiny_mlp_model)
+        assert program.layers["fc2"].choice.slicing == Slicing((1,) * 8)
+
+    def test_compiled_program_runs_close_to_exact(self, tiny_mlp_model,
+                                                  fast_compiler_config, rng):
+        program = RaellaCompiler(fast_compiler_config).compile(tiny_mlp_model)
+        x = np.abs(rng.normal(0, 1, size=(8, 16)))
+        exact_out = tiny_mlp_model.forward_quantized(x)
+        pim_out = program.run(x)
+        scale = max(np.abs(exact_out).max(), 1e-6)
+        assert np.abs(exact_out - pim_out).mean() / scale < 0.1
+
+    def test_adaptive_disabled_uses_fixed_slicing(self, tiny_mlp_model):
+        config = RaellaCompilerConfig(adaptive_slicing_enabled=False, n_test_inputs=2)
+        program = RaellaCompiler(config).compile(tiny_mlp_model)
+        for compiled in program.layers.values():
+            assert compiled.choice.slicing == config.pim.weight_slicing
+
+    def test_uncalibrated_model_rejected(self, rng):
+        from repro.nn.layers import Linear
+        from repro.nn.model import QuantizedModel
+        from repro.nn.synthetic import synthetic_linear_weights
+
+        model = QuantizedModel(
+            "raw", [Linear("fc", synthetic_linear_weights(2, 4, rng))], input_shape=(4,)
+        )
+        with pytest.raises(ValueError):
+            RaellaCompiler().compile(model)
+
+    def test_statistics_aggregation_and_reset(self, tiny_mlp_model, fast_compiler_config, rng):
+        program = RaellaCompiler(fast_compiler_config).compile(tiny_mlp_model)
+        program.reset_statistics()
+        program.run(np.abs(rng.normal(0, 1, size=(4, 16))))
+        total = program.aggregate_statistics()
+        assert total.macs == 4 * tiny_mlp_model.total_macs()
+        program.reset_statistics()
+        assert program.aggregate_statistics().macs == 0
+
+    def test_slicing_summary_keys(self, tiny_mlp_model, fast_compiler_config):
+        program = RaellaCompiler(fast_compiler_config).compile(tiny_mlp_model)
+        assert set(program.slicing_summary()) == {"fc1", "fc2"}
+
+    def test_pim_matmul_rejects_unknown_layer(self, tiny_mlp_model, fast_compiler_config, rng):
+        from repro.nn.layers import Linear
+        from repro.nn.synthetic import synthetic_linear_weights
+
+        program = RaellaCompiler(fast_compiler_config).compile(tiny_mlp_model)
+        stranger = Linear("stranger", synthetic_linear_weights(2, 4, rng))
+        with pytest.raises(KeyError):
+            program.pim_matmul(np.zeros((1, 4), dtype=int), stranger)
+
+    def test_zero_offset_compiler_config(self, tiny_mlp_model):
+        from repro.baselines.zero_offset import zero_offset_compiler_config
+
+        config = zero_offset_compiler_config()
+        assert config.pim.weight_encoding == WeightEncoding.ZERO_OFFSET
+        assert not config.adaptive_slicing_enabled
+        program = RaellaCompiler(config).compile(tiny_mlp_model)
+        assert program.layers["fc1"].executor.config.weight_encoding == WeightEncoding.ZERO_OFFSET
+
+
+class TestAccelerator:
+    def test_run_produces_report(self, tiny_mlp_model, fast_compiler_config, rng):
+        program = RaellaCompiler(fast_compiler_config).compile(tiny_mlp_model)
+        accelerator = RaellaAccelerator()
+        report = accelerator.run(program, np.abs(rng.normal(0, 1, size=(4, 16))))
+        assert report.energy.total_pj > 0
+        assert report.converts_per_mac > 0
+        assert "fc1" in report.per_layer_statistics
+        assert isinstance(report.summary(), str)
+
+    def test_statistics_to_energy_components(self, tiny_mlp_model,
+                                             fast_compiler_config, rng):
+        program = RaellaCompiler(fast_compiler_config).compile(tiny_mlp_model)
+        program.run(np.abs(rng.normal(0, 1, size=(2, 16))))
+        stats = program.aggregate_statistics()
+        breakdown = statistics_to_energy(stats, RAELLA_ARCH)
+        assert breakdown.components_pj["adc"] > 0
+        assert breakdown.components_pj["crossbar"] > 0
+
+    def test_evaluate_shapes(self):
+        from repro.nn.zoo import model_shapes
+
+        accelerator = RaellaAccelerator()
+        energy, throughput = accelerator.evaluate_shapes(model_shapes("shufflenetv2"))
+        assert energy.total_uj > 0
+        assert throughput.throughput_samples_per_s > 0

@@ -1,0 +1,189 @@
+"""Tests for the analytic (cost-model-driven) experiment harnesses."""
+
+import pytest
+
+from repro.experiments.fig01_breakdown import format_fig01, run_fig01
+from repro.experiments.fig12_efficiency import format_fig12, run_fig12
+from repro.experiments.fig13_retraining import format_fig13, run_fig13
+from repro.experiments.fig14_ablation import (
+    ablation_architectures,
+    format_fig14,
+    run_fig14,
+)
+from repro.experiments.runner import ExperimentResult, format_table, geomean
+from repro.experiments.table1_slicing import format_table1, run_table1
+from repro.experiments.table2_titanium import (
+    format_table2,
+    run_table2,
+    run_titanium_tradeoff_sweep,
+)
+from repro.experiments.table3_prior import format_table3, run_table3
+
+
+class TestRunnerHelpers:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_format_table_alignment(self):
+        text = format_table(("a", "b"), [("x", 1.0), ("yy", 2.5)])
+        assert "a" in text and "yy" in text
+
+    def test_experiment_result_rows(self):
+        result = ExperimentResult(name="t", headers=("a", "b"))
+        result.add_row(1, 2)
+        assert result.column("b") == [2]
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+
+class TestFig01:
+    def test_isaac_is_adc_dominated(self):
+        result = run_fig01("resnet18")
+        assert result.adc_fraction > 0.5
+        assert result.crossbar_energy_per_mac_fj < 150
+
+    def test_format(self):
+        assert "ADC" in format_fig01(run_fig01("shufflenetv2")) or "adc" in format_fig01(
+            run_fig01("shufflenetv2")
+        )
+
+
+class TestTable1:
+    def test_four_options(self):
+        rows = run_table1()
+        assert len(rows) == 4
+
+    def test_tradeoff_matches_paper(self):
+        rows = {(r.sliced_input, r.sliced_weight): r for r in run_table1()}
+        unsliced = rows[(False, False)]
+        fully_sliced = rows[(True, True)]
+        assert unsliced.bits_per_mac == 4 and unsliced.converts_per_mac == 1
+        assert fully_sliced.bits_per_mac == 1 and fully_sliced.converts_per_mac == 4
+
+    def test_format(self):
+        assert "converts/MAC" in format_table1(run_table1())
+
+
+class TestTable2:
+    def test_terms_for_all_architectures(self):
+        result = run_table2("shufflenetv2")
+        assert len(result.terms) == 4
+        assert "Titanium" in format_table2(result)
+
+    def test_raella_has_lowest_adc_energy(self):
+        result = run_table2("shufflenetv2")
+        by_name = {t.arch_name: t for t in result.terms}
+        assert by_name["raella"].adc_energy_uj < by_name["isaac"].adc_energy_uj
+
+    def test_tradeoff_sweep_shows_coupling(self):
+        sweep = run_titanium_tradeoff_sweep("shufflenetv2", adc_bits=(6, 7, 8))
+        # Lower resolution -> cheaper converts but more converts per MAC.
+        assert sweep[0].energy_per_convert_pj < sweep[-1].energy_per_convert_pj
+        assert sweep[0].converts_per_mac > sweep[-1].converts_per_mac
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig12(model_names=("resnet18", "shufflenetv2", "bert_large_ffn"))
+
+    def test_efficiency_gains_in_paper_ballpark(self, result):
+        for row in result.rows:
+            assert 1.5 < row.efficiency_gain < 8.0
+
+    def test_throughput_extremes_match_paper_shape(self, result):
+        by_name = {r.model_name: r for r in result.rows}
+        assert by_name["shufflenetv2"].throughput_gain < 1.0
+        assert by_name["bert_large_ffn"].throughput_gain > 2.0
+
+    def test_geomeans_positive(self, result):
+        assert result.geomean_efficiency_gain > 1.0
+        assert result.geomean_throughput_gain > 0.5
+
+    def test_format(self, result):
+        assert "geomean" in format_fig12(result)
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig13()
+
+    def test_raella_beats_isaac_and_forms_efficiency(self, result):
+        entries = {e.arch_name: e for e in result.entries}
+        assert result.relative_efficiency(entries["raella"]) > 2.0
+        assert result.relative_efficiency(entries["raella"]) > result.relative_efficiency(
+            entries["forms8"]
+        )
+
+    def test_no_spec_wins_at_65nm(self, result):
+        entries = {e.arch_name: e for e in result.entries}
+        assert result.relative_efficiency(
+            entries["raella_65nm_no_spec"]
+        ) >= result.relative_efficiency(entries["raella_65nm"])
+
+    def test_raella_65nm_competitive_with_timely(self, result):
+        entries = {e.arch_name: e for e in result.entries}
+        best_raella = max(
+            result.relative_efficiency(entries["raella_65nm"]),
+            result.relative_efficiency(entries["raella_65nm_no_spec"]),
+        )
+        assert best_raella >= result.relative_efficiency(entries["timely"]) * 0.95
+
+    def test_format(self, result):
+        assert "retrains" in format_fig13(result)
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig14(model_names=("resnet18", "resnet50"))
+
+    def test_four_setups(self, result):
+        assert len(result.setup_names) == 4
+        assert result.setup_names[0] == "isaac"
+
+    def test_each_strategy_reduces_converts_per_mac(self, result):
+        means = [result.mean_converts_per_mac(s) for s in result.setup_names]
+        assert means == sorted(means, reverse=True)
+
+    def test_total_energy_decreases_vs_isaac(self, result):
+        for model in result.model_names:
+            for setup in result.setup_names[1:]:
+                assert result.energy_reduction_vs_isaac(setup, model) > 1.5
+
+    def test_ablation_architecture_names(self):
+        names = [arch.name for arch in ablation_architectures()]
+        assert names[0] == "isaac" and names[-1] == "raella"
+
+    def test_format(self, result):
+        assert "converts/MAC" in format_fig14(result)
+
+
+class TestTable3:
+    def test_raella_row_is_clean(self):
+        rows = {r.name: r for r in run_table3()}
+        raella = rows["raella"]
+        assert not raella.high_cost_adc
+        assert not raella.needs_retraining
+        assert raella.fidelity_loss == "low"
+
+    def test_isaac_pays_adc_cost_but_needs_no_retraining(self):
+        rows = {r.name: r for r in run_table3()}
+        assert rows["isaac"].high_cost_adc and not rows["isaac"].needs_retraining
+
+    def test_retraining_architectures_marked(self):
+        rows = {r.name: r for r in run_table3()}
+        assert rows["forms8"].needs_retraining
+        assert rows["timely"].needs_retraining
+
+    def test_format_lists_all_rows(self):
+        text = format_table3(run_table3())
+        for name in ("isaac", "raella", "timely", "prime"):
+            assert name in text

@@ -1,0 +1,94 @@
+"""Tests for the area model and analog non-ideality analysis."""
+
+import pytest
+
+from repro.analog.devices import CellType
+from repro.analog.nonidealities import analyze_column_current, sneak_current_bound
+from repro.hw.architecture import ISAAC_ARCH, RAELLA_ARCH
+from repro.hw.area import AreaModel
+
+
+class TestAreaModel:
+    def test_tile_area_positive_components(self):
+        breakdown = AreaModel(RAELLA_ARCH).tile_area()
+        assert breakdown.total_mm2 > 0
+        assert breakdown.adcs_mm2 > 0
+        assert breakdown.crossbars_mm2 > 0
+        assert 0 < breakdown.fraction("adcs_mm2") < 1
+
+    def test_raella_tiles_are_larger_than_isaac_tiles(self):
+        raella_tile = AreaModel(RAELLA_ARCH).tile_area().total_mm2
+        isaac_tile = AreaModel(ISAAC_ARCH).tile_area().total_mm2
+        assert raella_tile > isaac_tile
+
+    def test_fewer_raella_tiles_fit_the_budget(self):
+        raella_tiles = AreaModel(RAELLA_ARCH).tiles_for_budget(600.0)
+        isaac_tiles = AreaModel(ISAAC_ARCH).tiles_for_budget(600.0)
+        # Paper: 743 RAELLA tiles vs 1024 ISAAC tiles under 600 mm^2.
+        assert raella_tiles < isaac_tiles
+
+    def test_chip_area_scales_with_tiles(self):
+        model = AreaModel(RAELLA_ARCH)
+        assert model.chip_area_mm2(10) == pytest.approx(10 * model.tile_area().total_mm2)
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            AreaModel(RAELLA_ARCH).tiles_for_budget(0.0)
+
+    def test_2t2r_overhead_is_modest(self):
+        overhead = AreaModel(RAELLA_ARCH).cell_area_overhead_vs_1t1r()
+        # Paper: the 2T2R cells increase system area by only ~10%.
+        assert 0.0 < overhead < 0.5
+
+    def test_1t1r_architecture_has_no_overhead(self):
+        assert AreaModel(ISAAC_ARCH).cell_area_overhead_vs_1t1r() == 0.0
+
+    def test_adc_area_smaller_for_raella_7b(self):
+        raella = AreaModel(RAELLA_ARCH).tile_area()
+        per_adc_raella = raella.adcs_mm2 / (
+            RAELLA_ARCH.crossbars_per_tile * RAELLA_ARCH.adcs_per_crossbar
+        )
+        isaac = AreaModel(ISAAC_ARCH).tile_area()
+        per_adc_isaac = isaac.adcs_mm2 / (
+            ISAAC_ARCH.crossbars_per_tile * ISAAC_ARCH.adcs_per_crossbar
+        )
+        assert per_adc_raella < per_adc_isaac
+
+
+class TestColumnCurrent:
+    def test_raella_column_current_bounded_by_adc_saturation(self):
+        # RAELLA's ADC saturates at 64, i.e. fewer than five fully-on devices.
+        analysis = analyze_column_current("raella", rows=512, max_column_sum=64)
+        assert analysis.max_devices_conducting == pytest.approx(64 / 15)
+        assert analysis.max_devices_conducting < 5
+
+    def test_isaac_like_column_carries_far_more_current(self):
+        raella = analyze_column_current("raella", rows=512, max_column_sum=64)
+        isaac = analyze_column_current("isaac", rows=128, max_column_sum=128 * 3)
+        assert isaac.worst_case_current_ma > raella.worst_case_current_ma
+
+    def test_relative_ir_drop_is_fraction_of_read_voltage(self):
+        analysis = analyze_column_current("raella", rows=512, max_column_sum=64)
+        assert 0 <= analysis.relative_ir_drop < 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analyze_column_current("x", rows=0, max_column_sum=64)
+        with pytest.raises(ValueError):
+            analyze_column_current("x", rows=8, max_column_sum=-1)
+
+
+class TestSneakCurrent:
+    def test_2t2r_has_zero_sneak_current(self):
+        assert sneak_current_bound(CellType.TWO_T_TWO_R, rows=512) == 0.0
+
+    def test_1t1r_sneak_grows_with_rows(self):
+        small = sneak_current_bound(CellType.ONE_T_ONE_R, rows=128)
+        large = sneak_current_bound(CellType.ONE_T_ONE_R, rows=512)
+        assert large > small > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sneak_current_bound(CellType.ONE_T_ONE_R, rows=0)
+        with pytest.raises(ValueError):
+            sneak_current_bound(CellType.ONE_T_ONE_R, rows=8, off_device_fraction=2.0)

@@ -1,0 +1,210 @@
+"""Tests for quantized layers and the TensorQuant activation spec."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    TensorQuant,
+)
+from repro.nn.synthetic import synthetic_conv_weights, synthetic_linear_weights
+
+
+class TestTensorQuant:
+    def test_unsigned_roundtrip(self):
+        quant = TensorQuant(scale=0.1, zero_point=0)
+        values = np.linspace(0, 20, 50)
+        assert np.max(np.abs(quant.dequantize(quant.quantize(values)) - values)) <= 0.05
+
+    def test_signed_roundtrip(self):
+        quant = TensorQuant(scale=0.05, zero_point=0, signed=True)
+        values = np.linspace(-5, 5, 50)
+        assert np.max(np.abs(quant.dequantize(quant.quantize(values)) - values)) <= 0.03
+
+    def test_from_values_unsigned_covers_range(self):
+        quant = TensorQuant.from_values(np.array([0.0, 12.7]))
+        assert quant.quantize(np.array([12.7]))[0] == 255
+
+    def test_from_values_signed_symmetric(self):
+        quant = TensorQuant.from_values(np.array([-3.0, 2.0]), signed=True)
+        assert quant.zero_point == 0
+        assert quant.quantize(np.array([-3.0]))[0] == -127
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            TensorQuant(scale=0.0)
+
+    def test_rejects_zero_point_outside_range(self):
+        with pytest.raises(ValueError):
+            TensorQuant(scale=1.0, zero_point=-3)
+
+
+class TestLinearLayer:
+    def _layer(self, rng, fuse_relu=True):
+        layer = Linear(
+            "fc", synthetic_linear_weights(6, 20, rng, std=0.2),
+            bias=rng.normal(0, 0.05, 6), fuse_relu=fuse_relu,
+        )
+        inputs = np.abs(rng.normal(0, 1, size=(64, 20)))
+        layer.calibrate(inputs, layer.forward_float(inputs))
+        return layer, inputs
+
+    def test_weight_codes_are_unsigned_8bit(self, rng):
+        layer, _ = self._layer(rng)
+        assert layer.weight_codes.shape == (20, 6)
+        assert layer.weight_codes.min() >= 0 and layer.weight_codes.max() <= 255
+
+    def test_quantized_forward_close_to_float(self, rng):
+        layer, inputs = self._layer(rng)
+        codes = layer.input_quant.quantize(inputs)
+        out_codes, out_quant = layer.forward_quantized(codes, layer.input_quant)
+        float_out = layer.forward_float(inputs)
+        error = np.abs(out_quant.dequantize(out_codes) - float_out)
+        assert error.mean() < 0.05 * max(float_out.max(), 1.0)
+
+    def test_relu_fusion_makes_outputs_nonnegative(self, rng):
+        layer, inputs = self._layer(rng, fuse_relu=True)
+        codes = layer.input_quant.quantize(inputs)
+        out_codes, out_quant = layer.forward_quantized(codes, layer.input_quant)
+        assert out_quant.dequantize(out_codes).min() >= 0
+
+    def test_pim_hook_receives_raw_codes(self, rng):
+        layer, inputs = self._layer(rng)
+        captured = {}
+
+        def hook(patch_codes, hooked_layer):
+            captured["shape"] = patch_codes.shape
+            captured["layer"] = hooked_layer
+            return patch_codes @ hooked_layer.weight_codes
+
+        codes = layer.input_quant.quantize(inputs)
+        layer.forward_quantized(codes, layer.input_quant, pim_matmul=hook)
+        assert captured["layer"] is layer
+        assert captured["shape"] == (64, 20)
+
+    def test_exact_hook_matches_no_hook(self, rng):
+        layer, inputs = self._layer(rng)
+        codes = layer.input_quant.quantize(inputs)
+        ref, _ = layer.forward_quantized(codes, layer.input_quant)
+        hooked, _ = layer.forward_quantized(
+            codes, layer.input_quant,
+            pim_matmul=lambda x, l: x @ l.weight_codes,
+        )
+        assert np.array_equal(ref, hooked)
+
+    def test_uncalibrated_layer_raises(self, rng):
+        layer = Linear("fc", synthetic_linear_weights(4, 8, rng))
+        with pytest.raises(RuntimeError):
+            layer.forward_quantized(np.zeros((1, 8), dtype=int), TensorQuant(1.0))
+
+    def test_macs_and_weights(self, rng):
+        layer, _ = self._layer(rng)
+        assert layer.n_weights == 120
+        assert layer.macs((20,)) == 120
+
+    def test_output_shape_validation(self, rng):
+        layer, _ = self._layer(rng)
+        assert layer.output_shape((20,)) == (6,)
+        with pytest.raises(ValueError):
+            layer.output_shape((21,))
+
+    def test_rejects_bad_weight_rank(self):
+        with pytest.raises(ValueError):
+            Linear("fc", np.zeros((2, 3, 4)))
+
+    def test_rejects_bad_bias_shape(self, rng):
+        with pytest.raises(ValueError):
+            Linear("fc", synthetic_linear_weights(4, 8, rng), bias=np.zeros(3))
+
+
+class TestConv2dLayer:
+    def _layer(self, rng):
+        layer = Conv2d(
+            "conv", synthetic_conv_weights(4, 3, 3, rng, std=0.3),
+            stride=1, padding=1, fuse_relu=True,
+        )
+        inputs = np.abs(rng.normal(0, 1, size=(2, 3, 6, 6)))
+        layer.calibrate(inputs, layer.forward_float(inputs))
+        return layer, inputs
+
+    def test_float_forward_matches_functional(self, rng):
+        layer, inputs = self._layer(rng)
+        expected = F.relu(F.conv2d(inputs, layer.weights, layer.bias, 1, 1))
+        assert np.allclose(layer.forward_float(inputs), expected)
+
+    def test_output_shape(self, rng):
+        layer, _ = self._layer(rng)
+        assert layer.output_shape((3, 6, 6)) == (4, 6, 6)
+
+    def test_macs_counts_positions(self, rng):
+        layer, _ = self._layer(rng)
+        assert layer.macs((3, 6, 6)) == 4 * 3 * 9 * 36
+
+    def test_quantized_forward_shape_and_error(self, rng):
+        layer, inputs = self._layer(rng)
+        codes = layer.input_quant.quantize(inputs)
+        out_codes, out_quant = layer.forward_quantized(codes, layer.input_quant)
+        assert out_codes.shape == (2, 4, 6, 6)
+        error = np.abs(out_quant.dequantize(out_codes) - layer.forward_float(inputs))
+        assert error.mean() < 0.1 * layer.forward_float(inputs).max()
+
+    def test_padding_uses_zero_point(self, rng):
+        # Quantized padding must represent real zero, not code zero.
+        layer, inputs = self._layer(rng)
+        codes = layer.input_quant.quantize(inputs)
+        patches, _ = layer._to_patches(codes, layer.input_quant.zero_point)
+        # Corner patch contains padded entries equal to the zero point.
+        corner = patches[0].reshape(3, 3, 3)
+        assert np.all(corner[:, 0, 0] == layer.input_quant.zero_point)
+
+    def test_rejects_non_square_kernels(self):
+        with pytest.raises(ValueError):
+            Conv2d("c", np.zeros((2, 3, 3, 5)))
+
+    def test_channel_mismatch_raises(self, rng):
+        layer, _ = self._layer(rng)
+        with pytest.raises(ValueError):
+            layer.output_shape((4, 6, 6))
+
+
+class TestShapeOnlyLayers:
+    def test_relu_quantized_clamps_at_zero_point(self):
+        quant = TensorQuant(scale=0.1, zero_point=10)
+        out, _ = ReLU().forward_quantized(np.array([[5, 15]]), quant)
+        assert np.array_equal(out, [[10, 15]])
+
+    def test_maxpool_quantized_matches_float(self, rng):
+        codes = rng.integers(0, 255, size=(1, 2, 4, 4))
+        quant = TensorQuant(scale=0.1)
+        out, _ = MaxPool2d(2).forward_quantized(codes, quant)
+        assert np.array_equal(out, F.maxpool2d(codes.astype(float), 2).astype(int))
+
+    def test_avgpool_quantized_rounds(self):
+        codes = np.array([[[[0, 1], [2, 3]]]])
+        out, _ = AvgPool2d(2).forward_quantized(codes, TensorQuant(scale=0.1))
+        assert out[0, 0, 0, 0] == 2  # mean 1.5 rounds to 2 (banker's rounding)
+
+    def test_global_avg_pool_shapes(self):
+        out, _ = GlobalAvgPool().forward_quantized(
+            np.ones((2, 3, 4, 4), dtype=int), TensorQuant(scale=0.1)
+        )
+        assert out.shape == (2, 3)
+
+    def test_flatten(self):
+        out, _ = Flatten().forward_quantized(
+            np.zeros((2, 3, 4, 4), dtype=int), TensorQuant(scale=0.1)
+        )
+        assert out.shape == (2, 48)
+        assert Flatten().output_shape((3, 4, 4)) == (48,)
+
+    def test_pool_output_shapes(self):
+        assert MaxPool2d(2).output_shape((8, 6, 6)) == (8, 3, 3)
+        assert AvgPool2d(3, stride=2).output_shape((8, 7, 7)) == (8, 3, 3)
+        assert GlobalAvgPool().output_shape((8, 7, 7)) == (8,)

@@ -1,0 +1,120 @@
+"""Tests for synthetic generators, datasets and the SGD trainer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.datasets import gaussian_clusters, procedural_images
+from repro.nn.synthetic import (
+    negative_skewed_filter_weights,
+    synthetic_activations,
+    synthetic_conv_weights,
+    synthetic_images,
+    synthetic_linear_weights,
+    synthetic_signed_activations,
+)
+from repro.nn.training import evaluate_accuracy, train_mlp
+
+
+class TestSyntheticWeights:
+    def test_conv_weight_shape(self, rng):
+        assert synthetic_conv_weights(8, 3, 5, rng).shape == (8, 3, 5, 5)
+
+    def test_linear_weight_shape(self, rng):
+        assert synthetic_linear_weights(10, 20, rng).shape == (10, 20)
+
+    def test_per_filter_means_differ(self, rng):
+        weights = synthetic_conv_weights(64, 16, 3, rng, mean_spread=0.05)
+        per_filter_means = weights.reshape(64, -1).mean(axis=1)
+        assert per_filter_means.std() > 0.01
+
+    def test_zero_mean_spread_gives_similar_filters(self, rng):
+        weights = synthetic_conv_weights(64, 16, 3, rng, std=0.05, mean_spread=0.0)
+        per_filter_means = weights.reshape(64, -1).mean(axis=1)
+        assert np.abs(per_filter_means).max() < 0.02
+
+    def test_negative_skewed_filter_is_mostly_negative(self, rng):
+        weights = negative_skewed_filter_weights(1000, rng)
+        assert np.mean(weights < 0) > 0.6
+
+
+class TestSyntheticActivations:
+    def test_activations_nonnegative_and_sparse(self, rng):
+        acts = synthetic_activations((1000,), rng, sparsity=0.4)
+        assert acts.min() >= 0
+        assert 0.3 < np.mean(acts == 0) < 0.5
+
+    def test_signed_activations_have_both_signs(self, rng):
+        acts = synthetic_signed_activations((1000,), rng)
+        assert acts.min() < 0 < acts.max()
+
+    def test_images_shape_and_nonnegativity(self, rng):
+        images = synthetic_images(3, (3, 16, 16), rng)
+        assert images.shape == (3, 3, 16, 16)
+        assert images.min() >= 0
+
+    def test_images_are_reproducible_per_rng_seed(self):
+        a = synthetic_images(2, (3, 8, 8), np.random.default_rng(5))
+        b = synthetic_images(2, (3, 8, 8), np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+class TestDatasets:
+    def test_gaussian_clusters_shapes(self):
+        ds = gaussian_clusters(n_classes=4, n_features=10, n_train=40, n_test=20)
+        assert ds.x_train.shape == (40, 10)
+        assert ds.x_test.shape == (20, 10)
+        assert ds.n_classes == 4
+
+    def test_gaussian_clusters_nonnegative(self):
+        ds = gaussian_clusters(n_classes=3, n_features=8, n_train=30, n_test=10)
+        assert ds.x_train.min() >= 0
+
+    def test_procedural_images_shapes(self):
+        ds = procedural_images(n_classes=3, image_shape=(3, 8, 8), n_train=30, n_test=12)
+        assert ds.x_train.shape == (30, 3, 8, 8)
+        assert ds.input_shape == (3, 8, 8)
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            gaussian_clusters(n_classes=1)
+        with pytest.raises(ValueError):
+            procedural_images(n_classes=1)
+
+    def test_mismatched_lengths_rejected(self):
+        ds = gaussian_clusters(n_classes=3, n_features=4, n_train=10, n_test=5)
+        with pytest.raises(ValueError):
+            type(ds)(name="bad", x_train=ds.x_train, y_train=ds.y_train[:-1],
+                     x_test=ds.x_test, y_test=ds.y_test)
+
+    def test_seed_reproducibility(self):
+        a = gaussian_clusters(seed=3, n_train=20, n_test=10)
+        b = gaussian_clusters(seed=3, n_train=20, n_test=10)
+        assert np.array_equal(a.x_train, b.x_train)
+
+
+class TestTraining:
+    def test_mlp_learns_separable_task(self):
+        dataset = gaussian_clusters(
+            n_classes=4, n_features=24, n_train=300, n_test=100,
+            separation=2.5, noise=0.6, seed=1,
+        )
+        result = train_mlp(dataset, hidden_sizes=[32], epochs=15, seed=1)
+        assert result.float_accuracy > 0.8
+        assert result.quantized_accuracy > 0.7
+        assert result.loss_history[-1] < result.loss_history[0]
+
+    def test_quantized_model_is_calibrated(self):
+        dataset = gaussian_clusters(
+            n_classes=3, n_features=12, n_train=90, n_test=30, seed=2
+        )
+        result = train_mlp(dataset, hidden_sizes=[16], epochs=5, seed=2)
+        assert result.model.is_calibrated
+
+    def test_evaluate_accuracy_max_samples(self):
+        dataset = gaussian_clusters(
+            n_classes=3, n_features=12, n_train=90, n_test=30, seed=2
+        )
+        result = train_mlp(dataset, hidden_sizes=[16], epochs=5, seed=2)
+        flat = dataset
+        accuracy = evaluate_accuracy(result.model, flat, max_samples=10)
+        assert 0.0 <= accuracy <= 1.0

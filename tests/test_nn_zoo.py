@@ -1,0 +1,127 @@
+"""Tests for the model zoo: shape tables and runnable models."""
+
+import numpy as np
+import pytest
+
+from repro.nn.zoo import (
+    CNN_MODEL_NAMES,
+    MODEL_NAMES,
+    LayerShape,
+    build_runnable,
+    model_shapes,
+)
+
+
+class TestLayerShape:
+    def test_conv_derived_quantities(self):
+        layer = LayerShape("conv", "conv", in_channels=64, out_channels=128,
+                           kernel_h=3, kernel_w=3, stride=2, input_size=56)
+        assert layer.reduction_dim == 64 * 9
+        assert layer.output_size == 28
+        assert layer.weights == 64 * 9 * 128
+        assert layer.macs == layer.weights * 28 * 28
+
+    def test_depthwise_reduction_dim(self):
+        layer = LayerShape("dw", "dwconv", in_channels=64, out_channels=64,
+                           kernel_h=3, kernel_w=3, stride=1, input_size=28, groups=64)
+        assert layer.reduction_dim == 9
+
+    def test_linear_positions(self):
+        layer = LayerShape("fc", "linear", in_channels=1024, out_channels=4096,
+                           input_size=384)
+        assert layer.output_positions == 384
+        assert layer.macs == 1024 * 4096 * 384
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            LayerShape("x", "pool", in_channels=4, out_channels=4)
+
+    def test_rejects_bad_groups(self):
+        with pytest.raises(ValueError):
+            LayerShape("x", "conv", in_channels=5, out_channels=4, groups=2)
+
+
+class TestShapeTables:
+    def test_all_models_available(self):
+        assert len(MODEL_NAMES) == 7
+        for name in MODEL_NAMES:
+            assert model_shapes(name).n_layers > 0
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            model_shapes("vgg16")
+
+    @pytest.mark.parametrize(
+        "name, expected_gmacs, tolerance",
+        [
+            ("resnet18", 1.82, 0.15),
+            ("resnet50", 4.1, 0.2),
+            ("googlenet", 1.5, 0.2),
+            ("inceptionv3", 5.7, 0.3),
+            ("mobilenetv2", 0.31, 0.15),
+            ("shufflenetv2", 0.15, 0.1),
+        ],
+    )
+    def test_mac_counts_near_published_values(self, name, expected_gmacs, tolerance):
+        gmacs = model_shapes(name).total_macs / 1e9
+        assert abs(gmacs - expected_gmacs) / expected_gmacs <= tolerance
+
+    def test_resnet50_weight_count_near_published(self):
+        weights = model_shapes("resnet50").total_weights / 1e6
+        assert 22 <= weights <= 28
+
+    def test_bert_ffn_is_signed_and_large(self):
+        shapes = model_shapes("bert_large_ffn")
+        assert shapes.signed_input
+        assert all(layer.signed_input for layer in shapes.layers)
+        assert shapes.total_macs > 50e9
+
+    def test_compact_models_flagged(self):
+        assert model_shapes("mobilenetv2").compact
+        assert model_shapes("shufflenetv2").compact
+        assert not model_shapes("resnet50").compact
+
+    def test_layer_names_unique(self):
+        for name in MODEL_NAMES:
+            layers = model_shapes(name).layers
+            assert len({l.name for l in layers}) == len(layers)
+
+    def test_cnn_model_names_excludes_bert(self):
+        assert "bert_large_ffn" not in CNN_MODEL_NAMES
+        assert len(CNN_MODEL_NAMES) == 6
+
+
+class TestRunnableModels:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_runnable_models_build_and_run(self, name):
+        model = build_runnable(name, seed=0)
+        assert model.is_calibrated
+        rng = np.random.default_rng(0)
+        if len(model.input_shape) == 3:
+            x = np.abs(rng.normal(0, 1, size=(1, *model.input_shape)))
+        else:
+            x = rng.normal(0, 1, size=(2, *model.input_shape))
+        out = model.forward_quantized(x)
+        assert np.all(np.isfinite(out))
+
+    def test_unknown_runnable_raises(self):
+        with pytest.raises(KeyError):
+            build_runnable("alexnet")
+
+    def test_bert_like_model_has_signed_input(self):
+        model = build_runnable("bert_large_ffn")
+        assert model.signed_input
+
+    def test_runnable_models_are_reproducible(self):
+        a = build_runnable("resnet18", seed=3)
+        b = build_runnable("resnet18", seed=3)
+        assert np.array_equal(
+            a.matmul_layers()[0].weight_codes, b.matmul_layers()[0].weight_codes
+        )
+
+    def test_mobilenet_like_uses_small_filters(self):
+        model = build_runnable("mobilenetv2", seed=0)
+        reductions = [l.reduction_dim for l in model.matmul_layers()]
+        resnet = build_runnable("resnet18", seed=0)
+        resnet_reductions = [l.reduction_dim for l in resnet.matmul_layers()]
+        assert np.mean(reductions) < np.mean(resnet_reductions)

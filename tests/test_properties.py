@@ -1,0 +1,127 @@
+"""Cross-module property-based tests (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arithmetic.slicing import Slicing, enumerate_slicings
+from repro.core.center_offset import CenterOffsetEncoder, WeightEncoding, optimal_center
+from repro.core.dynamic_input import InputSlicePlan, SpeculationMode, extract_input_slice
+from repro.core.executor import PimLayerConfig, PimLayerExecutor
+from repro.nn.layers import Linear, TensorQuant
+
+slicing_strategy = st.sampled_from(
+    [Slicing((4, 4)), Slicing((4, 2, 2)), Slicing((2, 2, 2, 2)), Slicing((3, 3, 2))]
+)
+
+code_matrix_strategy = st.integers(min_value=0, max_value=10_000).map(
+    lambda seed: np.random.default_rng(seed).integers(0, 256, size=(24, 3))
+)
+
+
+class TestEncodingProperties:
+    @given(code_matrix_strategy, slicing_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_center_offset_encoding_roundtrips(self, codes, slicing):
+        encoder = CenterOffsetEncoder(slicing, WeightEncoding.CENTER_OFFSET)
+        encoded = encoder.encode(codes)
+        assert np.array_equal(encoded.reconstruct_codes(), codes)
+
+    @given(code_matrix_strategy, slicing_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_unsigned_encoding_roundtrips(self, codes, slicing):
+        encoder = CenterOffsetEncoder(slicing, WeightEncoding.UNSIGNED)
+        encoded = encoder.encode(codes)
+        assert np.array_equal(encoded.reconstruct_codes(), codes)
+
+    @given(code_matrix_strategy, slicing_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_slice_values_respect_device_range(self, codes, slicing):
+        encoded = CenterOffsetEncoder(slicing).encode(codes)
+        for i, width in enumerate(slicing.widths):
+            assert encoded.positive_slices[i].max() < (1 << width)
+            assert encoded.negative_slices[i].max() < (1 << width)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_optimal_center_never_worse_than_midpoint(self, seed):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 256, size=128)
+        slicing = Slicing((4, 2, 2))
+        from repro.core.center_offset import _slice_column_cost
+
+        center = optimal_center(codes, slicing)
+        assert _slice_column_cost(codes - center, slicing, 4.0) <= _slice_column_cost(
+            codes - 128, slicing, 4.0
+        )
+
+
+class TestInputPlanProperties:
+    @given(st.sampled_from([Slicing((4, 2, 2)), Slicing((2, 2, 2, 2)), Slicing((4, 4))]))
+    @settings(max_examples=20, deadline=None)
+    def test_speculative_plans_cover_all_bits_once(self, spec_slicing):
+        plan = InputSlicePlan.build(speculative_slicing=spec_slicing)
+        spec_bits = set()
+        recovery_bits = set()
+        for phase in plan.phases:
+            bits = set(range(phase.shift, phase.shift + phase.width))
+            if phase.kind == "speculative":
+                assert not (spec_bits & bits)
+                spec_bits |= bits
+            else:
+                assert not (recovery_bits & bits)
+                recovery_bits |= bits
+        assert spec_bits == set(range(8))
+        assert recovery_bits == set(range(8))
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_serial_slices_reassemble_inputs(self, values):
+        plan = InputSlicePlan.build(mode=SpeculationMode.BIT_SERIAL)
+        arr = np.asarray(values)
+        total = sum(extract_input_slice(arr, p) << p.shift for p in plan.phases)
+        assert np.array_equal(total, arr)
+
+
+class TestExecutorProperties:
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from([s for s in enumerate_slicings(8, 4) if s.n_slices <= 4]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_wide_adc_execution_is_exact_for_any_slicing(self, seed, slicing):
+        rng = np.random.default_rng(seed)
+        layer = Linear("prop_fc", rng.normal(0, 0.2, size=(3, 12)), fuse_relu=True)
+        inputs = np.abs(rng.normal(0, 1, size=(12, 12)))
+        layer.calibrate(inputs, layer.forward_float(inputs))
+        patches = layer.input_quant.quantize(inputs)
+        executor = PimLayerExecutor(
+            layer, PimLayerConfig(adc_bits=16, weight_slicing=slicing)
+        )
+        assert np.allclose(executor.matmul(patches), patches @ layer.weight_codes)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_narrow_adc_error_is_bounded_by_saturation_distance(self, seed):
+        rng = np.random.default_rng(seed)
+        layer = Linear("prop_fc2", rng.normal(0, 0.15, size=(4, 16)), fuse_relu=True)
+        inputs = np.abs(rng.normal(0, 1, size=(8, 16)))
+        layer.calibrate(inputs, layer.forward_float(inputs))
+        patches = layer.input_quant.quantize(inputs)
+        executor = PimLayerExecutor(layer, PimLayerConfig(adc_bits=7))
+        approx = executor.matmul(patches)
+        exact = patches @ layer.weight_codes
+        # The executor can only under-estimate magnitudes (saturation clamps
+        # toward the ADC bounds); errors never exceed the exact magnitude.
+        assert np.all(np.abs(approx) <= np.abs(exact) + 64 * 255)
+
+
+class TestTensorQuantProperties:
+    @given(st.floats(min_value=0.001, max_value=5.0),
+           st.integers(min_value=0, max_value=255))
+    @settings(max_examples=40, deadline=None)
+    def test_quantize_is_idempotent_on_grid(self, scale, zero_point):
+        quant = TensorQuant(scale=scale, zero_point=zero_point)
+        codes = np.arange(0, 256, 15)
+        values = quant.dequantize(codes)
+        assert np.array_equal(quant.quantize(values), codes)
