@@ -15,6 +15,9 @@ The package is organised as:
 * :mod:`repro.core`       -- the RAELLA contribution: Center+Offset encoding,
   Adaptive Weight Slicing, Dynamic Input Slicing, the layer executor,
   the DNN compiler and the accelerator model.
+* :mod:`repro.runtime`    -- vectorized batched execution engine: fused
+  phase GEMMs, encoded-weight caching, executor pooling and the
+  :class:`~repro.runtime.NetworkEngine` batched-inference front end.
 * :mod:`repro.hw`         -- Accelergy/Timeloop-style energy, area and
   throughput models plus the Titanium-Law analysis.
 * :mod:`repro.baselines`  -- ISAAC, FORMS, TIMELY and Zero+Offset baselines.

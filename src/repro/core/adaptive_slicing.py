@@ -134,15 +134,20 @@ def layer_output_error(
     pim_config: PimLayerConfig,
     noise: NoiseModel | None = None,
     expected: np.ndarray | None = None,
+    executor_factory: type[PimLayerExecutor] | None = None,
 ) -> float:
     """Mean absolute 8-bit output error of a PIM configuration on test inputs.
 
     The error is averaged over outputs whose expected code is non-zero,
     matching the error-budget definition of Section 4.2.1.
+    ``executor_factory`` swaps in a different executor implementation (the
+    vectorized runtime executor keeps the search bit-identical while caching
+    trial encodings).
     """
     if expected is None:
         expected = quantized_layer_outputs(layer, patch_codes)
-    executor = PimLayerExecutor(layer, pim_config, noise=noise)
+    factory = executor_factory or PimLayerExecutor
+    executor = factory(layer, pim_config, noise=noise)
     actual = quantized_layer_outputs(layer, patch_codes, pim_matmul=executor)
     nonzero = expected != 0
     if not np.any(nonzero):
@@ -157,6 +162,7 @@ def choose_weight_slicing(
     pim_config: PimLayerConfig | None = None,
     noise: NoiseModel | None = None,
     is_last_layer: bool = False,
+    executor_factory: type[PimLayerExecutor] | None = None,
 ) -> SlicingChoice:
     """Choose a layer's weight slicing (Algorithm 1, ``FindBestSlicing``).
 
@@ -214,6 +220,7 @@ def choose_weight_slicing(
             search_config.with_changes(weight_slicing=slicing),
             noise=noise,
             expected=expected,
+            executor_factory=executor_factory,
         )
         evaluated.append((slicing, error))
         current_group = slicing.n_slices
@@ -233,6 +240,7 @@ def choose_weight_slicing(
             search_config.with_changes(weight_slicing=fallback),
             noise=noise,
             expected=expected,
+            executor_factory=executor_factory,
         )
         return SlicingChoice(
             layer_name=layer.name,

@@ -85,10 +85,10 @@ class RaellaProgram:
         return {name: c.executor.stats for name, c in self.layers.items()}
 
     def aggregate_statistics(self) -> LayerStatistics:
-        """Sum of all layers' statistics."""
+        """Sum of all layers' statistics (totals, including crossbar counts)."""
         total = LayerStatistics(layer_name=self.model.name)
         for compiled in self.layers.values():
-            total.merge(compiled.executor.stats)
+            total.merge_layers(compiled.executor.stats)
         return total
 
     def reset_statistics(self) -> None:
@@ -126,15 +126,29 @@ class RaellaCompilerConfig:
 
 
 class RaellaCompiler:
-    """Compiles calibrated quantized models for PIM execution."""
+    """Compiles calibrated quantized models for PIM execution.
+
+    Parameters
+    ----------
+    config:
+        Compiler configuration.
+    noise:
+        Optional column-sum noise model shared by all executors.
+    executor_factory:
+        Callable building the per-layer executor; defaults to the per-phase
+        :class:`~repro.core.executor.PimLayerExecutor`.  The vectorized
+        runtime (:mod:`repro.runtime`) injects its batched executor here.
+    """
 
     def __init__(
         self,
         config: RaellaCompilerConfig | None = None,
         noise: NoiseModel | None = None,
+        executor_factory: type[PimLayerExecutor] | None = None,
     ):
         self.config = config or RaellaCompilerConfig()
         self.noise = noise
+        self.executor_factory = executor_factory or PimLayerExecutor
 
     def _default_test_inputs(self, model: QuantizedModel, seed: int) -> np.ndarray:
         rng = np.random.default_rng(seed)
@@ -182,6 +196,7 @@ class RaellaCompiler:
                     pim_config=self.config.pim,
                     noise=self.noise,
                     is_last_layer=is_last,
+                    executor_factory=self.executor_factory,
                 )
             else:
                 choice = SlicingChoice(
@@ -190,7 +205,7 @@ class RaellaCompiler:
                     mean_error=float("nan"),
                     within_budget=True,
                 )
-            executor = PimLayerExecutor(
+            executor = self.executor_factory(
                 layer,
                 self.config.pim.with_changes(weight_slicing=choice.slicing),
                 noise=self.noise,

@@ -100,6 +100,11 @@ class InputSlicePlan:
         """Build the phase schedule for the given mode."""
         if mode is SpeculationMode.BIT_SERIAL:
             slicing = serial_slicing or Slicing((1,) * input_bits)
+            if slicing.total_bits != input_bits:
+                raise ValueError(
+                    f"serial slicing covers {slicing.total_bits} bits, "
+                    f"inputs have {input_bits}"
+                )
             phases = tuple(
                 InputPhase(kind="serial", width=w, shift=s)
                 for w, s in zip(slicing.widths, slicing.shifts)

@@ -18,6 +18,20 @@ requantization stay in the digital layer code
 Cost-relevant event counts (ADC conversions, speculation failures, crossbar
 activity, DAC pulses, cycles) are accumulated in :class:`LayerStatistics`,
 which the hardware model (:mod:`repro.hw`) converts into energy and latency.
+Statistics semantics worth knowing:
+
+* saturation means *clipping*: a column sum landing exactly on an ADC rail is
+  converted without loss and is not counted as a speculation failure or
+  fidelity-loss event;
+* aggregating statistics has two flavours -- :meth:`LayerStatistics.merge_runs`
+  for re-executions of the same layer (crossbar footprint takes the max) and
+  :meth:`LayerStatistics.merge_layers` for totals across different layers of a
+  network (everything sums).
+
+This executor iterates the input-phase schedule in Python, one matmul per
+phase; :mod:`repro.runtime` provides a bit-identical vectorized drop-in
+(:class:`~repro.runtime.VectorizedLayerExecutor`) that batches all phases
+into fused GEMMs and caches weight encodings -- prefer it on hot paths.
 """
 
 from __future__ import annotations
@@ -161,12 +175,36 @@ class LayerStatistics:
         """Collected pre-ADC column sums for a phase kind."""
         return np.concatenate(self.column_sums.get(kind, [np.empty(0)]))
 
-    def merge(self, other: "LayerStatistics") -> "LayerStatistics":
-        """Accumulate another statistics object into this one (in place)."""
-        self.n_inputs += other.n_inputs
-        self.macs += other.macs
+    def merge_runs(self, other: "LayerStatistics") -> "LayerStatistics":
+        """Accumulate another run of the *same* layer into this one (in place).
+
+        Event counts sum; the structural fields ``n_crossbars``/``n_columns``
+        describe the layer's fixed crossbar footprint, so re-running the same
+        layer keeps their maximum rather than double-counting hardware.
+        """
+        self._accumulate_events(other)
         self.n_crossbars = max(self.n_crossbars, other.n_crossbars)
         self.n_columns = max(self.n_columns, other.n_columns)
+        return self
+
+    def merge_layers(self, other: "LayerStatistics") -> "LayerStatistics":
+        """Aggregate statistics of a *different* layer into this one (in place).
+
+        Across distinct layers of a network every field is a total, including
+        the crossbar/column footprint.
+        """
+        self._accumulate_events(other)
+        self.n_crossbars += other.n_crossbars
+        self.n_columns += other.n_columns
+        return self
+
+    def merge(self, other: "LayerStatistics") -> "LayerStatistics":
+        """Backwards-compatible alias for :meth:`merge_runs`."""
+        return self.merge_runs(other)
+
+    def _accumulate_events(self, other: "LayerStatistics") -> None:
+        self.n_inputs += other.n_inputs
+        self.macs += other.macs
         self.cycles += other.cycles
         self.adc_converts_speculative += other.adc_converts_speculative
         self.adc_converts_recovery += other.adc_converts_recovery
@@ -180,7 +218,6 @@ class LayerStatistics:
         self.psums_produced += other.psums_produced
         for kind, chunks in other.column_sums.items():
             self.column_sums.setdefault(kind, []).extend(chunks)
-        return self
 
 
 @dataclass
@@ -237,21 +274,37 @@ class PimLayerExecutor:
         codes = self.layer.weight_codes  # (K, filters)
         if codes is None:
             raise RuntimeError("layer weights have not been quantized")
+        self._chunks = self._build_encoded_chunks()
         n_filters = codes.shape[1]
         filters_per_crossbar = max(
             self.config.crossbar_cols // self.config.weight_slicing.n_slices, 1
         )
+        self.stats.n_crossbars = len(self._chunks) * int(
+            np.ceil(n_filters / filters_per_crossbar)
+        )
+        self.stats.n_columns = (
+            n_filters * self.config.weight_slicing.n_slices * len(self._chunks)
+        )
+
+    def _build_encoded_chunks(self) -> list[_EncodedChunk]:
+        """Encode the layer's weights into per-row-chunk crossbar arrays.
+
+        Subclasses may override this to serve pre-encoded chunks (the
+        :mod:`repro.runtime` weight cache does) -- the returned chunks are
+        treated as immutable.
+        """
+        codes = self.layer.weight_codes
         rows = self.config.crossbar_rows
         zero_points = self.layer.weight_zero_point
+        chunks: list[_EncodedChunk] = []
         for row_start in range(0, codes.shape[0], rows):
             block = codes[row_start : row_start + rows]
             encoded = self.encoder.encode(block, zero_points)
-            n_slices = encoded.slicing.n_slices
             diff = encoded.positive_slices - encoded.negative_slices
             total = encoded.positive_slices + encoded.negative_slices
             diff_flat = diff.transpose(1, 0, 2).reshape(block.shape[0], -1)
             sum_flat = total.transpose(1, 0, 2).reshape(block.shape[0], -1)
-            self._chunks.append(
+            chunks.append(
                 _EncodedChunk(
                     row_start=row_start,
                     rows=block.shape[0],
@@ -260,12 +313,7 @@ class PimLayerExecutor:
                     sum_flat=np.ascontiguousarray(sum_flat),
                 )
             )
-        self.stats.n_crossbars = len(self._chunks) * int(
-            np.ceil(n_filters / filters_per_crossbar)
-        )
-        self.stats.n_columns = (
-            n_filters * self.config.weight_slicing.n_slices * len(self._chunks)
-        )
+        return chunks
 
     @property
     def encoded_chunks(self) -> list[EncodedWeights]:
@@ -295,7 +343,16 @@ class PimLayerExecutor:
         if remaining <= 0:
             return
         flat = np.asarray(sums).ravel()
-        bucket.append(flat[:remaining].astype(np.float64, copy=True))
+        if flat.size > remaining:
+            # Subsample at evenly-spaced deterministic positions across the
+            # whole phase output (exactly ``remaining`` samples); taking a
+            # contiguous prefix would bias the distribution towards the
+            # first columns of the first batches.
+            indices = (np.arange(remaining) * (flat.size / remaining)).astype(
+                np.int64
+            )
+            flat = flat[indices]
+        bucket.append(flat.astype(np.float64, copy=True))
 
     # -- execution ---------------------------------------------------------------
 
@@ -368,15 +425,20 @@ class PimLayerExecutor:
         return sums.reshape(m, n_slices, n_filters), activity
 
     def _convert(self, sums: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """ADC conversion: returns (clipped integer values, saturation mask)."""
+        """ADC conversion: returns (clipped integer values, saturation mask).
+
+        Saturation is detected from the pre-clip rounded value: a column sum
+        that lands exactly on an ADC rail is converted without any clipping,
+        so it is not a saturation event.  Both rails count -- an unsigned
+        column sum is non-negative in the ideal case, but analog noise can
+        drive it below zero, and clipping it back to the bottom rail loses
+        fidelity just like overflow does.
+        """
         rounded = np.round(sums)
         clipped = np.clip(rounded, self.config.adc_min, self.config.adc_max)
-        if self.config.adc_signed:
-            saturated = (clipped <= self.config.adc_min) | (
-                clipped >= self.config.adc_max
-            )
-        else:
-            saturated = clipped >= self.config.adc_max
+        saturated = (rounded < self.config.adc_min) | (
+            rounded > self.config.adc_max
+        )
         return clipped, saturated
 
     def _chunk_matmul(self, codes: np.ndarray, chunk: _EncodedChunk) -> np.ndarray:
@@ -398,15 +460,28 @@ class PimLayerExecutor:
             analog += self._run_serial(codes, chunk, weight_shifts)
         return digital + analog
 
+    def _phase_sums(
+        self, codes: np.ndarray, chunk: _EncodedChunk, phase: InputPhase, index: int
+    ) -> np.ndarray:
+        """Analog column sums of one phase, shaped ``(M, n_slices, filters)``.
+
+        The per-phase path extracts the slice and runs one matmul here; the
+        vectorized runtime executor overrides this to serve sums precomputed
+        for all phases in a single batched GEMM.  ``index`` is the phase's
+        position in the plan.
+        """
+        slice_values = extract_input_slice(codes, phase)
+        sums, _ = self._phase_column_sums(slice_values, chunk)
+        return sums
+
     def _run_serial(
         self, codes: np.ndarray, chunk: _EncodedChunk, weight_shifts: np.ndarray
     ) -> np.ndarray:
         m = codes.shape[0]
         n_filters = chunk.encoded.n_filters
         accum = np.zeros((m, n_filters), dtype=np.float64)
-        for phase in self.plan.phases:
-            slice_values = extract_input_slice(codes, phase)
-            sums, _ = self._phase_column_sums(slice_values, chunk)
+        for index, phase in enumerate(self.plan.phases):
+            sums = self._phase_sums(codes, chunk, phase, index)
             self._record_column_sums("serial", sums)
             converted, saturated = self._convert(sums)
             self.stats.adc_converts_serial += converted.size
@@ -430,10 +505,10 @@ class PimLayerExecutor:
             recovery_phases = []
             j = idx + 1
             while j < len(phases) and phases[j].kind == "recovery":
-                recovery_phases.append(phases[j])
+                recovery_phases.append((j, phases[j]))
                 j += 1
             accum += self._speculate_and_recover(
-                codes, chunk, weight_shifts, spec_phase, recovery_phases
+                codes, chunk, weight_shifts, (idx, spec_phase), recovery_phases
             )
             idx = j
         return accum
@@ -443,14 +518,14 @@ class PimLayerExecutor:
         codes: np.ndarray,
         chunk: _EncodedChunk,
         weight_shifts: np.ndarray,
-        spec_phase: InputPhase,
-        recovery_phases: list[InputPhase],
+        spec: tuple[int, InputPhase],
+        recovery_phases: list[tuple[int, InputPhase]],
     ) -> np.ndarray:
         m = codes.shape[0]
         n_filters = chunk.encoded.n_filters
+        spec_index, spec_phase = spec
         # Speculative cycle: all columns converted.
-        slice_values = extract_input_slice(codes, spec_phase)
-        sums, _ = self._phase_column_sums(slice_values, chunk)
+        sums = self._phase_sums(codes, chunk, spec_phase, spec_index)
         self._record_column_sums("speculative", sums)
         converted, saturated = self._convert(sums)
         self.stats.adc_converts_speculative += converted.size
@@ -463,9 +538,8 @@ class PimLayerExecutor:
         )
         # Recovery cycles: crossbars always run them; ADCs convert only the
         # columns whose speculative conversion saturated.
-        for phase in recovery_phases:
-            bit_values = extract_input_slice(codes, phase)
-            bit_sums, _ = self._phase_column_sums(bit_values, chunk)
+        for index, phase in recovery_phases:
+            bit_sums = self._phase_sums(codes, chunk, phase, index)
             self._record_column_sums("recovery", bit_sums)
             converted_bits, bit_saturated = self._convert(bit_sums)
             needed = saturated

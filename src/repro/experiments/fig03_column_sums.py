@@ -19,8 +19,9 @@ from repro.arithmetic.slicing import Slicing
 from repro.core.adaptive_slicing import AdaptiveSlicingConfig, choose_weight_slicing
 from repro.core.center_offset import WeightEncoding
 from repro.core.dynamic_input import SpeculationMode
-from repro.core.executor import PimLayerConfig, PimLayerExecutor
+from repro.core.executor import PimLayerConfig
 from repro.experiments.runner import ExperimentResult
+from repro.runtime import VectorizedLayerExecutor
 from repro.nn.model import QuantizedModel
 from repro.nn.synthetic import synthetic_images
 from repro.nn.zoo import resnet18_like
@@ -72,7 +73,9 @@ class Fig03Result:
 
 
 def _collect(layer, patches, config, max_samples: int) -> ColumnSumSetupResult:
-    executor = PimLayerExecutor(
+    # The vectorized runtime executor is bit-identical to the per-phase path
+    # and shares weight encodings across the four setups.
+    executor = VectorizedLayerExecutor(
         layer,
         config.with_changes(
             collect_column_sums=True, max_column_sum_samples=max_samples

@@ -28,10 +28,13 @@ from repro.core.compiler import (
     RaellaCompilerConfig,
     RaellaProgram,
 )
-from repro.core.executor import PimLayerExecutor
 from repro.experiments.runner import ExperimentResult
 from repro.nn.datasets import ClassificationDataset, gaussian_clusters, procedural_images
 from repro.nn.training import evaluate_accuracy, train_cnn, train_mlp
+from repro.runtime import VectorizedLayerExecutor
+
+#: Samples pushed through the network per pass during accuracy evaluation.
+EVAL_MICRO_BATCH = 64
 
 __all__ = [
     "AccuracyEntry",
@@ -87,7 +90,7 @@ def clone_program_with_encoding(
     layers = {}
     for name, compiled in program.layers.items():
         config = compiled.executor.config.with_changes(weight_encoding=encoding)
-        executor = PimLayerExecutor(compiled.layer, config, noise=None)
+        executor = VectorizedLayerExecutor(compiled.layer, config, noise=None)
         layers[name] = CompiledLayer(
             layer=compiled.layer, choice=compiled.choice, executor=executor
         )
@@ -111,15 +114,17 @@ def _evaluate_model(
             x_test=dataset.x_test.reshape(len(dataset.x_test), -1),
         )
     test_inputs = dataset.x_train[: compiler_config.n_test_inputs]
-    program = RaellaCompiler(compiler_config).compile(
-        model, test_inputs=test_inputs, seed=seed
-    )
+    program = RaellaCompiler(
+        compiler_config, executor_factory=VectorizedLayerExecutor
+    ).compile(model, test_inputs=test_inputs, seed=seed)
     center_accuracy = evaluate_accuracy(
-        model, dataset, pim_matmul=program.pim_matmul, max_samples=max_samples
+        model, dataset, pim_matmul=program.pim_matmul,
+        max_samples=max_samples, micro_batch=EVAL_MICRO_BATCH,
     )
     zero_program = clone_program_with_encoding(program, WeightEncoding.ZERO_OFFSET)
     zero_accuracy = evaluate_accuracy(
-        model, dataset, pim_matmul=zero_program.pim_matmul, max_samples=max_samples
+        model, dataset, pim_matmul=zero_program.pim_matmul,
+        max_samples=max_samples, micro_batch=EVAL_MICRO_BATCH,
     )
     return AccuracyEntry(
         model_name=name,

@@ -16,6 +16,7 @@ requantization) stays digital, exactly as in the paper's architectures.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
@@ -186,6 +187,31 @@ class MatmulLayer(Layer):
         self.weight_codes = codes.T.astype(np.int64)  # (K, out_features)
         self.weight_scale = params.scale
         self.weight_zero_point = params.zero_point
+        self._weight_fingerprint: str | None = None
+        self._weight_code_sums: np.ndarray | None = None
+
+    @property
+    def weight_fingerprint(self) -> str:
+        """Content hash of the quantized weights (stable across instances).
+
+        Keys the :mod:`repro.runtime` encoded-weight cache, so two executors
+        built for layers with identical weight codes and zero points share one
+        encoding.
+        """
+        if self._weight_fingerprint is None:
+            digest = hashlib.sha1()
+            digest.update(str(self.weight_codes.shape).encode())
+            digest.update(np.ascontiguousarray(self.weight_codes).tobytes())
+            digest.update(np.ascontiguousarray(self.weight_zero_point).tobytes())
+            self._weight_fingerprint = digest.hexdigest()
+        return self._weight_fingerprint
+
+    @property
+    def weight_code_sums(self) -> np.ndarray:
+        """Per-filter column sums of the weight codes (zero-point correction)."""
+        if self._weight_code_sums is None:
+            self._weight_code_sums = self.weight_codes.sum(axis=0)
+        return self._weight_code_sums
 
     # -- calibration ---------------------------------------------------------
 
@@ -244,7 +270,7 @@ class MatmulLayer(Layer):
         zp_x = self.input_quant.zero_point
         zp_w = self.weight_zero_point  # (out_features,)
         input_sums = patch_codes.sum(axis=1, keepdims=True)
-        weight_sums = self.weight_codes.sum(axis=0)
+        weight_sums = self.weight_code_sums
         k = self.reduction_dim
         corrected = (
             raw

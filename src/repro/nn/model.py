@@ -139,6 +139,7 @@ class QuantizedModel:
         x: np.ndarray,
         pim_matmul: PimMatmul | None = None,
         return_codes: bool = False,
+        micro_batch: int | None = None,
     ) -> np.ndarray:
         """Run the integer forward pass.
 
@@ -153,10 +154,28 @@ class QuantizedModel:
         return_codes:
             If true, return the final layer's integer codes instead of the
             dequantized real values.
+        micro_batch:
+            If set, run the batch through the network ``micro_batch`` samples
+            at a time and concatenate the outputs.  Bounds the working-set
+            size of large batches (im2col patches, PIM phase tensors).
         """
         if not self.is_calibrated:
             raise RuntimeError("model must be calibrated before quantized inference")
-        codes = self.input_quant.quantize(np.asarray(x, dtype=np.float64))
+        x = np.asarray(x, dtype=np.float64)
+        if micro_batch is not None:
+            if micro_batch <= 0:
+                raise ValueError("micro_batch must be positive")
+            if x.shape[0] > micro_batch:
+                parts = [
+                    self.forward_quantized(
+                        x[start : start + micro_batch],
+                        pim_matmul=pim_matmul,
+                        return_codes=return_codes,
+                    )
+                    for start in range(0, x.shape[0], micro_batch)
+                ]
+                return np.concatenate(parts, axis=0)
+        codes = self.input_quant.quantize(x)
         quant = self.input_quant
         for layer in self.layers:
             codes, quant = layer.forward_quantized(codes, quant, pim_matmul=pim_matmul)
@@ -164,9 +183,14 @@ class QuantizedModel:
             return codes
         return quant.dequantize(codes)
 
-    def predict(self, x: np.ndarray, pim_matmul: PimMatmul | None = None) -> np.ndarray:
+    def predict(
+        self,
+        x: np.ndarray,
+        pim_matmul: PimMatmul | None = None,
+        micro_batch: int | None = None,
+    ) -> np.ndarray:
         """Class predictions from the integer path."""
-        logits = self.forward_quantized(x, pim_matmul=pim_matmul)
+        logits = self.forward_quantized(x, pim_matmul=pim_matmul, micro_batch=micro_batch)
         return np.argmax(logits, axis=-1)
 
     def predict_float(self, x: np.ndarray) -> np.ndarray:

@@ -124,11 +124,13 @@ def evaluate_accuracy(
     pim_matmul=None,
     use_float: bool = False,
     max_samples: int | None = None,
+    micro_batch: int | None = None,
 ) -> float:
     """Top-1 test accuracy of a model on a dataset.
 
     ``pim_matmul`` plugs an analog-PIM simulation into the integer path;
-    ``use_float`` evaluates the float reference instead.
+    ``use_float`` evaluates the float reference instead; ``micro_batch``
+    bounds how many samples run through the network at a time.
     """
     x, y = dataset.x_test, dataset.y_test
     if max_samples is not None:
@@ -136,7 +138,7 @@ def evaluate_accuracy(
     if use_float:
         predictions = model.predict_float(x)
     else:
-        predictions = model.predict(x, pim_matmul=pim_matmul)
+        predictions = model.predict(x, pim_matmul=pim_matmul, micro_batch=micro_batch)
     return float(np.mean(predictions == y))
 
 

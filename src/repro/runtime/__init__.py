@@ -1,0 +1,50 @@
+"""Vectorized batched execution runtime.
+
+The per-phase :class:`~repro.core.executor.PimLayerExecutor` is exact but
+iterates the 11-cycle Dynamic Input Slicing schedule in Python, one slice
+extraction and one matmul per phase.  This package rebuilds that hot path as a
+batched engine while staying bit-identical to the per-phase reference:
+
+* :mod:`repro.runtime.phases` precomputes every input bit-plane slice of a
+  batch in one shot -- a single ``(n_phases, M, rows)`` tensor per crossbar
+  chunk instead of ``n_phases`` sequential ``extract_input_slice`` calls.
+* :mod:`repro.runtime.vectorized` fuses the per-phase matmuls of a chunk into
+  one BLAS GEMM (:class:`VectorizedLayerExecutor`).  Slice and weight values
+  are small integers, so the float64 GEMM is exact and the results are
+  bit-identical to the integer per-phase path.
+* :mod:`repro.runtime.cache` shares encoded weights across executor instances
+  (center optimisation dominates executor construction) and pools executors
+  per layer so repeated experiments do not re-program crossbars.
+* :mod:`repro.runtime.engine` runs a calibrated
+  :class:`~repro.nn.model.QuantizedModel` end-to-end with configurable
+  micro-batching (:class:`NetworkEngine`).
+
+Quickstart::
+
+    from repro.nn.zoo import resnet18_like
+    from repro.runtime import NetworkEngine
+
+    model = resnet18_like(seed=0)
+    engine = NetworkEngine.compile(model)
+    outputs = engine.run(inputs, micro_batch=64)
+    print(engine.network_statistics().converts_per_mac)
+"""
+
+from repro.runtime.cache import (
+    GLOBAL_WEIGHT_CACHE,
+    EncodedWeightCache,
+    ExecutorPool,
+)
+from repro.runtime.engine import NetworkEngine
+from repro.runtime.phases import extract_phase_tensor, plan_shift_masks
+from repro.runtime.vectorized import VectorizedLayerExecutor
+
+__all__ = [
+    "EncodedWeightCache",
+    "ExecutorPool",
+    "GLOBAL_WEIGHT_CACHE",
+    "NetworkEngine",
+    "VectorizedLayerExecutor",
+    "extract_phase_tensor",
+    "plan_shift_masks",
+]

@@ -1,0 +1,138 @@
+"""Encoded-weight caching and executor pooling.
+
+Building a :class:`~repro.core.executor.PimLayerExecutor` re-runs center
+optimisation and weight slicing (the dominant construction cost) even when the
+same layer is executed again with the same configuration -- which is exactly
+what repeated experiments (encoding ablations, noise sweeps, accuracy
+evaluations) do.  :class:`EncodedWeightCache` keys the encoded crossbar chunks
+by the layer's weight fingerprint and the encoding-relevant configuration
+fields so executor instances share one encoding.  :class:`ExecutorPool` goes
+one step further and reuses whole executors per ``(layer, config, noise)``.
+
+Both caches are plain in-process dictionaries intended for single-threaded
+experiment drivers; entries hold the encoded arrays read-only.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from repro.analog.noise import NoiseModel
+from repro.core.executor import PimLayerConfig, PimLayerExecutor
+from repro.nn.layers import MatmulLayer
+
+__all__ = ["EncodedWeightCache", "ExecutorPool", "GLOBAL_WEIGHT_CACHE"]
+
+
+def _encoding_key(layer: MatmulLayer, config: PimLayerConfig) -> Hashable:
+    """Cache key covering every input of the weight-encoding pipeline."""
+    return (
+        layer.weight_fingerprint,
+        config.crossbar_rows,
+        config.weight_slicing.widths,
+        config.weight_encoding,
+        config.center_power,
+    )
+
+
+@dataclass
+class EncodedWeightCache:
+    """LRU cache of encoded crossbar chunks, shared across executors.
+
+    Parameters
+    ----------
+    max_entries:
+        Number of distinct (layer, encoding-config) entries kept; one entry
+        holds all row chunks of one layer.
+    """
+
+    max_entries: int = 128
+    hits: int = 0
+    misses: int = 0
+    _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+
+    def encoded_chunks(
+        self,
+        layer: MatmulLayer,
+        config: PimLayerConfig,
+        builder: Callable[[], list],
+    ) -> list:
+        """Return the layer's encoded chunks, building them on first use."""
+        key = _encoding_key(layer, config)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        chunks = builder()
+        self._entries[key] = chunks
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return chunks
+
+    def clear(self) -> None:
+        """Drop all cached encodings (counters are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-wide encoding cache used by the vectorized executor by default.
+GLOBAL_WEIGHT_CACHE = EncodedWeightCache()
+
+
+class ExecutorPool:
+    """Reuses one executor per ``(layer, config, noise)`` combination.
+
+    A pooled executor keeps its crossbars programmed and its statistics
+    accumulating across uses; call ``get(..., reset_stats=True)`` to start a
+    fresh measurement on reuse.  The pool holds strong references to its
+    executors, which keeps the identity-based keys valid.
+    """
+
+    def __init__(
+        self,
+        executor_factory: type[PimLayerExecutor] | None = None,
+        weight_cache: EncodedWeightCache | None = GLOBAL_WEIGHT_CACHE,
+    ):
+        if executor_factory is None:
+            from repro.runtime.vectorized import VectorizedLayerExecutor
+
+            executor_factory = VectorizedLayerExecutor
+        self.executor_factory = executor_factory
+        self.weight_cache = weight_cache
+        self._executors: dict[Hashable, PimLayerExecutor] = {}
+
+    def get(
+        self,
+        layer: MatmulLayer,
+        config: PimLayerConfig | None = None,
+        noise: NoiseModel | None = None,
+        reset_stats: bool = False,
+    ) -> PimLayerExecutor:
+        """Return a pooled executor for the layer, building one on first use."""
+        config = config or PimLayerConfig()
+        key = (id(layer), config, id(noise) if noise is not None else None)
+        executor = self._executors.get(key)
+        if executor is None:
+            from repro.runtime.vectorized import VectorizedLayerExecutor
+
+            kwargs = {}
+            if issubclass(self.executor_factory, VectorizedLayerExecutor):
+                kwargs["weight_cache"] = self.weight_cache
+            executor = self.executor_factory(layer, config, noise=noise, **kwargs)
+            self._executors[key] = executor
+        elif reset_stats:
+            executor.reset_stats()
+        return executor
+
+    def clear(self) -> None:
+        """Drop every pooled executor."""
+        self._executors.clear()
+
+    def __len__(self) -> int:
+        return len(self._executors)

@@ -1,0 +1,179 @@
+"""End-to-end batched network execution.
+
+:class:`NetworkEngine` runs a calibrated
+:class:`~repro.nn.model.QuantizedModel` through per-layer PIM executors with
+configurable micro-batching.  It is the batched-inference front end the
+experiment harnesses use: compile once (adaptive slicing, center selection,
+weight encoding -- all cached), then stream arbitrarily large input batches
+through the vectorized executors without blowing up the working set.
+
+Three construction paths:
+
+* :meth:`NetworkEngine.compile` -- full RAELLA compilation (adaptive weight
+  slicing per layer) with vectorized executors.
+* :meth:`NetworkEngine.build` -- one uniform :class:`PimLayerConfig` for all
+  layers, executors served from an :class:`~repro.runtime.cache.ExecutorPool`
+  so repeated experiments reuse programmed crossbars.
+* :meth:`NetworkEngine.from_program` -- wrap an existing compiled
+  :class:`~repro.core.compiler.RaellaProgram`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analog.noise import NoiseModel
+from repro.core.compiler import RaellaCompiler, RaellaCompilerConfig, RaellaProgram
+from repro.core.executor import LayerStatistics, PimLayerConfig, PimLayerExecutor
+from repro.nn.layers import MatmulLayer
+from repro.nn.model import QuantizedModel
+from repro.runtime.cache import ExecutorPool
+from repro.runtime.vectorized import VectorizedLayerExecutor
+
+__all__ = ["NetworkEngine"]
+
+#: Sentinel distinguishing "use the engine default" from an explicit ``None``
+#: (= one full-batch pass) in per-call ``micro_batch`` overrides.
+_USE_DEFAULT = object()
+
+
+class NetworkEngine:
+    """Batched inference over a calibrated model's per-layer PIM executors.
+
+    Parameters
+    ----------
+    model:
+        The calibrated quantized model.
+    executors:
+        One executor per crossbar-mapped layer, keyed by layer name.
+    micro_batch:
+        Default number of input samples pushed through the network at a time;
+        ``None`` runs the whole batch in one pass (bit-identical to calling
+        the executors directly).
+    """
+
+    def __init__(
+        self,
+        model: QuantizedModel,
+        executors: dict[str, PimLayerExecutor],
+        micro_batch: int | None = None,
+    ):
+        missing = [
+            layer.name
+            for layer in model.matmul_layers()
+            if layer.name not in executors
+        ]
+        if missing:
+            raise ValueError(f"no executor for layers {missing}")
+        self.model = model
+        self.executors = dict(executors)
+        self.micro_batch = micro_batch
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def compile(
+        cls,
+        model: QuantizedModel,
+        config: RaellaCompilerConfig | None = None,
+        noise: NoiseModel | None = None,
+        micro_batch: int | None = None,
+        test_inputs: np.ndarray | None = None,
+        seed: int = 0,
+        executor_factory: type[PimLayerExecutor] | None = None,
+    ) -> "NetworkEngine":
+        """Compile with per-layer adaptive slicing and vectorized executors."""
+        compiler = RaellaCompiler(
+            config,
+            noise=noise,
+            executor_factory=executor_factory or VectorizedLayerExecutor,
+        )
+        program = compiler.compile(model, test_inputs=test_inputs, seed=seed)
+        return cls.from_program(program, micro_batch=micro_batch)
+
+    @classmethod
+    def build(
+        cls,
+        model: QuantizedModel,
+        config: PimLayerConfig | None = None,
+        noise: NoiseModel | None = None,
+        micro_batch: int | None = None,
+        pool: ExecutorPool | None = None,
+    ) -> "NetworkEngine":
+        """Build with one uniform config per layer, executors from a pool."""
+        pool = pool or ExecutorPool()
+        executors = {
+            layer.name: pool.get(layer, config, noise=noise)
+            for layer in model.matmul_layers()
+        }
+        return cls(model, executors, micro_batch=micro_batch)
+
+    @classmethod
+    def from_program(
+        cls, program: RaellaProgram, micro_batch: int | None = None
+    ) -> "NetworkEngine":
+        """Wrap the executors of an already-compiled RAELLA program."""
+        executors = {
+            name: compiled.executor for name, compiled in program.layers.items()
+        }
+        return cls(program.model, executors, micro_batch=micro_batch)
+
+    # -- execution ------------------------------------------------------------
+
+    def pim_matmul(self, input_codes: np.ndarray, layer: MatmulLayer) -> np.ndarray:
+        """PIM mat-mul hook dispatching to the layer's executor."""
+        executor = self.executors.get(layer.name)
+        if executor is None:
+            raise KeyError(f"layer {layer.name!r} has no executor")
+        return executor.matmul(input_codes)
+
+    def run(
+        self,
+        inputs: np.ndarray,
+        return_codes: bool = False,
+        micro_batch: int | None = _USE_DEFAULT,
+    ) -> np.ndarray:
+        """Run the integer path end-to-end through the PIM executors.
+
+        ``micro_batch`` overrides the engine default for this call; pass an
+        explicit ``None`` to force one full-batch pass.
+        """
+        return self.model.forward_quantized(
+            inputs,
+            pim_matmul=self.pim_matmul,
+            return_codes=return_codes,
+            micro_batch=(
+                self.micro_batch if micro_batch is _USE_DEFAULT else micro_batch
+            ),
+        )
+
+    def predict(
+        self, inputs: np.ndarray, micro_batch: int | None = _USE_DEFAULT
+    ) -> np.ndarray:
+        """Class predictions from the PIM integer path."""
+        logits = self.run(inputs, micro_batch=micro_batch)
+        return np.argmax(logits, axis=-1)
+
+    # -- statistics -----------------------------------------------------------
+
+    def layer_statistics(self) -> dict[str, LayerStatistics]:
+        """Per-layer accumulated statistics."""
+        return {name: executor.stats for name, executor in self.executors.items()}
+
+    def network_statistics(self) -> LayerStatistics:
+        """Network-wide totals (crossbar/column counts sum across layers)."""
+        total = LayerStatistics(layer_name=self.model.name)
+        for executor in self.executors.values():
+            total.merge_layers(executor.stats)
+        return total
+
+    def reset_statistics(self) -> None:
+        """Clear accumulated statistics on every executor."""
+        for executor in self.executors.values():
+            executor.reset_stats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NetworkEngine(model={self.model.name!r}, "
+            f"layers={len(self.executors)}, micro_batch={self.micro_batch})"
+        )

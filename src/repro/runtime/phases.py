@@ -1,0 +1,51 @@
+"""Batched input-phase slice extraction.
+
+The per-phase executor calls
+:func:`repro.core.dynamic_input.extract_input_slice` once per phase (11 times
+per chunk with RAELLA's speculative schedule).  Here the whole schedule is
+materialised at once: broadcasting the plan's shift and mask vectors over the
+input codes yields the ``(n_phases, M, rows)`` tensor of every bit-plane slice
+in a single NumPy expression.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.dynamic_input import InputSlicePlan
+
+__all__ = ["plan_shift_masks", "extract_phase_tensor"]
+
+
+@lru_cache(maxsize=None)
+def plan_shift_masks(plan: InputSlicePlan) -> tuple[np.ndarray, np.ndarray]:
+    """Per-phase shift and mask vectors of a plan (treat as read-only)."""
+    shifts = np.array([phase.shift for phase in plan.phases], dtype=np.int64)
+    masks = np.array(
+        [(1 << phase.width) - 1 for phase in plan.phases], dtype=np.int64
+    )
+    shifts.setflags(write=False)
+    masks.setflags(write=False)
+    return shifts, masks
+
+
+def extract_phase_tensor(codes: np.ndarray, plan: InputSlicePlan) -> np.ndarray:
+    """All input slices of a batch in one shot: ``(n_phases, M, rows)``.
+
+    ``codes`` is the non-negative ``(M, rows)`` input-code matrix; entry
+    ``[p, i, r]`` is the value phase ``p`` feeds to the DAC of row ``r`` for
+    input ``i``.  Identical to stacking ``extract_input_slice`` over the
+    plan's phases.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    if np.any(codes < 0):
+        raise ValueError(
+            "input codes must be non-negative; signed inputs are split into "
+            "positive/negative magnitudes before slicing"
+        )
+    shifts, masks = plan_shift_masks(plan)
+    return (codes[np.newaxis, :, :] >> shifts[:, np.newaxis, np.newaxis]) & (
+        masks[:, np.newaxis, np.newaxis]
+    )

@@ -1,0 +1,153 @@
+"""Vectorized PIM layer executor: batched phases, fused GEMMs, cached weights.
+
+:class:`VectorizedLayerExecutor` is a drop-in replacement for
+:class:`~repro.core.executor.PimLayerExecutor` that replaces the per-phase
+Python loop of the hot path with batched tensor operations:
+
+* every input bit-plane slice of a chunk is extracted in one shot
+  (:func:`repro.runtime.phases.extract_phase_tensor`), and
+* the ``n_phases`` per-phase matmuls are fused into a single float64 BLAS
+  GEMM over a ``(n_phases * M, rows)`` operand.
+
+Bit-identity with the per-phase reference is by construction, not by luck:
+
+* slice values (< 2**4) and weight-slice values (< 2**device_bits) are tiny
+  integers, so every product and partial sum in the GEMM is an integer far
+  below 2**53 -- float64 arithmetic is exact and matches the reference's
+  int64 matmuls digit for digit;
+* the ADC conversion, speculation/recovery masking, statistics accumulation
+  and noise application still run through the *same* inherited per-phase code
+  path (via the ``_phase_sums`` provider hook), in the same order and on
+  arrays of the same shape, so seeded noise draws and all
+  :class:`~repro.core.executor.LayerStatistics` counters are identical too.
+
+Weight encoding (center optimisation dominates construction time) is shared
+across executor instances through :mod:`repro.runtime.cache`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analog.noise import NoiselessModel, NoiseModel
+from repro.core.dynamic_input import InputPhase
+from repro.core.executor import PimLayerConfig, PimLayerExecutor, _EncodedChunk
+from repro.nn.layers import MatmulLayer
+from repro.runtime.cache import GLOBAL_WEIGHT_CACHE, EncodedWeightCache
+from repro.runtime.phases import extract_phase_tensor
+
+__all__ = ["VectorizedLayerExecutor"]
+
+
+class _ChunkOperands:
+    """Float GEMM operands of one encoded chunk, prepared once per executor."""
+
+    def __init__(self, chunk: _EncodedChunk, noiseless: bool):
+        if noiseless:
+            # Noiseless sums only need W+ - W-; activity has a closed form.
+            self.weights = chunk.diff_flat.astype(np.float64)
+            self.sum_flat_rowsum = chunk.sum_flat.sum(axis=1)
+        else:
+            # Noise models need both N+ - N- and N+ + N-: stack the weight
+            # operands so one GEMM produces both column-sum families.
+            self.weights = np.hstack([chunk.diff_flat, chunk.sum_flat]).astype(
+                np.float64
+            )
+            self.sum_flat_rowsum = None
+        self.n_columns = chunk.diff_flat.shape[1]
+
+
+class VectorizedLayerExecutor(PimLayerExecutor):
+    """Batched-phase executor, bit-identical to the per-phase reference.
+
+    Parameters
+    ----------
+    layer, config, noise:
+        As for :class:`~repro.core.executor.PimLayerExecutor`.
+    weight_cache:
+        Encoded-weight cache shared across executor instances; pass ``None``
+        to encode privately.  Defaults to the process-wide cache.
+
+    Memory note: each chunk's batched phase tensor holds
+    ``n_phases * M * rows`` values; for very large batches run through
+    :class:`~repro.runtime.engine.NetworkEngine` micro-batching.
+    """
+
+    def __init__(
+        self,
+        layer: MatmulLayer,
+        config: PimLayerConfig | None = None,
+        noise: NoiseModel | None = None,
+        weight_cache: EncodedWeightCache | None = GLOBAL_WEIGHT_CACHE,
+    ):
+        self._weight_cache = weight_cache
+        super().__init__(layer, config, noise=noise)
+        noiseless = isinstance(self.noise, NoiselessModel)
+        self._operands = {
+            id(chunk): _ChunkOperands(chunk, noiseless) for chunk in self._chunks
+        }
+        self._phase_sums_cache: list[np.ndarray] | None = None
+
+    def _build_encoded_chunks(self) -> list[_EncodedChunk]:
+        if self._weight_cache is None:
+            return super()._build_encoded_chunks()
+        return self._weight_cache.encoded_chunks(
+            self.layer, self.config, super()._build_encoded_chunks
+        )
+
+    # -- batched hot path -------------------------------------------------------
+
+    def _chunk_matmul(self, codes: np.ndarray, chunk: _EncodedChunk) -> np.ndarray:
+        self._phase_sums_cache = self._batched_phase_sums(codes, chunk)
+        try:
+            return super()._chunk_matmul(codes, chunk)
+        finally:
+            self._phase_sums_cache = None
+
+    def _phase_sums(
+        self, codes: np.ndarray, chunk: _EncodedChunk, phase: InputPhase, index: int
+    ) -> np.ndarray:
+        return self._phase_sums_cache[index]
+
+    def _batched_phase_sums(
+        self, codes: np.ndarray, chunk: _EncodedChunk
+    ) -> list[np.ndarray]:
+        """All phases' analog column sums for one chunk, one GEMM.
+
+        Returns one ``(M, n_slices, filters)`` array per phase and performs
+        the per-phase statistics / noise bookkeeping in plan order, exactly
+        as the per-phase reference does.
+        """
+        operands = self._operands[id(chunk)]
+        n_phases = self.plan.n_cycles
+        m = codes.shape[0]
+        n_slices = chunk.encoded.slicing.n_slices
+        n_filters = chunk.encoded.n_filters
+        n_cols = operands.n_columns
+
+        phase_tensor = extract_phase_tensor(codes, self.plan)  # (P, M, rows)
+        flat = phase_tensor.reshape(n_phases * m, -1).astype(np.float64)
+        products = (flat @ operands.weights).reshape(n_phases, m, -1)
+
+        # Per-phase input pulses: integer counters, batched then accumulated.
+        pulses = phase_tensor.sum(axis=(1, 2))
+        sums: list[np.ndarray] = []
+        if operands.sum_flat_rowsum is not None:
+            # Noiseless path: the products *are* the column sums; analog
+            # activity has the reference's closed form per phase.
+            activities = phase_tensor.sum(axis=1) @ operands.sum_flat_rowsum
+            for index in range(n_phases):
+                self.stats.crossbar_activity += float(activities[index])
+                self.stats.input_pulses += int(pulses[index])
+                sums.append(products[index].reshape(m, n_slices, n_filters))
+        else:
+            diff = products[:, :, :n_cols]
+            total = products[:, :, n_cols:]
+            for index in range(n_phases):
+                positive = 0.5 * (total[index] + diff[index])
+                negative = 0.5 * (total[index] - diff[index])
+                self.stats.crossbar_activity += float(total[index].sum())
+                self.stats.input_pulses += int(pulses[index])
+                noisy = self.noise.apply(positive, negative)
+                sums.append(noisy.reshape(m, n_slices, n_filters))
+        return sums

@@ -89,6 +89,15 @@ class TestBitSerialPlan:
         plan = InputSlicePlan.build(mode=SpeculationMode.BIT_SERIAL)
         assert len(plan.adc_converting_phases) == 8
 
+    def test_incomplete_serial_slicing_raises(self):
+        # Directly-built plans must fail loudly, not only via PimLayerConfig.
+        with pytest.raises(ValueError):
+            InputSlicePlan.build(
+                mode=SpeculationMode.BIT_SERIAL,
+                serial_slicing=Slicing((4, 2)),
+                input_bits=8,
+            )
+
 
 class TestExtractInputSlice:
     def test_extracts_high_nibble(self):

@@ -146,6 +146,44 @@ class TestSaturationBehaviour:
         )
 
 
+class TestSaturationDetection:
+    """Saturation is a *clipping* event: at-rail sums are converted exactly."""
+
+    def test_at_rail_sums_are_not_saturated(self, tiny_linear_layer):
+        executor = PimLayerExecutor(tiny_linear_layer, PimLayerConfig())
+        config = executor.config
+        sums = np.array(
+            [float(config.adc_max), float(config.adc_min), 0.0], dtype=np.float64
+        )
+        converted, saturated = executor._convert(sums)
+        assert np.array_equal(converted, sums)
+        assert not saturated.any()
+
+    def test_beyond_rail_sums_are_saturated(self, tiny_linear_layer):
+        executor = PimLayerExecutor(tiny_linear_layer, PimLayerConfig())
+        config = executor.config
+        sums = np.array(
+            [config.adc_max + 1.0, config.adc_min - 1.0], dtype=np.float64
+        )
+        converted, saturated = executor._convert(sums)
+        assert np.array_equal(converted, [config.adc_max, config.adc_min])
+        assert saturated.all()
+
+    def test_unsigned_adc_rails(self, tiny_linear_layer):
+        config = PimLayerConfig(
+            adc_signed=False, weight_encoding=WeightEncoding.UNSIGNED,
+            weight_slicing=ISAAC_WEIGHT_SLICING,
+            speculation=SpeculationMode.BIT_SERIAL, adc_bits=8,
+        )
+        executor = PimLayerExecutor(tiny_linear_layer, config)
+        # At-rail sums convert exactly; overflow and (noise-driven) underflow
+        # both clip and both count as saturation.
+        sums = np.array([255.0, 256.0, 0.0, -1.0], dtype=np.float64)
+        converted, saturated = executor._convert(sums)
+        assert converted.tolist() == [255.0, 255.0, 0.0, 0.0]
+        assert saturated.tolist() == [False, True, False, True]
+
+
 class TestStatistics:
     def test_converts_per_mac_bit_serial(self, tiny_linear_layer, tiny_patches):
         config = PimLayerConfig(adc_bits=WIDE_ADC, speculation=SpeculationMode.BIT_SERIAL,
@@ -207,6 +245,52 @@ class TestStatistics:
         b.matmul(tiny_patches)
         merged = a.stats.merge(b.stats)
         assert merged.macs == 2 * b.stats.macs
+
+    def test_merge_runs_keeps_structural_maximum(self, tiny_linear_layer, tiny_patches):
+        a = PimLayerExecutor(tiny_linear_layer, PimLayerConfig())
+        b = PimLayerExecutor(tiny_linear_layer, PimLayerConfig())
+        a.matmul(tiny_patches)
+        b.matmul(tiny_patches)
+        n_crossbars, n_columns = a.stats.n_crossbars, a.stats.n_columns
+        merged = a.stats.merge_runs(b.stats)
+        # Re-running the same layer does not grow its crossbar footprint.
+        assert merged.n_crossbars == n_crossbars
+        assert merged.n_columns == n_columns
+
+    def test_merge_layers_sums_structural_totals(self, tiny_linear_layer, tiny_patches):
+        a = PimLayerExecutor(tiny_linear_layer, PimLayerConfig())
+        b = PimLayerExecutor(tiny_linear_layer, PimLayerConfig())
+        a.matmul(tiny_patches)
+        b.matmul(tiny_patches)
+        n_crossbars = a.stats.n_crossbars + b.stats.n_crossbars
+        n_columns = a.stats.n_columns + b.stats.n_columns
+        merged = a.stats.merge_layers(b.stats)
+        assert merged.n_crossbars == n_crossbars
+        assert merged.n_columns == n_columns
+        assert merged.macs == 2 * b.stats.macs
+
+    def test_column_sum_sampling_spans_whole_output(self, tiny_linear_layer):
+        executor = PimLayerExecutor(
+            tiny_linear_layer,
+            PimLayerConfig(collect_column_sums=True, max_column_sum_samples=10),
+        )
+        executor._record_column_sums("serial", np.arange(1000.0))
+        sample = executor.stats.column_sum_array("serial")
+        # Deterministic stride across the whole phase output, not a prefix.
+        assert np.array_equal(sample, np.arange(0.0, 1000.0, 100.0))
+
+    def test_column_sum_sampling_fills_budget_when_not_divisible(
+        self, tiny_linear_layer
+    ):
+        executor = PimLayerExecutor(
+            tiny_linear_layer,
+            PimLayerConfig(collect_column_sums=True, max_column_sum_samples=600),
+        )
+        executor._record_column_sums("serial", np.arange(1000.0))
+        sample = executor.stats.column_sum_array("serial")
+        # Exactly the configured budget, spread over the whole output.
+        assert sample.size == 600
+        assert sample[0] == 0.0 and sample[-1] >= 990.0
 
     def test_statistics_failure_rates_bounded(self, tiny_linear_layer, tiny_patches):
         executor = PimLayerExecutor(tiny_linear_layer, PimLayerConfig())

@@ -58,6 +58,7 @@ class TestEndToEndAccuracy:
                 zero.layers[name].choice.slicing == program.layers[name].choice.slicing
             )
 
+    @pytest.mark.slow
     def test_heavy_noise_degrades_isaac_more_than_raella(self, small_training):
         dataset, training = small_training
         from repro.baselines.isaac import IsaacBaseline
@@ -97,6 +98,7 @@ class TestEndToEndZooPipeline:
         assert 0 < report.converts_per_mac < 1
         assert report.outputs.shape[0] == 1
 
+    @pytest.mark.slow
     def test_functional_converts_per_mac_consistent_with_analytic(self, fast_config):
         """The measured Converts/MAC should land near the cost model's estimate."""
         model = build_runnable("resnet18", seed=0)
@@ -122,6 +124,7 @@ class TestEndToEndZooPipeline:
 
 
 class TestBertPipeline:
+    @pytest.mark.slow
     def test_signed_transformer_ffn_executes(self, fast_config):
         model = build_runnable("bert_large_ffn", seed=0)
         program = RaellaCompiler(fast_config).compile(model, seed=0)
