@@ -1,10 +1,66 @@
-"""Setuptools shim.
+"""Packaging metadata for the RAELLA reproduction.
 
-The project is configured through ``pyproject.toml``; this file exists so that
-fully-offline environments without the ``wheel`` package can still install the
-library with ``python setup.py develop`` or ``python setup.py install``.
+There is no ``pyproject.toml`` on purpose: fully-offline environments without
+the ``wheel``/``build`` packages must still be able to ``pip install -e .``
+or ``python setup.py develop``, so everything is declared here with plain
+setuptools.
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+ROOT = Path(__file__).resolve().parent
+
+
+def read_version() -> str:
+    namespace: dict = {}
+    exec((ROOT / "src" / "repro" / "_version.py").read_text(encoding="utf-8"),
+         namespace)
+    return namespace["__version__"]
+
+
+def read_long_description() -> str:
+    readme = ROOT / "README.md"
+    return readme.read_text(encoding="utf-8") if readme.is_file() else ""
+
+
+setup(
+    name="raella-repro",
+    version=read_version(),
+    description=(
+        "Reproduction of RAELLA (ISCA 2023): efficient, low-resolution, "
+        "low-loss analog PIM -- functional simulator, cost models, "
+        "vectorized runtime and multi-tenant batched inference serving"
+    ),
+    long_description=read_long_description(),
+    long_description_content_type="text/markdown",
+    author="RAELLA reproduction contributors",
+    license="MIT",
+    license_files=["LICENSE"],
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    include_package_data=True,
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    keywords=[
+        "processing-in-memory", "analog computing", "ReRAM", "crossbar",
+        "quantization", "DNN accelerator", "simulation", "RAELLA",
+    ],
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering",
+        "Topic :: System :: Hardware",
+    ],
+    zip_safe=False,
+)

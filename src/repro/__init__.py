@@ -16,8 +16,11 @@ The package is organised as:
   Adaptive Weight Slicing, Dynamic Input Slicing, the layer executor,
   the DNN compiler and the accelerator model.
 * :mod:`repro.runtime`    -- vectorized batched execution engine: fused
-  phase GEMMs, encoded-weight caching, executor pooling and the
-  :class:`~repro.runtime.NetworkEngine` batched-inference front end.
+  phase GEMMs (with an opt-in float32 fast path), encoded-weight caching,
+  executor pooling and the :class:`~repro.runtime.NetworkEngine`
+  batched-inference front end.
+* :mod:`repro.serve`      -- multi-tenant serving: model registry, dynamic
+  micro-batching inference server, layer-pipeline sharded engine.
 * :mod:`repro.hw`         -- Accelergy/Timeloop-style energy, area and
   throughput models plus the Titanium-Law analysis.
 * :mod:`repro.baselines`  -- ISAAC, FORMS, TIMELY and Zero+Offset baselines.

@@ -11,7 +11,10 @@ batched engine while staying bit-identical to the per-phase reference:
 * :mod:`repro.runtime.vectorized` fuses the per-phase matmuls of a chunk into
   one BLAS GEMM (:class:`VectorizedLayerExecutor`).  Slice and weight values
   are small integers, so the float64 GEMM is exact and the results are
-  bit-identical to the integer per-phase path.
+  bit-identical to the integer per-phase path.  An opt-in float32 fast path
+  (used by :mod:`repro.serve`) applies wherever
+  :func:`float32_gemm_is_exact` proves the accumulation fits float32's
+  24-bit mantissa.
 * :mod:`repro.runtime.cache` shares encoded weights across executor instances
   (center optimisation dominates executor construction) and pools executors
   per layer so repeated experiments do not re-program crossbars.
@@ -37,7 +40,7 @@ from repro.runtime.cache import (
 )
 from repro.runtime.engine import NetworkEngine
 from repro.runtime.phases import extract_phase_tensor, plan_shift_masks
-from repro.runtime.vectorized import VectorizedLayerExecutor
+from repro.runtime.vectorized import VectorizedLayerExecutor, float32_gemm_is_exact
 
 __all__ = [
     "EncodedWeightCache",
@@ -46,5 +49,6 @@ __all__ = [
     "NetworkEngine",
     "VectorizedLayerExecutor",
     "extract_phase_tensor",
+    "float32_gemm_is_exact",
     "plan_shift_masks",
 ]

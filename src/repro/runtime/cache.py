@@ -9,12 +9,16 @@ by the layer's weight fingerprint and the encoding-relevant configuration
 fields so executor instances share one encoding.  :class:`ExecutorPool` goes
 one step further and reuses whole executors per ``(layer, config, noise)``.
 
-Both caches are plain in-process dictionaries intended for single-threaded
-experiment drivers; entries hold the encoded arrays read-only.
+Both caches are safe to share across threads: the multi-tenant serving layer
+(:mod:`repro.serve`) builds engines for several hosted models concurrently
+against one pool and one weight cache.  A coarse re-entrant lock guards each
+structure; encoding a layer holds the lock, which serialises construction but
+guarantees each entry is built exactly once.  Cached entries are read-only.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Hashable
@@ -52,6 +56,9 @@ class EncodedWeightCache:
     hits: int = 0
     misses: int = 0
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def encoded_chunks(
         self,
@@ -59,26 +66,33 @@ class EncodedWeightCache:
         config: PimLayerConfig,
         builder: Callable[[], list],
     ) -> list:
-        """Return the layer's encoded chunks, building them on first use."""
+        """Return the layer's encoded chunks, building them on first use.
+
+        Thread-safe: the builder runs under the cache lock, so concurrent
+        lookups of the same key encode once and share the result.
+        """
         key = _encoding_key(layer, config)
-        cached = self._entries.get(key)
-        if cached is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return cached
-        self.misses += 1
-        chunks = builder()
-        self._entries[key] = chunks
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-        return chunks
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return cached
+            self.misses += 1
+            chunks = builder()
+            self._entries[key] = chunks
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            return chunks
 
     def clear(self) -> None:
         """Drop all cached encodings (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 #: Process-wide encoding cache used by the vectorized executor by default.
@@ -86,18 +100,36 @@ GLOBAL_WEIGHT_CACHE = EncodedWeightCache()
 
 
 class ExecutorPool:
-    """Reuses one executor per ``(layer, config, noise)`` combination.
+    """Reuses one executor per ``(layer, config, noise, float32)`` combination.
 
     A pooled executor keeps its crossbars programmed and its statistics
     accumulating across uses; call ``get(..., reset_stats=True)`` to start a
     fresh measurement on reuse.  The pool holds strong references to its
     executors, which keeps the identity-based keys valid.
+
+    ``get`` is thread-safe; concurrent lookups of the same key build one
+    executor and share it.  Note that the pooled *executors* themselves are
+    not thread-safe (statistics accumulate unguarded) -- callers that share a
+    pool across threads must serialise calls into any one executor, as
+    :class:`repro.serve.InferenceServer` does with its per-executor locks.
+
+    Parameters
+    ----------
+    executor_factory:
+        Executor class to instantiate (the vectorized one by default).
+    weight_cache:
+        Encoded-weight cache handed to vectorized executors.
+    float32:
+        Default for ``get``'s ``float32`` flag: request the opt-in float32
+        GEMM fast path (applied per chunk only where provably exact; see
+        :class:`~repro.runtime.vectorized.VectorizedLayerExecutor`).
     """
 
     def __init__(
         self,
         executor_factory: type[PimLayerExecutor] | None = None,
         weight_cache: EncodedWeightCache | None = GLOBAL_WEIGHT_CACHE,
+        float32: bool = False,
     ):
         if executor_factory is None:
             from repro.runtime.vectorized import VectorizedLayerExecutor
@@ -105,7 +137,9 @@ class ExecutorPool:
             executor_factory = VectorizedLayerExecutor
         self.executor_factory = executor_factory
         self.weight_cache = weight_cache
+        self.float32 = float32
         self._executors: dict[Hashable, PimLayerExecutor] = {}
+        self._lock = threading.RLock()
 
     def get(
         self,
@@ -113,26 +147,46 @@ class ExecutorPool:
         config: PimLayerConfig | None = None,
         noise: NoiseModel | None = None,
         reset_stats: bool = False,
+        float32: bool | None = None,
     ) -> PimLayerExecutor:
-        """Return a pooled executor for the layer, building one on first use."""
-        config = config or PimLayerConfig()
-        key = (id(layer), config, id(noise) if noise is not None else None)
-        executor = self._executors.get(key)
-        if executor is None:
-            from repro.runtime.vectorized import VectorizedLayerExecutor
+        """Return a pooled executor for the layer, building one on first use.
 
-            kwargs = {}
-            if issubclass(self.executor_factory, VectorizedLayerExecutor):
-                kwargs["weight_cache"] = self.weight_cache
-            executor = self.executor_factory(layer, config, noise=noise, **kwargs)
-            self._executors[key] = executor
-        elif reset_stats:
-            executor.reset_stats()
-        return executor
+        ``float32`` overrides the pool default for this lookup; it is part of
+        the pool key, so float32 and float64 executors for the same layer
+        coexist.  The flag is ignored (normalised to off) for executor
+        factories without a float32 fast path.
+        """
+        from repro.runtime.vectorized import VectorizedLayerExecutor
+
+        config = config or PimLayerConfig()
+        vectorized = issubclass(self.executor_factory, VectorizedLayerExecutor)
+        use_float32 = (self.float32 if float32 is None else float32) and vectorized
+        key = (
+            id(layer),
+            config,
+            id(noise) if noise is not None else None,
+            use_float32,
+        )
+        with self._lock:
+            executor = self._executors.get(key)
+            if executor is None:
+                kwargs = {}
+                if vectorized:
+                    kwargs["weight_cache"] = self.weight_cache
+                    kwargs["float32"] = use_float32
+                executor = self.executor_factory(
+                    layer, config, noise=noise, **kwargs
+                )
+                self._executors[key] = executor
+            elif reset_stats:
+                executor.reset_stats()
+            return executor
 
     def clear(self) -> None:
         """Drop every pooled executor."""
-        self._executors.clear()
+        with self._lock:
+            self._executors.clear()
 
     def __len__(self) -> int:
-        return len(self._executors)
+        with self._lock:
+            return len(self._executors)

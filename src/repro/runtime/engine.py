@@ -99,11 +99,19 @@ class NetworkEngine:
         noise: NoiseModel | None = None,
         micro_batch: int | None = None,
         pool: ExecutorPool | None = None,
+        float32: bool | None = None,
     ) -> "NetworkEngine":
-        """Build with one uniform config per layer, executors from a pool."""
-        pool = pool or ExecutorPool()
+        """Build with one uniform config per layer, executors from a pool.
+
+        ``float32`` requests the vectorized executors' opt-in float32 GEMM
+        fast path (bit-identical; applied per chunk only where provably
+        exact); ``None`` defers to the pool's default.
+        """
+        # Not ``pool or ExecutorPool()``: an empty pool is falsy (__len__) and
+        # a shared pool passed in before first use must still be used.
+        pool = pool if pool is not None else ExecutorPool()
         executors = {
-            layer.name: pool.get(layer, config, noise=noise)
+            layer.name: pool.get(layer, config, noise=noise, float32=float32)
             for layer in model.matmul_layers()
         }
         return cls(model, executors, micro_batch=micro_batch)

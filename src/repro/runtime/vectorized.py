@@ -21,6 +21,16 @@ Bit-identity with the per-phase reference is by construction, not by luck:
   arrays of the same shape, so seeded noise draws and all
   :class:`~repro.core.executor.LayerStatistics` counters are identical too.
 
+The same argument admits an opt-in **float32 fast path** (``float32=True``):
+when every partial sum of a chunk's GEMM is provably below float32's 24-bit
+integer-exact range (:func:`float32_gemm_is_exact`), the GEMM runs in float32
+(roughly twice the BLAS throughput, half the operand memory traffic) and the
+products -- still exact integers -- are widened back to float64 before the
+ADC/noise stages, keeping outputs and statistics bit-identical to the float64
+path.  Chunks that cannot be proven safe silently stay on float64, so the
+flag is always safe to set.  The multi-tenant serving layer
+(:mod:`repro.serve`) enables it by default.
+
 Weight encoding (center optimisation dominates construction time) is shared
 across executor instances through :mod:`repro.runtime.cache`.
 """
@@ -36,24 +46,53 @@ from repro.nn.layers import MatmulLayer
 from repro.runtime.cache import GLOBAL_WEIGHT_CACHE, EncodedWeightCache
 from repro.runtime.phases import extract_phase_tensor
 
-__all__ = ["VectorizedLayerExecutor"]
+__all__ = ["VectorizedLayerExecutor", "float32_gemm_is_exact"]
+
+#: Largest contiguous integer range float32 represents exactly (24-bit mantissa).
+_FLOAT32_EXACT_LIMIT = 1 << 24
+
+
+def float32_gemm_is_exact(max_slice_value: int, weights: np.ndarray) -> bool:
+    """Whether a slice-value x ``weights`` GEMM is provably exact in float32.
+
+    Every product and running partial sum of the GEMM is an integer bounded in
+    magnitude by ``max_slice_value * max_c(sum_r |weights[r, c]|)`` (slice
+    values are non-negative, so partial sums cannot overshoot this bound
+    mid-accumulation either).  If that bound stays below ``2**24`` each
+    intermediate is exactly representable in float32, making the float32 GEMM
+    bit-identical to the float64 one regardless of BLAS summation order.
+    """
+    if weights.size == 0:
+        return True
+    column_abs_sum = np.abs(weights).astype(np.float64).sum(axis=0).max()
+    return max_slice_value * column_abs_sum < _FLOAT32_EXACT_LIMIT
 
 
 class _ChunkOperands:
     """Float GEMM operands of one encoded chunk, prepared once per executor."""
 
-    def __init__(self, chunk: _EncodedChunk, noiseless: bool):
+    def __init__(
+        self,
+        chunk: _EncodedChunk,
+        noiseless: bool,
+        float32: bool,
+        max_slice_value: int,
+    ):
         if noiseless:
             # Noiseless sums only need W+ - W-; activity has a closed form.
-            self.weights = chunk.diff_flat.astype(np.float64)
+            weights = chunk.diff_flat
             self.sum_flat_rowsum = chunk.sum_flat.sum(axis=1)
         else:
             # Noise models need both N+ - N- and N+ + N-: stack the weight
             # operands so one GEMM produces both column-sum families.
-            self.weights = np.hstack([chunk.diff_flat, chunk.sum_flat]).astype(
-                np.float64
-            )
+            weights = np.hstack([chunk.diff_flat, chunk.sum_flat])
             self.sum_flat_rowsum = None
+        self.dtype = (
+            np.float32
+            if float32 and float32_gemm_is_exact(max_slice_value, weights)
+            else np.float64
+        )
+        self.weights = weights.astype(self.dtype)
         self.n_columns = chunk.diff_flat.shape[1]
 
 
@@ -67,6 +106,11 @@ class VectorizedLayerExecutor(PimLayerExecutor):
     weight_cache:
         Encoded-weight cache shared across executor instances; pass ``None``
         to encode privately.  Defaults to the process-wide cache.
+    float32:
+        Opt into the float32 GEMM fast path.  Applied per chunk only where
+        :func:`float32_gemm_is_exact` proves the accumulation fits float32's
+        24-bit mantissa; other chunks keep float64.  Results are bit-identical
+        either way.
 
     Memory note: each chunk's batched phase tensor holds
     ``n_phases * M * rows`` values; for very large batches run through
@@ -79,14 +123,23 @@ class VectorizedLayerExecutor(PimLayerExecutor):
         config: PimLayerConfig | None = None,
         noise: NoiseModel | None = None,
         weight_cache: EncodedWeightCache | None = GLOBAL_WEIGHT_CACHE,
+        float32: bool = False,
     ):
         self._weight_cache = weight_cache
+        self.float32 = float32
         super().__init__(layer, config, noise=noise)
         noiseless = isinstance(self.noise, NoiselessModel)
+        max_slice = max((1 << phase.width) - 1 for phase in self.plan.phases)
         self._operands = {
-            id(chunk): _ChunkOperands(chunk, noiseless) for chunk in self._chunks
+            id(chunk): _ChunkOperands(chunk, noiseless, float32, max_slice)
+            for chunk in self._chunks
         }
         self._phase_sums_cache: list[np.ndarray] | None = None
+
+    @property
+    def gemm_dtypes(self) -> list[type]:
+        """The GEMM dtype chosen for each row chunk, in chunk order."""
+        return [self._operands[id(chunk)].dtype for chunk in self._chunks]
 
     def _build_encoded_chunks(self) -> list[_EncodedChunk]:
         if self._weight_cache is None:
@@ -126,8 +179,13 @@ class VectorizedLayerExecutor(PimLayerExecutor):
         n_cols = operands.n_columns
 
         phase_tensor = extract_phase_tensor(codes, self.plan)  # (P, M, rows)
-        flat = phase_tensor.reshape(n_phases * m, -1).astype(np.float64)
+        flat = phase_tensor.reshape(n_phases * m, -1).astype(operands.dtype)
         products = (flat @ operands.weights).reshape(n_phases, m, -1)
+        if operands.dtype is not np.float64:
+            # Fast-path products are exact integers within float32's mantissa;
+            # widening is lossless and keeps all downstream stages (ADC,
+            # noise, statistics) on the reference float64 arrays.
+            products = products.astype(np.float64)
 
         # Per-phase input pulses: integer counters, batched then accumulated.
         pulses = phase_tensor.sum(axis=(1, 2))

@@ -1,0 +1,55 @@
+"""Multi-tenant batched serving on top of the vectorized runtime.
+
+The ROADMAP's north star is a production-scale system serving heavy traffic;
+this package turns :class:`~repro.runtime.NetworkEngine` into that serving
+layer:
+
+* :mod:`repro.serve.registry` -- :class:`ModelRegistry` hosts several
+  calibrated models side by side behind one shared
+  :class:`~repro.runtime.ExecutorPool` / :class:`~repro.runtime.EncodedWeightCache`
+  (identical weights share encoded crossbars across tenants), with the
+  runtime's float32 GEMM fast path enabled by default.
+* :mod:`repro.serve.scheduler` -- the dynamic micro-batching substrate:
+  :class:`BatchingPolicy` (batch-size target + latency budget),
+  :class:`InferenceFuture` result handles and the per-model
+  :class:`RequestQueue`.
+* :mod:`repro.serve.server` -- :class:`InferenceServer` coalesces concurrent
+  requests per model into one engine call and splits the outputs back per
+  request; different models execute concurrently, each model serialises.
+* :mod:`repro.serve.sharded` -- :class:`ShardedEngine` pipelines micro-batches
+  across layer stages in worker threads, bit-identical to the sequential
+  engine.
+
+Quickstart::
+
+    from repro.serve import BatchingPolicy, InferenceServer, ModelRegistry
+
+    registry = ModelRegistry()
+    registry.register("resnet", model)          # a calibrated QuantizedModel
+    policy = BatchingPolicy(max_batch_size=32, max_delay_s=0.002)
+    with InferenceServer(registry, policy) as server:
+        future = server.submit("resnet", inputs)   # (n_samples, *input_shape)
+        outputs = future.result()
+    print(server.statistics().mean_batch_size)
+"""
+
+from repro.serve.registry import ModelRegistry
+from repro.serve.scheduler import (
+    BatchingPolicy,
+    InferenceFuture,
+    InferenceRequest,
+    RequestQueue,
+)
+from repro.serve.server import InferenceServer, ServerStatistics
+from repro.serve.sharded import ShardedEngine
+
+__all__ = [
+    "BatchingPolicy",
+    "InferenceFuture",
+    "InferenceRequest",
+    "InferenceServer",
+    "ModelRegistry",
+    "RequestQueue",
+    "ServerStatistics",
+    "ShardedEngine",
+]

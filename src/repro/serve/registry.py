@@ -1,0 +1,145 @@
+"""Multi-tenant model hosting behind one shared executor pool.
+
+:class:`ModelRegistry` holds several calibrated models side by side, each
+compiled into its own :class:`~repro.runtime.NetworkEngine` (or pipelined
+:class:`~repro.serve.sharded.ShardedEngine`), while every engine draws its
+executors from one shared :class:`~repro.runtime.ExecutorPool` and one shared
+:class:`~repro.runtime.EncodedWeightCache`.  Tenants with identical layer
+weights (fine-tuned model families, A/B variants) therefore share encoded
+crossbars automatically, and re-registering a model after eviction re-uses its
+pooled executors outright.
+
+The registry enables the runtime's float32 GEMM fast path by default: serving
+is the hot path the ROADMAP targets, and the fast path silently degrades to
+float64 per chunk wherever exactness cannot be proven, so it is always safe.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.analog.noise import NoiseModel
+from repro.core.executor import PimLayerConfig
+from repro.nn.model import QuantizedModel
+from repro.runtime.cache import EncodedWeightCache, ExecutorPool
+from repro.runtime.engine import NetworkEngine
+from repro.serve.sharded import ShardedEngine
+
+__all__ = ["ModelRegistry"]
+
+
+class ModelRegistry:
+    """Named, calibrated models compiled into engines over shared caches.
+
+    Parameters
+    ----------
+    pool:
+        Executor pool shared by every hosted engine; built fresh (with its own
+        weight cache) when omitted.
+    float32:
+        Default for the float32 GEMM fast path of newly registered engines.
+    """
+
+    def __init__(self, pool: ExecutorPool | None = None, float32: bool = True):
+        if pool is None:
+            pool = ExecutorPool(weight_cache=EncodedWeightCache(), float32=float32)
+        self.pool = pool
+        self.float32 = float32
+        self._engines: dict[str, NetworkEngine] = {}
+        self._reserved: set[str] = set()
+        self._lock = threading.RLock()
+
+    @property
+    def weight_cache(self) -> EncodedWeightCache | None:
+        """The encoded-weight cache behind the shared pool."""
+        return self.pool.weight_cache
+
+    def register(
+        self,
+        name: str,
+        model: QuantizedModel,
+        config: PimLayerConfig | None = None,
+        noise: NoiseModel | None = None,
+        micro_batch: int | None = None,
+        n_stages: int | None = None,
+        sharded: bool = False,
+        float32: bool | None = None,
+    ) -> NetworkEngine:
+        """Host a calibrated model under ``name`` and return its engine.
+
+        ``sharded=True`` (or any explicit ``n_stages``) builds a pipelined
+        :class:`ShardedEngine`; both engine kinds are bit-identical, sharding
+        only changes how micro-batches overlap in time.
+        """
+        if not model.is_calibrated:
+            raise ValueError(f"model {model.name!r} must be calibrated first")
+        use_float32 = self.float32 if float32 is None else float32
+        # Reserve the name, then build outside the registry lock so
+        # concurrent tenant registrations overlap their compilation work
+        # (the pool/cache locks already make the shared structures safe).
+        with self._lock:
+            if name in self._engines or name in self._reserved:
+                raise ValueError(f"model name {name!r} is already registered")
+            self._reserved.add(name)
+        try:
+            if sharded or n_stages is not None:
+                engine: NetworkEngine = ShardedEngine.build(
+                    model,
+                    config,
+                    noise=noise,
+                    micro_batch=micro_batch,
+                    pool=self.pool,
+                    float32=use_float32,
+                    n_stages=n_stages,
+                )
+            else:
+                engine = NetworkEngine.build(
+                    model,
+                    config,
+                    noise=noise,
+                    micro_batch=micro_batch,
+                    pool=self.pool,
+                    float32=use_float32,
+                )
+        except BaseException:
+            with self._lock:
+                self._reserved.discard(name)
+            raise
+        with self._lock:
+            self._reserved.discard(name)
+            self._engines[name] = engine
+        return engine
+
+    def engine(self, name: str) -> NetworkEngine:
+        """The engine hosting ``name``."""
+        with self._lock:
+            try:
+                return self._engines[name]
+            except KeyError:
+                raise KeyError(f"no model registered under {name!r}") from None
+
+    def model(self, name: str) -> QuantizedModel:
+        """The calibrated model registered under ``name``."""
+        return self.engine(name).model
+
+    def unregister(self, name: str) -> None:
+        """Drop a hosted model (its pooled executors stay cached for reuse)."""
+        with self._lock:
+            if self._engines.pop(name, None) is None:
+                raise KeyError(f"no model registered under {name!r}")
+
+    def names(self) -> list[str]:
+        """Registered model names, in registration order."""
+        with self._lock:
+            return list(self._engines)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._engines
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._engines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ModelRegistry(models={self.names()}, pool_executors={len(self.pool)})"

@@ -1,0 +1,178 @@
+"""Dynamic micro-batching: request futures, batching policy, request queue.
+
+The serving layer coalesces concurrent requests *per model* into one engine
+call.  :class:`BatchingPolicy` sets the two knobs of the classic dynamic
+batcher: a batch-size target and a latency budget.  :class:`RequestQueue`
+holds pending :class:`InferenceRequest` objects per model and hands the
+scheduler the next ready batch -- the model whose oldest request has waited
+longest, as soon as that model has a full batch or its oldest request exhausts
+the latency budget.
+
+Requests never split across batches: a batch is a whole number of requests, so
+splitting engine outputs back per request is a plain ``np.split`` at request
+boundaries.  A single request larger than the batch-size target forms its own
+batch (the engine's micro-batching bounds the working set downstream).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BatchingPolicy", "InferenceFuture", "InferenceRequest", "RequestQueue"]
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Coalescing knobs of the dynamic micro-batching scheduler.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Sample-count target per coalesced engine call; a batch closes as soon
+        as adding the next whole request would exceed it (a single oversized
+        request still runs, alone).
+    max_delay_s:
+        Latency budget: the longest a request may wait for co-batching before
+        the scheduler dispatches whatever has accumulated.
+    """
+
+    max_batch_size: int = 32
+    max_delay_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        if self.max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+
+
+class InferenceFuture:
+    """Handle to the result of one submitted request."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: np.ndarray | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """Whether a result or error has been delivered."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Block until the request completes; re-raises server-side errors."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("inference request did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _set_result(self, value: np.ndarray) -> None:
+        self._result = value
+        self._event.set()
+
+    def _set_error(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass
+class InferenceRequest:
+    """One pending request: a model name, an input batch, and its future."""
+
+    model_name: str
+    inputs: np.ndarray
+    future: InferenceFuture
+    enqueued_at: float
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples the request contributes to a batch."""
+        return self.inputs.shape[0]
+
+
+class RequestQueue:
+    """Per-model FIFO queues with batch-forming pop, shared by all submitters.
+
+    ``next_batch`` is intended for a single scheduler thread; ``submit`` may
+    be called from any number of threads.
+    """
+
+    def __init__(self) -> None:
+        self._pending: OrderedDict[str, deque[InferenceRequest]] = OrderedDict()
+        self._condition = threading.Condition()
+        self._closed = False
+
+    def submit(self, request: InferenceRequest) -> None:
+        """Enqueue a request and wake the scheduler."""
+        with self._condition:
+            if self._closed:
+                raise RuntimeError("request queue is closed")
+            self._pending.setdefault(request.model_name, deque()).append(request)
+            self._condition.notify_all()
+
+    def close(self) -> None:
+        """Refuse new requests; ``next_batch`` drains what remains, then ends."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        with self._condition:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._condition:
+            return sum(len(q) for q in self._pending.values())
+
+    def _oldest_model(self) -> str | None:
+        oldest_name, oldest_time = None, None
+        for name, requests in self._pending.items():
+            if requests and (oldest_time is None or requests[0].enqueued_at < oldest_time):
+                oldest_name, oldest_time = name, requests[0].enqueued_at
+        return oldest_name
+
+    def next_batch(self, policy: BatchingPolicy) -> list[InferenceRequest] | None:
+        """Block until a batch is ready; ``None`` once closed and drained.
+
+        The model whose head request has waited longest is served first.  Its
+        batch dispatches when the queued samples reach ``max_batch_size``,
+        when the head request's age exceeds ``max_delay_s``, or immediately
+        once the queue is closed (drain mode).
+        """
+        with self._condition:
+            while True:
+                name = self._oldest_model()
+                if name is None:
+                    if self._closed:
+                        return None
+                    self._condition.wait()
+                    continue
+                requests = self._pending[name]
+                queued_samples = sum(r.n_samples for r in requests)
+                head_age = time.monotonic() - requests[0].enqueued_at
+                remaining = policy.max_delay_s - head_age
+                if (
+                    queued_samples < policy.max_batch_size
+                    and remaining > 0
+                    and not self._closed
+                ):
+                    self._condition.wait(timeout=remaining)
+                    continue
+                batch = [requests.popleft()]
+                total = batch[0].n_samples
+                while (
+                    requests
+                    and total + requests[0].n_samples <= policy.max_batch_size
+                ):
+                    total += requests[0].n_samples
+                    batch.append(requests.popleft())
+                if not requests:
+                    del self._pending[name]
+                return batch

@@ -1,0 +1,297 @@
+"""The multi-tenant batched inference server.
+
+:class:`InferenceServer` accepts concurrent requests against any model hosted
+in a :class:`~repro.serve.registry.ModelRegistry`, coalesces them per model
+with the dynamic micro-batching scheduler
+(:class:`~repro.serve.scheduler.RequestQueue`), executes each coalesced batch
+on the model's engine, and splits the outputs back per request.
+
+Threading model:
+
+* any number of client threads call :meth:`submit` / :meth:`infer`;
+* one scheduler thread forms batches and appends them to per-model FIFO
+  dispatch queues, each drained by at most one worker at a time -- batches of
+  *different* models run concurrently, batches of the same model run in
+  submission order;
+* engine access is additionally serialised per *executor* (locks acquired in
+  a global order), because the shared :class:`~repro.runtime.ExecutorPool`
+  can back several hosted names with the same executors (e.g. one model
+  registered twice, or tenants sharing layer objects), and executors
+  accumulate statistics and noise state unguarded.
+
+Results are bit-identical to calling ``engine.run`` directly on each request's
+inputs whenever the engine is deterministic (the default noiseless setup):
+every stage of the simulator is per-sample, so coalescing requests into one
+batch cannot change any request's outputs.  With a seeded noise model the
+*grouping* determines which draws land on which request, exactly as it would
+when choosing a batch size by hand.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.registry import ModelRegistry
+from repro.serve.scheduler import (
+    BatchingPolicy,
+    InferenceFuture,
+    InferenceRequest,
+    RequestQueue,
+)
+
+__all__ = ["InferenceServer", "ServerStatistics"]
+
+
+@dataclass
+class ServerStatistics:
+    """Aggregate serving counters (snapshot via :meth:`InferenceServer.statistics`)."""
+
+    requests_submitted: int = 0
+    requests_completed: int = 0
+    requests_failed: int = 0
+    batches_executed: int = 0
+    samples_executed: int = 0
+    max_batch_size: int = 0
+    engine_time_s: float = 0.0
+    queue_wait_s: float = 0.0
+    batches_per_model: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average samples per coalesced engine call."""
+        if self.batches_executed == 0:
+            return 0.0
+        return self.samples_executed / self.batches_executed
+
+    @property
+    def mean_queue_wait_s(self) -> float:
+        """Average time a request waited for co-batching."""
+        if self.requests_completed == 0:
+            return 0.0
+        return self.queue_wait_s / self.requests_completed
+
+
+class InferenceServer:
+    """Dynamic micro-batching server over a model registry.
+
+    Parameters
+    ----------
+    registry:
+        The hosted models.  Models may be registered while the server runs.
+    policy:
+        Batch-size / latency-budget knobs of the scheduler.
+    max_workers:
+        Worker threads executing coalesced batches; batches of different
+        models run concurrently, batches of one model always serialise.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`.  Requests
+    may be submitted before :meth:`start`; they dispatch once the scheduler
+    runs (handy for deterministic tests and benchmarks).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        policy: BatchingPolicy | None = None,
+        max_workers: int = 2,
+    ):
+        if max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self.registry = registry
+        self.policy = policy or BatchingPolicy()
+        self.max_workers = max_workers
+        self._queue = RequestQueue()
+        self._stats = ServerStatistics()
+        self._stats_lock = threading.Lock()
+        self._executor_locks: dict[int, threading.Lock] = {}
+        # Per-model FIFO dispatch queues; a model is "active" while one
+        # worker drains its queue, which keeps same-model batches in order.
+        self._dispatch: dict[str, deque[list[InferenceRequest]]] = {}
+        self._active_models: set[str] = set()
+        self._dispatch_guard = threading.Lock()
+        self._scheduler: threading.Thread | None = None
+        self._workers: ThreadPoolExecutor | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "InferenceServer":
+        """Start the scheduler and worker pool (idempotent, restartable)."""
+        if self._scheduler is not None:
+            return self
+        if self._queue.closed:  # restarting after stop(): fresh queue
+            self._queue = RequestQueue()
+        self._workers = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="serve-worker"
+        )
+        self._scheduler = threading.Thread(
+            target=self._schedule_loop, name="serve-scheduler", daemon=True
+        )
+        self._scheduler.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain pending requests, then stop scheduler and workers."""
+        if self._scheduler is None:
+            return
+        self._queue.close()
+        self._scheduler.join()
+        self._workers.shutdown(wait=True)
+        self._scheduler = None
+        self._workers = None
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- client API ------------------------------------------------------------
+
+    def submit(self, model_name: str, inputs: np.ndarray) -> InferenceFuture:
+        """Enqueue a request and return its future.
+
+        ``inputs`` must carry a leading batch dimension:
+        ``(n_samples, *model.input_shape)``.  Validation happens here so bad
+        requests fail fast instead of poisoning a coalesced batch.
+        """
+        model = self.registry.model(model_name)  # raises KeyError if unknown
+        batch = np.asarray(inputs, dtype=np.float64)
+        if batch.ndim != len(model.input_shape) + 1 or batch.shape[0] == 0:
+            raise ValueError(
+                f"expected inputs of shape (n_samples, "
+                f"{', '.join(map(str, model.input_shape))}), got {batch.shape}"
+            )
+        if batch.shape[1:] != model.input_shape:
+            raise ValueError(
+                f"model {model_name!r} takes samples of shape "
+                f"{model.input_shape}, got {batch.shape[1:]}"
+            )
+        future = InferenceFuture()
+        request = InferenceRequest(
+            model_name=model_name,
+            inputs=batch,
+            future=future,
+            enqueued_at=time.monotonic(),
+        )
+        self._queue.submit(request)
+        with self._stats_lock:
+            self._stats.requests_submitted += 1
+        return future
+
+    def infer(
+        self, model_name: str, inputs: np.ndarray, timeout: float | None = None
+    ) -> np.ndarray:
+        """Synchronous convenience wrapper: submit and wait for the result."""
+        return self.submit(model_name, inputs).result(timeout)
+
+    def statistics(self) -> ServerStatistics:
+        """A consistent snapshot of the serving counters."""
+        with self._stats_lock:
+            snapshot = ServerStatistics(**{
+                name: value
+                for name, value in vars(self._stats).items()
+                if name != "batches_per_model"
+            })
+            snapshot.batches_per_model = dict(self._stats.batches_per_model)
+            return snapshot
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests currently queued (not yet dispatched)."""
+        return len(self._queue)
+
+    # -- scheduler / workers ---------------------------------------------------
+
+    def _engine_locks(self, engine) -> list[threading.Lock]:
+        """Locks covering the engine's shared mutable state, id-sorted.
+
+        The shared pool can back different hosted names with the same
+        executor instances, and different engines can share one stateful
+        (seeded) noise model whose RNG is not thread-safe -- so locks are
+        keyed per executor *and* per stateful noise object rather than per
+        model name.  The global id-sorted acquisition order makes taking
+        several locks deadlock-free.
+        """
+        from repro.analog.noise import NoiselessModel
+
+        lock_ids = {id(executor) for executor in engine.executors.values()}
+        lock_ids.update(
+            id(executor.noise)
+            for executor in engine.executors.values()
+            if not isinstance(executor.noise, NoiselessModel)
+        )
+        with self._dispatch_guard:
+            return [
+                self._executor_locks.setdefault(lock_id, threading.Lock())
+                for lock_id in sorted(lock_ids)
+            ]
+
+    def _schedule_loop(self) -> None:
+        while True:
+            batch = self._queue.next_batch(self.policy)
+            if batch is None:
+                return
+            name = batch[0].model_name
+            with self._dispatch_guard:
+                self._dispatch.setdefault(name, deque()).append(batch)
+                spawn_worker = name not in self._active_models
+                if spawn_worker:
+                    self._active_models.add(name)
+            if spawn_worker:
+                self._workers.submit(self._drain_model, name)
+
+    def _drain_model(self, name: str) -> None:
+        """Execute one model's dispatched batches in FIFO order."""
+        while True:
+            with self._dispatch_guard:
+                pending = self._dispatch.get(name)
+                if not pending:
+                    self._active_models.discard(name)
+                    return
+                batch = pending.popleft()
+            self._execute_batch(batch)
+
+    def _execute_batch(self, batch: list[InferenceRequest]) -> None:
+        name = batch[0].model_name
+        sizes = [request.n_samples for request in batch]
+        dispatched = time.monotonic()
+        try:
+            engine = self.registry.engine(name)
+            inputs = (
+                batch[0].inputs
+                if len(batch) == 1
+                else np.concatenate([request.inputs for request in batch], axis=0)
+            )
+            with ExitStack() as stack:
+                for lock in self._engine_locks(engine):
+                    stack.enter_context(lock)
+                start = time.perf_counter()
+                outputs = engine.run(inputs)
+                engine_time = time.perf_counter() - start
+        except BaseException as error:
+            for request in batch:
+                request.future._set_error(error)
+            with self._stats_lock:
+                self._stats.requests_failed += len(batch)
+            return
+        bounds = np.cumsum(sizes)[:-1]
+        for request, result in zip(batch, np.split(outputs, bounds, axis=0)):
+            request.future._set_result(result)
+        with self._stats_lock:
+            stats = self._stats
+            stats.requests_completed += len(batch)
+            stats.batches_executed += 1
+            stats.samples_executed += int(sum(sizes))
+            stats.max_batch_size = max(stats.max_batch_size, int(sum(sizes)))
+            stats.engine_time_s += engine_time
+            stats.queue_wait_s += sum(
+                dispatched - request.enqueued_at for request in batch
+            )
+            stats.batches_per_model[name] = stats.batches_per_model.get(name, 0) + 1

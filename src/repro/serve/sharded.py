@@ -1,0 +1,245 @@
+"""Layer-pipeline sharded execution, bit-identical to the sequential engine.
+
+:class:`ShardedEngine` partitions a model's layer list into contiguous
+*stages* (one per crossbar-mapped layer by default) and runs each stage in its
+own worker thread.  Micro-batches flow through the stages as a pipeline:
+while micro-batch ``i`` occupies stage 2, micro-batch ``i + 1`` is already
+executing on stage 1.  NumPy releases the GIL inside the BLAS GEMMs of the
+vectorized executors, so the stages genuinely overlap.
+
+Bit-identity with :meth:`NetworkEngine.run` holds by construction:
+
+* each stage is a *single* thread and its input queue is FIFO, so every layer
+  executor processes the micro-batches in exactly the order the sequential
+  micro-batched path would -- statistics accumulate in the same order and
+  seeded noise models draw the same values;
+* micro-batch boundaries, quantize/dequantize placement and layer arithmetic
+  are byte-for-byte the operations :meth:`QuantizedModel.forward_quantized`
+  performs with the same ``micro_batch``;
+* the one construction that cannot pipeline deterministically -- several
+  executors sharing a single seeded noise RNG, whose sequential draw order
+  interleaves *across* layers -- is detected and falls back to the sequential
+  path (give each layer its own noise model to pipeline noisy runs).
+
+The pipeline only pays off when there is more than one micro-batch in flight;
+with one stage, one micro-batch, or ``micro_batch=None`` the engine falls
+back to the inherited sequential path (same results either way).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+import numpy as np
+
+from repro.analog.noise import NoiseModel
+from repro.core.executor import PimLayerConfig
+from repro.nn.layers import MatmulLayer
+from repro.nn.model import QuantizedModel
+from repro.runtime.cache import ExecutorPool
+from repro.runtime.engine import _USE_DEFAULT, NetworkEngine
+
+__all__ = ["ShardedEngine"]
+
+
+class _StageFailure:
+    """Marker carrying a stage exception downstream with its micro-batch id."""
+
+    def __init__(self, index: int, error: BaseException):
+        self.index = index
+        self.error = error
+
+
+class ShardedEngine(NetworkEngine):
+    """A :class:`NetworkEngine` that pipelines micro-batches across layer stages.
+
+    Parameters
+    ----------
+    model, executors, micro_batch:
+        As for :class:`NetworkEngine`.  ``micro_batch`` doubles as the
+        pipeline granularity; with ``None`` the engine degenerates to the
+        sequential path.
+    n_stages:
+        Number of pipeline stages; ``None`` uses one stage per crossbar-mapped
+        layer.  Values larger than the number of natural stages are clamped.
+    """
+
+    def __init__(
+        self,
+        model: QuantizedModel,
+        executors: dict,
+        micro_batch: int | None = None,
+        n_stages: int | None = None,
+    ):
+        super().__init__(model, executors, micro_batch=micro_batch)
+        if n_stages is not None and n_stages < 1:
+            raise ValueError("n_stages must be positive")
+        self.n_stages = n_stages
+
+    @classmethod
+    def build(
+        cls,
+        model: QuantizedModel,
+        config: PimLayerConfig | None = None,
+        noise: NoiseModel | None = None,
+        micro_batch: int | None = None,
+        pool: ExecutorPool | None = None,
+        float32: bool | None = None,
+        n_stages: int | None = None,
+    ) -> "ShardedEngine":
+        """Build with pooled executors (see :meth:`NetworkEngine.build`)."""
+        if n_stages is not None and n_stages < 1:
+            raise ValueError("n_stages must be positive")
+        engine = super().build(
+            model,
+            config,
+            noise=noise,
+            micro_batch=micro_batch,
+            pool=pool,
+            float32=float32,
+        )
+        engine.n_stages = n_stages
+        return engine
+
+    # -- stage partitioning ----------------------------------------------------
+
+    def stage_groups(self) -> list[list]:
+        """Contiguous layer groups, one pipeline stage each.
+
+        A new stage starts at every crossbar-mapped layer (the expensive
+        operations worth overlapping); cheap digital layers ride along with
+        the preceding stage.  ``n_stages`` merges adjacent groups evenly when
+        fewer stages are requested.
+        """
+        groups: list[list] = []
+        for layer in self.model.layers:
+            if not groups or isinstance(layer, MatmulLayer):
+                groups.append([layer])
+            else:
+                groups[-1].append(layer)
+        if self.n_stages is not None and self.n_stages < len(groups):
+            merged: list[list] = []
+            bounds = np.linspace(0, len(groups), self.n_stages + 1).astype(int)
+            for lo, hi in zip(bounds[:-1], bounds[1:]):
+                if hi > lo:
+                    merged.append([g for group in groups[lo:hi] for g in group])
+            groups = merged
+        return groups
+
+    def _shares_stateful_noise(self) -> bool:
+        """Whether two executors share one stateful (seeded) noise model.
+
+        :meth:`NetworkEngine.build` hands every layer the *same* noise object,
+        whose RNG then draws in global layer-interleaved order on the
+        sequential path.  Pipelined stages would interleave those draws
+        nondeterministically, so such engines fall back to sequential
+        execution; give each layer its own noise model to pipeline noisy
+        runs (per-executor draw order is FIFO-preserved either way).
+        """
+        from repro.analog.noise import NoiselessModel
+
+        stateful = [
+            id(executor.noise)
+            for executor in self.executors.values()
+            if not isinstance(executor.noise, NoiselessModel)
+        ]
+        return len(stateful) != len(set(stateful))
+
+    # -- pipelined execution ---------------------------------------------------
+
+    def run(
+        self,
+        inputs: np.ndarray,
+        return_codes: bool = False,
+        micro_batch: int | None = _USE_DEFAULT,
+    ) -> np.ndarray:
+        """Run the integer path, pipelining micro-batches across stages."""
+        micro = self.micro_batch if micro_batch is _USE_DEFAULT else micro_batch
+        x = np.asarray(inputs, dtype=np.float64)
+        groups = self.stage_groups()
+        if micro is not None and micro <= 0:
+            raise ValueError("micro_batch must be positive")
+        if (
+            micro is None
+            or x.shape[0] <= micro
+            or len(groups) < 2
+            or self._shares_stateful_noise()
+        ):
+            return super().run(x, return_codes=return_codes, micro_batch=micro)
+        if not self.model.is_calibrated:
+            raise RuntimeError("model must be calibrated before quantized inference")
+
+        starts = range(0, x.shape[0], micro)
+        # Bounded inter-stage queues provide backpressure: a slow stage caps
+        # how many in-flight micro-batch activations accumulate ahead of it,
+        # preserving the working-set bound micro_batch exists to give.
+        queues: list[queue.Queue] = [
+            queue.Queue(maxsize=2) for _ in range(len(groups) + 1)
+        ]
+
+        def stage_worker(stage_index: int) -> None:
+            inbox, outbox = queues[stage_index], queues[stage_index + 1]
+            while True:
+                item = inbox.get()
+                if item is None or isinstance(item, _StageFailure):
+                    outbox.put(item)
+                    if item is None:
+                        return
+                    continue
+                index, codes, quant = item
+                try:
+                    for layer in groups[stage_index]:
+                        codes, quant = layer.forward_quantized(
+                            codes, quant, pim_matmul=self.pim_matmul
+                        )
+                except BaseException as error:  # propagate to the caller
+                    outbox.put(_StageFailure(index, error))
+                    continue
+                outbox.put((index, codes, quant))
+
+        input_quant = self.model.input_quant
+
+        def feeder() -> None:
+            # A dedicated feeder lets the main thread drain the final queue
+            # while the bounded queues apply backpressure upstream.
+            try:
+                for index, start in enumerate(starts):
+                    codes = input_quant.quantize(x[start : start + micro])
+                    queues[0].put((index, codes, input_quant))
+            except BaseException as error:  # pragma: no cover - defensive
+                queues[0].put(_StageFailure(-1, error))
+            queues[0].put(None)
+
+        workers = [
+            threading.Thread(target=stage_worker, args=(i,), daemon=True)
+            for i in range(len(groups))
+        ]
+        workers.append(threading.Thread(target=feeder, daemon=True))
+        for worker in workers:
+            worker.start()
+
+        results: dict[int, np.ndarray] = {}
+        failure: _StageFailure | None = None
+        while True:
+            item = queues[-1].get()
+            if item is None:
+                break
+            if isinstance(item, _StageFailure):
+                if failure is None or item.index < failure.index:
+                    failure = item
+                continue
+            index, codes, quant = item
+            results[index] = codes if return_codes else quant.dequantize(codes)
+        for worker in workers:
+            worker.join()
+        if failure is not None:
+            raise failure.error
+        return np.concatenate([results[i] for i in sorted(results)], axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedEngine(model={self.model.name!r}, "
+            f"layers={len(self.executors)}, micro_batch={self.micro_batch}, "
+            f"stages={len(self.stage_groups())})"
+        )

@@ -1,0 +1,154 @@
+"""Thread-safety regression tests for the runtime caches under serving load.
+
+The multi-tenant server registers models and serves batches from several
+threads against one :class:`~repro.runtime.ExecutorPool` and one
+:class:`~repro.runtime.EncodedWeightCache`.  These tests hammer both from
+thread barriers and assert the invariants the serving layer relies on: one
+build per key, consistent LRU bookkeeping, and no lost or duplicated entries.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.arithmetic.slicing import Slicing
+from repro.core.executor import PimLayerConfig
+from repro.nn.layers import Linear
+from repro.nn.synthetic import synthetic_linear_weights
+from repro.runtime import EncodedWeightCache, ExecutorPool, NetworkEngine
+from repro.serve import ModelRegistry
+
+N_THREADS = 8
+
+
+def run_in_threads(worker, n_threads=N_THREADS):
+    """Run ``worker(index)`` on a barrier start across threads; re-raise errors."""
+    barrier = threading.Barrier(n_threads)
+
+    def wrapped(index):
+        barrier.wait()
+        return worker(index)
+
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        futures = [pool.submit(wrapped, i) for i in range(n_threads)]
+        return [future.result(timeout=30) for future in futures]
+
+
+@pytest.fixture
+def slicings():
+    """Distinct weight slicings, each a distinct encoding-cache key."""
+    return [Slicing(w) for w in [(4, 2, 2), (2, 2, 2, 2), (4, 4), (1,) * 8]]
+
+
+class TestEncodedWeightCacheConcurrency:
+    def test_same_key_builds_once(self, tiny_linear_layer):
+        cache = EncodedWeightCache()
+        config = PimLayerConfig()
+        builds = []
+
+        def builder():
+            builds.append(threading.get_ident())
+            return ["chunks"]
+
+        results = run_in_threads(
+            lambda i: cache.encoded_chunks(tiny_linear_layer, config, builder)
+        )
+        assert len(builds) == 1
+        assert cache.misses == 1 and cache.hits == N_THREADS - 1
+        assert all(result is results[0] for result in results)
+
+    def test_distinct_keys_all_land(self, tiny_linear_layer, slicings):
+        cache = EncodedWeightCache()
+        configs = [PimLayerConfig(weight_slicing=s) for s in slicings]
+
+        def worker(index):
+            config = configs[index % len(configs)]
+            return cache.encoded_chunks(
+                tiny_linear_layer, config, lambda: [index % len(configs)]
+            )
+
+        run_in_threads(worker)
+        assert cache.misses == len(configs)
+        assert len(cache) == len(configs)
+
+    def test_lru_eviction_stays_bounded_under_contention(
+        self, tiny_linear_layer, slicings
+    ):
+        cache = EncodedWeightCache(max_entries=2)
+        configs = [PimLayerConfig(weight_slicing=s) for s in slicings]
+
+        def worker(index):
+            for round_index in range(25):
+                config = configs[(index + round_index) % len(configs)]
+                chunks = cache.encoded_chunks(
+                    tiny_linear_layer, config, lambda: ["entry"]
+                )
+                assert chunks == ["entry"]
+
+        run_in_threads(worker)
+        assert len(cache) <= 2
+        assert cache.hits + cache.misses == N_THREADS * 25
+
+
+class TestExecutorPoolConcurrency:
+    def test_same_key_yields_one_executor(self, tiny_linear_layer):
+        pool = ExecutorPool(weight_cache=None)
+        executors = run_in_threads(
+            lambda i: pool.get(tiny_linear_layer, PimLayerConfig())
+        )
+        assert len(pool) == 1
+        assert all(executor is executors[0] for executor in executors)
+
+    def test_distinct_configs_yield_distinct_executors(
+        self, tiny_linear_layer, slicings
+    ):
+        pool = ExecutorPool(weight_cache=None)
+
+        def worker(index):
+            slicing = slicings[index % len(slicings)]
+            return pool.get(
+                tiny_linear_layer, PimLayerConfig(weight_slicing=slicing)
+            )
+
+        executors = run_in_threads(worker)
+        assert len(pool) == len(slicings)
+        assert len({id(e) for e in executors}) == len(slicings)
+
+    def test_concurrent_engine_builds_share_executors(self, tiny_mlp_model):
+        pool = ExecutorPool(weight_cache=None)
+        engines = run_in_threads(
+            lambda i: NetworkEngine.build(tiny_mlp_model, pool=pool)
+        )
+        assert len(pool) == len(tiny_mlp_model.matmul_layers())
+        first = engines[0]
+        for engine in engines[1:]:
+            for name, executor in engine.executors.items():
+                assert executor is first.executors[name]
+
+
+class TestRegistryConcurrency:
+    def test_concurrent_tenant_registration(self, rng):
+        registry = ModelRegistry()
+        models = []
+        for index in range(N_THREADS):
+            from repro.nn.model import QuantizedModel
+
+            layer = Linear(
+                f"fc_{index}", synthetic_linear_weights(4, 8, rng)
+            )
+            model = QuantizedModel(f"model_{index}", [layer], input_shape=(8,))
+            model.calibrate(np.abs(rng.normal(0, 1, size=(16, 8))))
+            models.append(model)
+
+        run_in_threads(
+            lambda i: registry.register(f"tenant_{i}", models[i])
+        )
+        assert len(registry) == N_THREADS
+        assert len(registry.pool) == N_THREADS
+        # Every tenant still serves correct results after the stampede.
+        inputs = np.abs(rng.normal(0, 1, size=(2, 8)))
+        for index in range(N_THREADS):
+            outputs = registry.engine(f"tenant_{index}").run(inputs)
+            assert outputs.shape == (2, 4)

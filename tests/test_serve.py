@@ -1,0 +1,483 @@
+"""Tests for the serving layer: sharding, float32 fast path, registry, server.
+
+The serving contract mirrors the runtime's: everything stays *bit-identical*
+to the sequential float64 :class:`~repro.runtime.NetworkEngine` path --
+coalescing requests, pipelining micro-batches across layer stages, and the
+float32 GEMM fast path are pure scheduling/throughput changes.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analog.noise import GaussianColumnNoise
+from repro.core.executor import PimLayerConfig, PimLayerExecutor
+from repro.runtime import ExecutorPool, NetworkEngine, float32_gemm_is_exact
+from repro.runtime.vectorized import VectorizedLayerExecutor
+from repro.serve import (
+    BatchingPolicy,
+    InferenceServer,
+    ModelRegistry,
+    ShardedEngine,
+)
+from tests.test_runtime_engine import assert_stats_equal
+
+
+def private_pool(**kwargs) -> ExecutorPool:
+    """A pool with no shared weight cache, for isolated parity comparisons."""
+    return ExecutorPool(weight_cache=None, **kwargs)
+
+
+class TestFloat32FastPath:
+    def test_exactness_predicate(self):
+        # 512 rows of 4-bit slice products: bound 512 * 15 * 30 << 2**24.
+        safe = np.full((512, 8), 30, dtype=np.int64)
+        assert float32_gemm_is_exact(15, safe)
+        # One huge weight pushes the bound past the 24-bit mantissa.
+        unsafe = np.full((1, 1), 1 << 22, dtype=np.int64)
+        assert not float32_gemm_is_exact(15, unsafe)
+        assert float32_gemm_is_exact(15, np.empty((0, 0)))
+
+    def test_default_config_uses_float32(self, tiny_linear_layer):
+        executor = VectorizedLayerExecutor(
+            tiny_linear_layer, PimLayerConfig(), weight_cache=None, float32=True
+        )
+        assert executor.gemm_dtypes == [np.float32]
+
+    def test_opt_out_stays_float64(self, tiny_linear_layer):
+        executor = VectorizedLayerExecutor(
+            tiny_linear_layer, PimLayerConfig(), weight_cache=None
+        )
+        assert executor.gemm_dtypes == [np.float64]
+
+    @pytest.mark.parametrize("rows", [512, 7])  # single and multi chunk
+    def test_outputs_and_stats_bit_identical(
+        self, rows, tiny_linear_layer, tiny_patches
+    ):
+        config = PimLayerConfig(crossbar_rows=rows, collect_column_sums=True)
+        reference = PimLayerExecutor(tiny_linear_layer, config)
+        fast = VectorizedLayerExecutor(
+            tiny_linear_layer, config, weight_cache=None, float32=True
+        )
+        assert np.float32 in fast.gemm_dtypes
+        assert np.array_equal(
+            reference.matmul(tiny_patches), fast.matmul(tiny_patches)
+        )
+        assert_stats_equal(reference.stats, fast.stats)
+
+    def test_seeded_noise_bit_identical(self, tiny_linear_layer, tiny_patches):
+        config = PimLayerConfig()
+        reference = VectorizedLayerExecutor(
+            tiny_linear_layer, config,
+            noise=GaussianColumnNoise(level=0.08, seed=3), weight_cache=None,
+        )
+        fast = VectorizedLayerExecutor(
+            tiny_linear_layer, config,
+            noise=GaussianColumnNoise(level=0.08, seed=3),
+            weight_cache=None, float32=True,
+        )
+        assert np.array_equal(
+            reference.matmul(tiny_patches), fast.matmul(tiny_patches)
+        )
+        assert_stats_equal(reference.stats, fast.stats)
+
+    def test_engine_level_parity(self, tiny_mlp_model, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(6, 16)))
+        reference = NetworkEngine.build(tiny_mlp_model, pool=private_pool())
+        fast = NetworkEngine.build(
+            tiny_mlp_model, pool=private_pool(), float32=True
+        )
+        assert np.array_equal(reference.run(inputs), fast.run(inputs))
+        assert_stats_equal(
+            reference.network_statistics(), fast.network_statistics()
+        )
+
+    def test_pool_keys_float32_separately(self, tiny_linear_layer):
+        pool = private_pool()
+        plain = pool.get(tiny_linear_layer, PimLayerConfig())
+        fast = pool.get(tiny_linear_layer, PimLayerConfig(), float32=True)
+        assert plain is not fast and len(pool) == 2
+        assert pool.get(tiny_linear_layer, PimLayerConfig(), float32=True) is fast
+
+    def test_reference_factory_ignores_float32(self, tiny_linear_layer):
+        pool = private_pool(executor_factory=PimLayerExecutor, float32=True)
+        executor = pool.get(tiny_linear_layer, PimLayerConfig())
+        assert type(executor) is PimLayerExecutor
+        # Normalised key: explicit float32 lookups reuse the same executor.
+        assert pool.get(tiny_linear_layer, PimLayerConfig(), float32=True) is executor
+
+
+class TestShardedEngine:
+    def test_mlp_parity_with_sequential(self, tiny_mlp_model, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(10, 16)))
+        sequential = NetworkEngine.build(
+            tiny_mlp_model, pool=private_pool(), micro_batch=3
+        )
+        sharded = ShardedEngine.build(
+            tiny_mlp_model, pool=private_pool(), micro_batch=3
+        )
+        assert np.array_equal(sequential.run(inputs), sharded.run(inputs))
+        assert_stats_equal(
+            sequential.network_statistics(), sharded.network_statistics()
+        )
+
+    def test_conv_model_parity(self, tiny_conv_model, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(7, 3, 8, 8)))
+        sequential = NetworkEngine.build(tiny_conv_model, pool=private_pool())
+        sharded = ShardedEngine.build(
+            tiny_conv_model, pool=private_pool(), micro_batch=2
+        )
+        assert np.array_equal(sequential.run(inputs), sharded.run(inputs))
+
+    def test_shared_noise_rng_falls_back_sequentially(self, tiny_mlp_model, rng):
+        # NetworkEngine.build hands every layer the same noise object; its
+        # RNG draws in layer-interleaved order, which a pipeline cannot
+        # reproduce -- ShardedEngine must detect this and stay sequential.
+        inputs = np.abs(rng.normal(0, 1, size=(9, 16)))
+        sequential = NetworkEngine.build(
+            tiny_mlp_model, pool=private_pool(), micro_batch=4,
+            noise=GaussianColumnNoise(level=0.08, seed=5),
+        )
+        sharded = ShardedEngine.build(
+            tiny_mlp_model, pool=private_pool(), micro_batch=4,
+            noise=GaussianColumnNoise(level=0.08, seed=5),
+        )
+        assert sharded._shares_stateful_noise()
+        assert np.array_equal(sequential.run(inputs), sharded.run(inputs))
+        assert_stats_equal(
+            sequential.network_statistics(), sharded.network_statistics()
+        )
+
+    def test_per_layer_noise_pipelines_bit_identically(self, tiny_mlp_model, rng):
+        # With one seeded noise model per layer the pipeline really runs,
+        # and FIFO single-thread stages draw identical values per executor.
+        inputs = np.abs(rng.normal(0, 1, size=(9, 16)))
+
+        def engine(cls, **kwargs):
+            executors = {
+                layer.name: VectorizedLayerExecutor(
+                    layer,
+                    PimLayerConfig(),
+                    noise=GaussianColumnNoise(level=0.08, seed=40 + i),
+                    weight_cache=None,
+                )
+                for i, layer in enumerate(tiny_mlp_model.matmul_layers())
+            }
+            return cls(tiny_mlp_model, executors, **kwargs)
+
+        sequential = engine(NetworkEngine, micro_batch=4)
+        sharded = engine(ShardedEngine, micro_batch=4)
+        assert not sharded._shares_stateful_noise()
+        assert np.array_equal(sequential.run(inputs), sharded.run(inputs))
+        assert_stats_equal(
+            sequential.network_statistics(), sharded.network_statistics()
+        )
+
+    def test_float32_sharded_parity(self, tiny_mlp_model, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(10, 16)))
+        sequential = NetworkEngine.build(tiny_mlp_model, pool=private_pool())
+        sharded = ShardedEngine.build(
+            tiny_mlp_model, pool=private_pool(), micro_batch=2, float32=True
+        )
+        assert np.array_equal(sequential.run(inputs), sharded.run(inputs))
+
+    def test_return_codes_parity(self, tiny_mlp_model, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(6, 16)))
+        sequential = NetworkEngine.build(tiny_mlp_model, pool=private_pool())
+        sharded = ShardedEngine.build(
+            tiny_mlp_model, pool=private_pool(), micro_batch=2
+        )
+        assert np.array_equal(
+            sequential.run(inputs, return_codes=True),
+            sharded.run(inputs, return_codes=True),
+        )
+
+    def test_stage_groups_one_per_matmul_layer(self, tiny_conv_model):
+        engine = ShardedEngine.build(tiny_conv_model, pool=private_pool())
+        groups = engine.stage_groups()
+        assert len(groups) == len(tiny_conv_model.matmul_layers())
+        assert [layer.name for group in groups for layer in group] == [
+            layer.name for layer in tiny_conv_model.layers
+        ]
+
+    def test_n_stages_merges_groups(self, tiny_conv_model):
+        engine = ShardedEngine.build(
+            tiny_conv_model, pool=private_pool(), n_stages=2
+        )
+        assert len(engine.stage_groups()) == 2
+        oversubscribed = ShardedEngine.build(
+            tiny_conv_model, pool=private_pool(), n_stages=99
+        )
+        assert len(oversubscribed.stage_groups()) == 3
+
+    def test_invalid_n_stages_rejected(self, tiny_mlp_model):
+        with pytest.raises(ValueError):
+            ShardedEngine.build(tiny_mlp_model, pool=private_pool(), n_stages=0)
+
+    def test_stage_errors_propagate(self, tiny_mlp_model, rng):
+        engine = ShardedEngine.build(
+            tiny_mlp_model, pool=private_pool(), micro_batch=2
+        )
+
+        def explode(codes):
+            raise RuntimeError("crossbar fault")
+
+        engine.executors["fc2"].matmul = explode
+        with pytest.raises(RuntimeError, match="crossbar fault"):
+            engine.run(np.abs(rng.normal(0, 1, size=(6, 16))))
+
+    def test_invalid_micro_batch_rejected(self, tiny_mlp_model, rng):
+        engine = ShardedEngine.build(tiny_mlp_model, pool=private_pool())
+        with pytest.raises(ValueError):
+            engine.run(np.abs(rng.normal(0, 1, size=(4, 16))), micro_batch=0)
+
+
+class TestModelRegistry:
+    def test_register_and_lookup(self, tiny_mlp_model):
+        registry = ModelRegistry()
+        engine = registry.register("mlp", tiny_mlp_model)
+        assert registry.engine("mlp") is engine
+        assert registry.model("mlp") is tiny_mlp_model
+        assert "mlp" in registry and registry.names() == ["mlp"] and len(registry) == 1
+
+    def test_duplicate_name_rejected(self, tiny_mlp_model):
+        registry = ModelRegistry()
+        registry.register("mlp", tiny_mlp_model)
+        with pytest.raises(ValueError):
+            registry.register("mlp", tiny_mlp_model)
+
+    def test_uncalibrated_model_rejected(self, rng):
+        from repro.nn.layers import Linear
+        from repro.nn.model import QuantizedModel
+        from repro.nn.synthetic import synthetic_linear_weights
+
+        model = QuantizedModel(
+            "raw",
+            [Linear("fc", synthetic_linear_weights(4, 8, rng))],
+            input_shape=(8,),
+        )
+        with pytest.raises(ValueError):
+            ModelRegistry().register("raw", model)
+
+    def test_unknown_lookup_and_unregister(self, tiny_mlp_model):
+        registry = ModelRegistry()
+        with pytest.raises(KeyError):
+            registry.engine("ghost")
+        with pytest.raises(KeyError):
+            registry.unregister("ghost")
+        registry.register("mlp", tiny_mlp_model)
+        registry.unregister("mlp")
+        assert "mlp" not in registry
+
+    def test_tenants_share_pool_and_weight_cache(self, tiny_mlp_model, rng):
+        from repro.nn.layers import Linear
+        from repro.nn.model import QuantizedModel
+        from repro.nn.synthetic import synthetic_linear_weights
+
+        registry = ModelRegistry()
+        registry.register("a", tiny_mlp_model)
+        assert len(registry.pool) == len(tiny_mlp_model.matmul_layers())
+        # A twin tenant with identical weight codes reuses the encodings.
+        weights = synthetic_linear_weights(4, 8, rng)
+        twins = []
+        inputs = np.abs(rng.normal(0, 1, size=(16, 8)))
+        for name in ("twin_a", "twin_b"):
+            layer = Linear(f"{name}_fc", weights.copy())
+            model = QuantizedModel(name, [layer], input_shape=(8,))
+            model.calibrate(inputs)
+            twins.append(model)
+        before = registry.weight_cache.misses
+        for name, model in zip(("b", "c"), twins):
+            registry.register(name, model)
+        assert registry.weight_cache.misses == before + 1
+        assert registry.weight_cache.hits >= 1
+
+    def test_sharded_registration(self, tiny_mlp_model):
+        registry = ModelRegistry()
+        engine = registry.register("mlp", tiny_mlp_model, sharded=True, micro_batch=2)
+        assert isinstance(engine, ShardedEngine)
+        # n_stages alone also implies a sharded engine.
+        assert isinstance(
+            registry.register("mlp2", tiny_mlp_model, n_stages=2), ShardedEngine
+        )
+
+
+class TestInferenceServer:
+    @pytest.fixture
+    def registry(self, tiny_mlp_model):
+        registry = ModelRegistry()
+        registry.register("mlp", tiny_mlp_model)
+        return registry
+
+    def test_deterministic_batching_and_bit_identical_results(self, registry, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(10, 16)))
+        direct = registry.engine("mlp").run(inputs)
+        server = InferenceServer(
+            registry, BatchingPolicy(max_batch_size=4, max_delay_s=10.0)
+        )
+        # Submitting before start makes batch formation deterministic; waiting
+        # after stop() lets the trailing partial batch dispatch via queue
+        # drain instead of idling out the 10s latency budget.
+        futures = [server.submit("mlp", inputs[i : i + 1]) for i in range(10)]
+        with server:
+            pass
+        results = [f.result(timeout=30) for f in futures]
+        assert np.array_equal(np.concatenate(results, axis=0), direct)
+        stats = server.statistics()
+        assert stats.batches_executed == 3  # 4 + 4 + 2 samples
+        assert stats.max_batch_size == 4
+        assert stats.requests_completed == 10 and stats.requests_failed == 0
+
+    def test_mixed_size_requests_split_correctly(self, registry, rng):
+        sizes = [3, 1, 2, 4]
+        chunks = [np.abs(rng.normal(0, 1, size=(s, 16))) for s in sizes]
+        direct = [registry.engine("mlp").run(c) for c in chunks]
+        server = InferenceServer(
+            registry, BatchingPolicy(max_batch_size=6, max_delay_s=10.0)
+        )
+        futures = [server.submit("mlp", c) for c in chunks]
+        with server:
+            pass
+        results = [f.result(timeout=30) for f in futures]
+        for want, got in zip(direct, results):
+            assert np.array_equal(want, got)
+
+    def test_oversized_request_runs_alone(self, registry, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(9, 16)))
+        server = InferenceServer(
+            registry, BatchingPolicy(max_batch_size=4, max_delay_s=10.0)
+        )
+        future = server.submit("mlp", inputs)
+        with server:
+            result = future.result(timeout=30)
+        assert result.shape[0] == 9
+        assert server.statistics().max_batch_size == 9
+
+    def test_multi_tenant_requests(self, tiny_mlp_model, tiny_conv_model, rng):
+        registry = ModelRegistry()
+        registry.register("mlp", tiny_mlp_model)
+        registry.register("conv", tiny_conv_model)
+        mlp_in = np.abs(rng.normal(0, 1, size=(4, 16)))
+        conv_in = np.abs(rng.normal(0, 1, size=(3, 3, 8, 8)))
+        direct_mlp = registry.engine("mlp").run(mlp_in)
+        direct_conv = registry.engine("conv").run(conv_in)
+        with InferenceServer(registry) as server:
+            mlp_future = server.submit("mlp", mlp_in)
+            conv_future = server.submit("conv", conv_in)
+            assert np.array_equal(mlp_future.result(timeout=30), direct_mlp)
+            assert np.array_equal(conv_future.result(timeout=30), direct_conv)
+            stats = server.statistics()
+        assert set(stats.batches_per_model) == {"mlp", "conv"}
+
+    def test_concurrent_clients(self, registry, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(12, 16)))
+        direct = registry.engine("mlp").run(inputs)
+        results: dict[int, np.ndarray] = {}
+        lock = threading.Lock()
+
+        def client(i, server):
+            out = server.infer("mlp", inputs[i : i + 1], timeout=30)
+            with lock:
+                results[i] = out
+
+        with InferenceServer(
+            registry, BatchingPolicy(max_batch_size=4, max_delay_s=0.002)
+        ) as server:
+            threads = [
+                threading.Thread(target=client, args=(i, server))
+                for i in range(12)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        stacked = np.concatenate([results[i] for i in range(12)], axis=0)
+        assert np.array_equal(stacked, direct)
+
+    def test_shared_noise_model_locks_overlap(
+        self, tiny_mlp_model, tiny_conv_model
+    ):
+        # Engines with disjoint executors but one shared seeded noise RNG
+        # must serialise through a common lock (Generator is not thread-safe).
+        noise = GaussianColumnNoise(level=0.05, seed=1)
+        registry = ModelRegistry()
+        registry.register("a", tiny_mlp_model, noise=noise)
+        registry.register("b", tiny_conv_model, noise=noise)
+        server = InferenceServer(registry)
+        locks_a = set(map(id, server._engine_locks(registry.engine("a"))))
+        locks_b = set(map(id, server._engine_locks(registry.engine("b"))))
+        assert locks_a & locks_b
+
+    def test_unknown_model_rejected_at_submit(self, registry, rng):
+        server = InferenceServer(registry)
+        with pytest.raises(KeyError):
+            server.submit("ghost", np.zeros((1, 16)))
+
+    def test_bad_shapes_rejected_at_submit(self, registry):
+        server = InferenceServer(registry)
+        with pytest.raises(ValueError):
+            server.submit("mlp", np.zeros(16))  # missing batch dimension
+        with pytest.raises(ValueError):
+            server.submit("mlp", np.zeros((2, 7)))  # wrong feature count
+        with pytest.raises(ValueError):
+            server.submit("mlp", np.zeros((0, 16)))  # empty request
+
+    def test_engine_errors_reach_every_future(self, registry, rng):
+        def explode(inputs, **kwargs):
+            raise RuntimeError("tile power loss")
+
+        registry.engine("mlp").run = explode
+        server = InferenceServer(
+            registry, BatchingPolicy(max_batch_size=8, max_delay_s=10.0)
+        )
+        futures = [server.submit("mlp", np.zeros((1, 16))) for _ in range(3)]
+        with server:
+            pass
+        for future in futures:
+            with pytest.raises(RuntimeError, match="tile power loss"):
+                future.result(timeout=30)
+        assert server.statistics().requests_failed == 3
+
+    def test_submit_after_stop_rejected(self, registry):
+        server = InferenceServer(registry)
+        with server:
+            pass
+        with pytest.raises(RuntimeError):
+            server.submit("mlp", np.zeros((1, 16)))
+
+    def test_server_restarts_after_stop(self, registry, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(2, 16)))
+        direct = registry.engine("mlp").run(inputs)
+        server = InferenceServer(registry)
+        with server:
+            server.infer("mlp", inputs, timeout=30)
+        with server:  # restart gets a fresh queue, not a dead scheduler
+            assert np.array_equal(server.infer("mlp", inputs, timeout=30), direct)
+
+    def test_shared_executors_across_names_are_serialised(self, registry, rng):
+        # Registering one model under two names shares its pooled executors;
+        # concurrent batches for both names must not race on executor state
+        # (the vectorized executor keeps a per-call phase-sums scratch field).
+        registry.register("mlp_twin", registry.model("mlp"))
+        assert (
+            registry.engine("mlp_twin").executors["fc1"]
+            is registry.engine("mlp").executors["fc1"]
+        )
+        inputs = np.abs(rng.normal(0, 1, size=(4, 16)))
+        direct = registry.engine("mlp").run(inputs)
+        with InferenceServer(registry, max_workers=4) as server:
+            futures = [
+                server.submit(name, inputs)
+                for _ in range(6)
+                for name in ("mlp", "mlp_twin")
+            ]
+            for future in futures:
+                assert np.array_equal(future.result(timeout=30), direct)
+
+    def test_future_timeout(self, registry):
+        server = InferenceServer(registry)  # never started
+        future = server.submit("mlp", np.zeros((1, 16)))
+        assert not future.done()
+        with pytest.raises(TimeoutError):
+            future.result(timeout=0.01)
