@@ -11,6 +11,9 @@ back per request.  This example shows:
 2. concurrent clients hammering the server while the scheduler coalesces,
 3. the throughput win over naive one-request-at-a-time serving,
 4. pipelined layer-sharded execution (:class:`~repro.serve.ShardedEngine`),
+5. hardware-grounded telemetry (:mod:`repro.telemetry`): per-request
+   energy/latency accounting from the paper's cost models, SLO-tagged
+   requests, and the per-tenant aggregate / Prometheus exports,
 
 and verifies every served result is bit-identical to a direct engine call.
 
@@ -24,10 +27,12 @@ import time
 
 import numpy as np
 
+from repro.hw import RAELLA_ARCH
 from repro.nn.layers import Linear
 from repro.nn.model import QuantizedModel
 from repro.nn.synthetic import synthetic_linear_weights
 from repro.serve import BatchingPolicy, InferenceServer, ModelRegistry, ShardedEngine
+from repro.telemetry import TelemetryCollector
 
 
 def make_model(name: str, seed: int) -> QuantizedModel:
@@ -46,8 +51,10 @@ def main() -> None:
 
     print("== 1. Host two tenants in one registry ==")
     registry = ModelRegistry()  # shared pool + weight cache, float32 fast path
-    registry.register("tenant_a", make_model("model_a", seed=1))
-    registry.register("tenant_b", make_model("model_b", seed=2))
+    # arch= builds each tenant's CostModel (per-layer energy/latency tables
+    # on the paper's RAELLA architecture) for the telemetry in section 5.
+    registry.register("tenant_a", make_model("model_a", seed=1), arch=RAELLA_ARCH)
+    registry.register("tenant_b", make_model("model_b", seed=2), arch=RAELLA_ARCH)
     print(f"  models: {registry.names()}, pooled executors: {len(registry.pool)}")
 
     print("\n== 2. Concurrent clients, dynamic micro-batching ==")
@@ -104,6 +111,48 @@ def main() -> None:
           f"{np.array_equal(sequential, pipelined)}")
     if not np.array_equal(sequential, pipelined):
         raise SystemExit("sharded engine diverged from the sequential engine")
+
+    print("\n== 5. Hardware-grounded telemetry and SLO-tagged requests ==")
+    cost = registry.cost_model("tenant_a")
+    print(f"  tenant_a cost tables: {cost.energy_per_sample_uj:.4f} uJ/sample, "
+          f"{cost.single_sample_latency_us:.2f} us/sample modeled")
+    telemetry = TelemetryCollector()
+    with InferenceServer(registry, policy, telemetry=telemetry) as server:
+        futures = []
+        for i in range(6):
+            tenant = "tenant_a" if i % 2 == 0 else "tenant_b"
+            # Even requests are interactive (high priority, tight deadline),
+            # odd ones are bulk (default priority, loose deadline).
+            futures.append(server.submit(
+                tenant,
+                np.abs(rng.normal(0, 1, size=(1 + i % 3, 96))),
+                priority=1 if i % 2 == 0 else 0,
+                deadline_s=0.05 if i % 2 == 0 else 5.0,
+            ))
+        for future in futures:
+            future.result(timeout=30)
+
+    print("  per-request accounting (from the telemetry collector):")
+    print(f"    {'id':>3} {'tenant':>9} {'n':>2} {'prio':>4} {'wait ms':>8} "
+          f"{'engine ms':>9} {'energy uJ':>9} {'model us':>9} {'deadline':>8}")
+    for trace in telemetry.traces():
+        print(f"    {trace.request_id:>3} {trace.model_name:>9} "
+              f"{trace.n_samples:>2} {trace.priority:>4} "
+              f"{1e3 * trace.queue_wait_s:>8.2f} "
+              f"{1e3 * trace.engine_share_s:>9.3f} "
+              f"{trace.modeled_energy_pj / 1e6:>9.4f} "
+              f"{trace.modeled_latency_us:>9.2f} "
+              f"{'MISS' if trace.deadline_missed else 'met':>8}")
+    for name, aggregate in sorted(telemetry.aggregates().items()):
+        print(f"  {name}: {aggregate.requests} requests, "
+              f"{aggregate.samples} samples, "
+              f"{aggregate.modeled_energy_uj:.4f} uJ modeled, "
+              f"{aggregate.deadline_misses}/{aggregate.deadline_requests} "
+              f"deadline misses")
+    prometheus = telemetry.to_prometheus().splitlines()
+    print("  Prometheus export (first 6 lines):")
+    for line in prometheus[:6]:
+        print(f"    {line}")
 
 
 if __name__ == "__main__":

@@ -20,7 +20,11 @@ The package is organised as:
   executor pooling and the :class:`~repro.runtime.NetworkEngine`
   batched-inference front end.
 * :mod:`repro.serve`      -- multi-tenant serving: model registry, dynamic
-  micro-batching inference server, layer-pipeline sharded engine.
+  micro-batching inference server with SLO-aware (priority/deadline)
+  scheduling, layer-pipeline sharded engine.
+* :mod:`repro.telemetry`  -- hardware-grounded serving telemetry: per-layer
+  energy/latency cost tables bridged from :mod:`repro.hw`, per-request
+  traces and per-tenant aggregates with JSON/Prometheus export.
 * :mod:`repro.hw`         -- Accelergy/Timeloop-style energy, area and
   throughput models plus the Titanium-Law analysis.
 * :mod:`repro.baselines`  -- ISAAC, FORMS, TIMELY and Zero+Offset baselines.

@@ -37,9 +37,18 @@ class ThroughputReport:
     layer_timings: list[LayerTiming] = field(default_factory=list)
     cycle_time_ns: float = 100.0
 
+    def _require_timings(self) -> None:
+        if not self.layer_timings:
+            raise ValueError(
+                f"throughput report for {self.model_name!r}@{self.arch_name!r} "
+                "has no layer timings: the model mapped zero crossbar layers, "
+                "so bottleneck/latency/throughput are undefined"
+            )
+
     @property
     def bottleneck(self) -> LayerTiming:
         """The slowest (throughput-limiting) layer."""
+        self._require_timings()
         return max(self.layer_timings, key=lambda t: t.latency_cycles)
 
     @property
@@ -56,6 +65,7 @@ class ThroughputReport:
     @property
     def single_sample_latency_us(self) -> float:
         """End-to-end latency of one sample through the pipeline."""
+        self._require_timings()
         return float(sum(t.latency_us for t in self.layer_timings))
 
     def summary(self) -> str:

@@ -20,6 +20,9 @@ Three construction paths:
 
 from __future__ import annotations
 
+import time
+from typing import Callable
+
 import numpy as np
 
 from repro.analog.noise import NoiseModel
@@ -68,6 +71,10 @@ class NetworkEngine:
         self.model = model
         self.executors = dict(executors)
         self.micro_batch = micro_batch
+        # Telemetry hooks: (n_samples, elapsed_s) callbacks fired after every
+        # run().  The list is empty by default and run() does not even start a
+        # timer then, so unmetered execution pays nothing.
+        self._run_probes: list[Callable[[int, float], None]] = []
 
     # -- construction ---------------------------------------------------------
 
@@ -146,14 +153,45 @@ class NetworkEngine:
         ``micro_batch`` overrides the engine default for this call; pass an
         explicit ``None`` to force one full-batch pass.
         """
-        return self.model.forward_quantized(
+        resolved = self.micro_batch if micro_batch is _USE_DEFAULT else micro_batch
+        if not self._run_probes:
+            return self.model.forward_quantized(
+                inputs,
+                pim_matmul=self.pim_matmul,
+                return_codes=return_codes,
+                micro_batch=resolved,
+            )
+        start = time.perf_counter()
+        outputs = self.model.forward_quantized(
             inputs,
             pim_matmul=self.pim_matmul,
             return_codes=return_codes,
-            micro_batch=(
-                self.micro_batch if micro_batch is _USE_DEFAULT else micro_batch
-            ),
+            micro_batch=resolved,
         )
+        elapsed = time.perf_counter() - start
+        self._notify_run_probes(int(np.asarray(inputs).shape[0]), elapsed)
+        return outputs
+
+    def _notify_run_probes(self, n_samples: int, elapsed_s: float) -> None:
+        """Fire every attached run probe (subclasses with their own run paths
+        call this too)."""
+        for probe in list(self._run_probes):
+            probe(n_samples, elapsed_s)
+
+    def add_run_probe(
+        self, probe: Callable[[int, float], None]
+    ) -> Callable[[int, float], None]:
+        """Attach a telemetry probe called as ``probe(n_samples, elapsed_s)``
+        after every :meth:`run` (e.g.
+        ``TelemetryCollector.engine_probe(model_name)``).  Returns the probe
+        so callers can keep the handle for :meth:`remove_run_probe`.
+        """
+        self._run_probes.append(probe)
+        return probe
+
+    def remove_run_probe(self, probe: Callable[[int, float], None]) -> None:
+        """Detach a probe previously added with :meth:`add_run_probe`."""
+        self._run_probes.remove(probe)
 
     def predict(
         self, inputs: np.ndarray, micro_batch: int | None = _USE_DEFAULT

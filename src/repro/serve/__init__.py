@@ -16,6 +16,10 @@ layer:
 * :mod:`repro.serve.server` -- :class:`InferenceServer` coalesces concurrent
   requests per model into one engine call and splits the outputs back per
   request; different models execute concurrently, each model serialises.
+  Requests may carry a priority and deadline; with a
+  :class:`~repro.telemetry.TelemetryCollector` attached the server records
+  per-request cost traces and schedules SLO-aware (highest priority, least
+  deadline slack first) instead of FIFO-by-age.
 * :mod:`repro.serve.sharded` -- :class:`ShardedEngine` pipelines micro-batches
   across layer stages in worker threads, bit-identical to the sequential
   engine.

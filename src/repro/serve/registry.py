@@ -20,10 +20,12 @@ import threading
 
 from repro.analog.noise import NoiseModel
 from repro.core.executor import PimLayerConfig
+from repro.hw.architecture import ArchitectureSpec
 from repro.nn.model import QuantizedModel
 from repro.runtime.cache import EncodedWeightCache, ExecutorPool
 from repro.runtime.engine import NetworkEngine
 from repro.serve.sharded import ShardedEngine
+from repro.telemetry.cost import CostModel
 
 __all__ = ["ModelRegistry"]
 
@@ -46,8 +48,12 @@ class ModelRegistry:
         self.pool = pool
         self.float32 = float32
         self._engines: dict[str, NetworkEngine] = {}
+        self._cost_models: dict[str, CostModel] = {}
         self._reserved: set[str] = set()
         self._lock = threading.RLock()
+        # Bumped on every (un)registration; servers use it to invalidate
+        # their per-name cost-model wiring caches when tenants change.
+        self.generation = 0
 
     @property
     def weight_cache(self) -> EncodedWeightCache | None:
@@ -64,12 +70,20 @@ class ModelRegistry:
         n_stages: int | None = None,
         sharded: bool = False,
         float32: bool | None = None,
+        arch: ArchitectureSpec | None = None,
     ) -> NetworkEngine:
         """Host a calibrated model under ``name`` and return its engine.
 
         ``sharded=True`` (or any explicit ``n_stages``) builds a pipelined
         :class:`ShardedEngine`; both engine kinds are bit-identical, sharding
         only changes how micro-batches overlap in time.
+
+        ``arch`` opts the tenant into hardware-grounded telemetry: the
+        registry precomputes a :class:`~repro.telemetry.CostModel` (per-layer
+        energy/latency tables on that architecture), retrievable via
+        :meth:`cost_model` and attached automatically by an
+        :class:`~repro.serve.server.InferenceServer` running with a
+        telemetry collector.
         """
         if not model.is_calibrated:
             raise ValueError(f"model {model.name!r} must be calibrated first")
@@ -82,6 +96,7 @@ class ModelRegistry:
                 raise ValueError(f"model name {name!r} is already registered")
             self._reserved.add(name)
         try:
+            cost_model = None if arch is None else CostModel.from_model(model, arch)
             if sharded or n_stages is not None:
                 engine: NetworkEngine = ShardedEngine.build(
                     model,
@@ -108,6 +123,9 @@ class ModelRegistry:
         with self._lock:
             self._reserved.discard(name)
             self._engines[name] = engine
+            if cost_model is not None:
+                self._cost_models[name] = cost_model
+            self.generation += 1
         return engine
 
     def engine(self, name: str) -> NetworkEngine:
@@ -122,11 +140,20 @@ class ModelRegistry:
         """The calibrated model registered under ``name``."""
         return self.engine(name).model
 
+    def cost_model(self, name: str) -> CostModel | None:
+        """The hosted model's cost tables (``None`` if registered without arch)."""
+        with self._lock:
+            if name not in self._engines:
+                raise KeyError(f"no model registered under {name!r}")
+            return self._cost_models.get(name)
+
     def unregister(self, name: str) -> None:
         """Drop a hosted model (its pooled executors stay cached for reuse)."""
         with self._lock:
             if self._engines.pop(name, None) is None:
                 raise KeyError(f"no model registered under {name!r}")
+            self._cost_models.pop(name, None)
+            self.generation += 1
 
     def names(self) -> list[str]:
         """Registered model names, in registration order."""

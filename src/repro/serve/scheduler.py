@@ -4,9 +4,20 @@ The serving layer coalesces concurrent requests *per model* into one engine
 call.  :class:`BatchingPolicy` sets the two knobs of the classic dynamic
 batcher: a batch-size target and a latency budget.  :class:`RequestQueue`
 holds pending :class:`InferenceRequest` objects per model and hands the
-scheduler the next ready batch -- the model whose oldest request has waited
-longest, as soon as that model has a full batch or its oldest request exhausts
-the latency budget.
+scheduler the next ready batch -- by default the model whose oldest request
+has waited longest, as soon as that model has a full batch or its oldest
+request exhausts the latency budget.
+
+Requests may optionally carry a *priority* and a *deadline*.  While any such
+request is pending (and the queue's SLO mode is on), model selection switches
+from FIFO-by-age to SLO-aware dispatch: higher priority classes go first, and
+within a class the model whose next dispatchable batch has the least *slack*
+-- ``deadline - now - predicted batch latency`` over the requests that batch
+would contain, with the prediction supplied by a
+:class:`~repro.telemetry.cost.CostModel`-backed estimator -- wins.  A model
+whose slack has run out dispatches immediately, even with a partial batch.
+With no priorities, no deadlines, or SLO mode off, the scheduling decisions
+are exactly the FIFO ones.
 
 Requests never split across batches: a batch is a whole number of requests, so
 splitting engine outputs back per request is a plain ``np.split`` at request
@@ -20,10 +31,15 @@ import threading
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 __all__ = ["BatchingPolicy", "InferenceFuture", "InferenceRequest", "RequestQueue"]
+
+#: Estimator signature: (model_name, queued_samples) -> predicted batch
+#: latency in seconds, or None when the model has no prediction.
+LatencyEstimator = Callable[[str, int], "float | None"]
 
 
 @dataclass(frozen=True)
@@ -39,16 +55,35 @@ class BatchingPolicy:
     max_delay_s:
         Latency budget: the longest a request may wait for co-batching before
         the scheduler dispatches whatever has accumulated.
+    adaptive_delay:
+        Opt-in batch-size-aware delay: shrink the waiting budget linearly as
+        the queued samples approach ``max_batch_size``, so a nearly full
+        batch dispatches early instead of idling out the full budget waiting
+        for the last few samples (see :meth:`effective_delay_s`).
     """
 
     max_batch_size: int = 32
     max_delay_s: float = 0.002
+    adaptive_delay: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be positive")
         if self.max_delay_s < 0:
             raise ValueError("max_delay_s must be non-negative")
+
+    def effective_delay_s(self, queued_samples: int) -> float:
+        """The waiting budget given how full the pending batch already is.
+
+        With ``adaptive_delay`` off this is always ``max_delay_s``.  With it
+        on, the budget scales by the batch's remaining headroom:
+        ``max_delay_s * (1 - queued/max_batch_size)`` -- an empty queue waits
+        the full budget, a nearly full one dispatches almost immediately.
+        """
+        if not self.adaptive_delay:
+            return self.max_delay_s
+        headroom = 1.0 - min(queued_samples / self.max_batch_size, 1.0)
+        return self.max_delay_s * headroom
 
 
 class InferenceFuture:
@@ -82,17 +117,31 @@ class InferenceFuture:
 
 @dataclass
 class InferenceRequest:
-    """One pending request: a model name, an input batch, and its future."""
+    """One pending request: a model name, an input batch, and its future.
+
+    ``priority`` and ``deadline_s`` are the optional SLO fields: higher
+    priorities dispatch first, and ``deadline_s`` (an *absolute*
+    ``time.monotonic()`` instant) marks when the result stops being useful.
+    Requests with neither keep the scheduler on its FIFO path.
+    """
 
     model_name: str
     inputs: np.ndarray
     future: InferenceFuture
     enqueued_at: float
+    priority: int = 0
+    deadline_s: float | None = None
+    request_id: int = 0
 
     @property
     def n_samples(self) -> int:
         """Number of samples the request contributes to a batch."""
         return self.inputs.shape[0]
+
+    @property
+    def has_slo(self) -> bool:
+        """Whether the request carries any SLO hint (priority or deadline)."""
+        return self.priority != 0 or self.deadline_s is not None
 
 
 class RequestQueue:
@@ -100,12 +149,34 @@ class RequestQueue:
 
     ``next_batch`` is intended for a single scheduler thread; ``submit`` may
     be called from any number of threads.
+
+    Parameters
+    ----------
+    latency_estimator:
+        Optional ``(model_name, queued_samples) -> seconds`` predictor of a
+        batch's execution latency (typically
+        :meth:`TelemetryCollector.predicted_batch_latency_s
+        <repro.telemetry.collector.TelemetryCollector.predicted_batch_latency_s>`),
+        subtracted from deadlines when computing slack.  Without one,
+        predicted latency is zero and SLO dispatch degenerates to earliest
+        deadline first.
+    slo_mode:
+        When ``False``, priority/deadline hints are ignored for scheduling
+        (they are still recorded downstream) and dispatch stays strictly
+        FIFO-by-age -- the baseline the SLO benchmarks compare against.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        latency_estimator: LatencyEstimator | None = None,
+        slo_mode: bool = True,
+    ) -> None:
         self._pending: OrderedDict[str, deque[InferenceRequest]] = OrderedDict()
         self._condition = threading.Condition()
         self._closed = False
+        self._latency_estimator = latency_estimator
+        self._slo_mode = slo_mode
+        self._slo_pending = 0
 
     def submit(self, request: InferenceRequest) -> None:
         """Enqueue a request and wake the scheduler."""
@@ -113,6 +184,8 @@ class RequestQueue:
             if self._closed:
                 raise RuntimeError("request queue is closed")
             self._pending.setdefault(request.model_name, deque()).append(request)
+            if request.has_slo:
+                self._slo_pending += 1
             self._condition.notify_all()
 
     def close(self) -> None:
@@ -138,16 +211,133 @@ class RequestQueue:
                 oldest_name, oldest_time = name, requests[0].enqueued_at
         return oldest_name
 
+    def _batch_preview(
+        self, requests: deque[InferenceRequest], policy: BatchingPolicy
+    ) -> tuple[int, int, float | None, bool]:
+        """Stats of the batch :meth:`_pop_batch` would form right now.
+
+        Returns ``(samples, max priority, min deadline, full)`` over exactly
+        the whole-request prefix a dispatch would take, so urgency is judged
+        on the requests that would actually ride the batch (a tight deadline
+        deeper in the queue cannot boost a batch that will not contain it --
+        it counts once earlier batches drain).  The scan is bounded by the
+        batch size, not the backlog, keeping deep-queue drains linear.
+        ``full`` means dispatching now loses no co-batching: the target is
+        reached, or the next whole request would not fit.
+        """
+        samples = 0
+        priority = 0
+        min_deadline: float | None = None
+        for index, request in enumerate(requests):
+            if index and samples + request.n_samples > policy.max_batch_size:
+                return samples, priority, min_deadline, True
+            samples += request.n_samples
+            priority = max(priority, request.priority)
+            if request.deadline_s is not None:
+                min_deadline = (
+                    request.deadline_s
+                    if min_deadline is None
+                    else min(min_deadline, request.deadline_s)
+                )
+        return samples, priority, min_deadline, samples >= policy.max_batch_size
+
+    def _most_urgent_dispatch(
+        self, policy: BatchingPolicy, now: float
+    ) -> tuple[str | None, float | None]:
+        """SLO-aware selection: ``(model to dispatch or None, min due-in)``.
+
+        Each model is judged by the batch it would dispatch right now
+        (:meth:`_batch_preview`).  A model is *ready* when that batch is
+        full, its slack -- tightest ``deadline - now - predicted batch
+        latency`` within the batch, or the remaining co-batching budget when
+        the batch carries no deadline -- has run out, or the queue is
+        closed.  While nothing is ready the second element tells the caller
+        how long it may sleep before the earliest model comes due.  Once
+        *any* model is ready, a dispatch is going to happen -- so the
+        globally most urgent model wins (highest priority class first, then
+        least slack, then oldest head request), even with a partial batch:
+        delaying an urgent request behind a less urgent full batch would
+        invert the SLO ordering, and the engine has work either way.
+        """
+        best_key, best_name, min_due, any_ready = None, None, None, False
+        for name, requests in self._pending.items():
+            if not requests:
+                continue
+            samples, priority, min_deadline, full = self._batch_preview(
+                requests, policy
+            )
+            head = requests[0]
+            budget_left = policy.effective_delay_s(samples) - (
+                now - head.enqueued_at
+            )
+            if min_deadline is None:
+                slack = budget_left
+            else:
+                predicted = 0.0
+                if self._latency_estimator is not None:
+                    # A failing user-supplied estimator must degrade to
+                    # "no prediction", not kill the scheduler thread.
+                    try:
+                        estimate = self._latency_estimator(name, samples)
+                    except Exception:
+                        estimate = None
+                    if estimate is not None:
+                        predicted = estimate
+                slack = min_deadline - now - predicted
+            due_in = min(budget_left, slack)
+            min_due = due_in if min_due is None else min(min_due, due_in)
+            any_ready = any_ready or full or due_in <= 0 or self._closed
+            key = (-priority, slack, head.enqueued_at)
+            if best_key is None or key < best_key:
+                best_key, best_name = key, name
+        if not any_ready:
+            return None, min_due
+        return best_name, min_due
+
+    def _pop_batch(self, name: str, policy: BatchingPolicy) -> list[InferenceRequest]:
+        requests = self._pending[name]
+        batch = [requests.popleft()]
+        total = batch[0].n_samples
+        while (
+            requests
+            and total + requests[0].n_samples <= policy.max_batch_size
+        ):
+            total += requests[0].n_samples
+            batch.append(requests.popleft())
+        if not requests:
+            del self._pending[name]
+        self._slo_pending -= sum(1 for request in batch if request.has_slo)
+        return batch
+
     def next_batch(self, policy: BatchingPolicy) -> list[InferenceRequest] | None:
         """Block until a batch is ready; ``None`` once closed and drained.
 
-        The model whose head request has waited longest is served first.  Its
-        batch dispatches when the queued samples reach ``max_batch_size``,
-        when the head request's age exceeds ``max_delay_s``, or immediately
-        once the queue is closed (drain mode).
+        FIFO path (no SLO hints pending, or SLO mode off): the model whose
+        head request has waited longest is served first; its batch dispatches
+        when the queued samples reach ``max_batch_size``, when the head
+        request's age exhausts the (possibly adaptive) delay budget, or
+        immediately once the queue is closed (drain mode).
+
+        SLO path (some pending request carries a priority or deadline): once
+        any model is due -- full batch, exhausted budget, deadline at risk,
+        or drain mode -- dispatch the globally most urgent model (highest
+        priority, then least slack; see :meth:`_most_urgent_dispatch`),
+        partial batch or not.
         """
         with self._condition:
             while True:
+                if self._slo_mode and self._slo_pending > 0:
+                    now = time.monotonic()
+                    name, due_in = self._most_urgent_dispatch(policy, now)
+                    if name is not None:
+                        return self._pop_batch(name, policy)
+                    if due_in is None:  # nothing pending at all
+                        if self._closed:
+                            return None
+                        self._condition.wait()
+                    else:
+                        self._condition.wait(timeout=max(due_in, 0.0))
+                    continue
                 name = self._oldest_model()
                 if name is None:
                     if self._closed:
@@ -157,7 +347,7 @@ class RequestQueue:
                 requests = self._pending[name]
                 queued_samples = sum(r.n_samples for r in requests)
                 head_age = time.monotonic() - requests[0].enqueued_at
-                remaining = policy.max_delay_s - head_age
+                remaining = policy.effective_delay_s(queued_samples) - head_age
                 if (
                     queued_samples < policy.max_batch_size
                     and remaining > 0
@@ -165,14 +355,4 @@ class RequestQueue:
                 ):
                     self._condition.wait(timeout=remaining)
                     continue
-                batch = [requests.popleft()]
-                total = batch[0].n_samples
-                while (
-                    requests
-                    and total + requests[0].n_samples <= policy.max_batch_size
-                ):
-                    total += requests[0].n_samples
-                    batch.append(requests.popleft())
-                if not requests:
-                    del self._pending[name]
-                return batch
+                return self._pop_batch(name, policy)

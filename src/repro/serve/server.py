@@ -29,6 +29,7 @@ when choosing a batch size by hand.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
@@ -45,6 +46,7 @@ from repro.serve.scheduler import (
     InferenceRequest,
     RequestQueue,
 )
+from repro.telemetry import RequestTrace, TelemetryCollector
 
 __all__ = ["InferenceServer", "ServerStatistics"]
 
@@ -90,6 +92,21 @@ class InferenceServer:
     max_workers:
         Worker threads executing coalesced batches; batches of different
         models run concurrently, batches of one model always serialise.
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetryCollector`.  When set, the
+        server records a :class:`~repro.telemetry.RequestTrace` per completed
+        request (queue wait, batch size, engine wall time, modeled energy and
+        latency from the model's cost tables) plus one engine-run record per
+        coalesced batch, and the scheduler's deadline slack uses the
+        collector's calibrated latency predictions.  Cost models registered
+        on the :class:`~repro.serve.registry.ModelRegistry` (via its ``arch``
+        parameter) are attached to the collector automatically.
+    slo_scheduling:
+        Whether pending priorities/deadlines reorder dispatch (SLO-aware
+        scheduling).  Enabled by default -- a no-op while no request carries
+        SLO hints, preserving FIFO behaviour exactly.  ``False`` forces pure
+        FIFO-by-age even for SLO-tagged requests (the baseline the telemetry
+        benchmarks compare against).
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`.  Requests
     may be submitted before :meth:`start`; they dispatch once the scheduler
@@ -101,13 +118,25 @@ class InferenceServer:
         registry: ModelRegistry,
         policy: BatchingPolicy | None = None,
         max_workers: int = 2,
+        telemetry: TelemetryCollector | None = None,
+        slo_scheduling: bool = True,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be positive")
         self.registry = registry
         self.policy = policy or BatchingPolicy()
         self.max_workers = max_workers
-        self._queue = RequestQueue()
+        self.telemetry = telemetry
+        self.slo_scheduling = slo_scheduling
+        self._request_ids = itertools.count()
+        # Model names whose cost model was already wired into the collector,
+        # so submit() pays the lookup once per model, not per request.  The
+        # cache is tied to the registry's generation counter: any tenant
+        # (un)registration invalidates it, so a name re-registered with new
+        # tables is re-wired instead of billed against stale ones.
+        self._wired_cost_models: set[str] = set()
+        self._wired_generation = -1
+        self._queue = self._make_queue()
         self._stats = ServerStatistics()
         self._stats_lock = threading.Lock()
         self._executor_locks: dict[int, threading.Lock] = {}
@@ -121,12 +150,20 @@ class InferenceServer:
 
     # -- lifecycle -------------------------------------------------------------
 
+    def _make_queue(self) -> RequestQueue:
+        return RequestQueue(
+            latency_estimator=(
+                self.telemetry.predicted_batch_latency_s if self.telemetry else None
+            ),
+            slo_mode=self.slo_scheduling,
+        )
+
     def start(self) -> "InferenceServer":
         """Start the scheduler and worker pool (idempotent, restartable)."""
         if self._scheduler is not None:
             return self
         if self._queue.closed:  # restarting after stop(): fresh queue
-            self._queue = RequestQueue()
+            self._queue = self._make_queue()
         self._workers = ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="serve-worker"
         )
@@ -154,12 +191,24 @@ class InferenceServer:
 
     # -- client API ------------------------------------------------------------
 
-    def submit(self, model_name: str, inputs: np.ndarray) -> InferenceFuture:
+    def submit(
+        self,
+        model_name: str,
+        inputs: np.ndarray,
+        priority: int = 0,
+        deadline_s: float | None = None,
+    ) -> InferenceFuture:
         """Enqueue a request and return its future.
 
         ``inputs`` must carry a leading batch dimension:
         ``(n_samples, *model.input_shape)``.  Validation happens here so bad
         requests fail fast instead of poisoning a coalesced batch.
+
+        ``priority`` (higher dispatches first) and ``deadline_s`` (seconds
+        from now after which the result stops being useful) opt the request
+        into SLO-aware scheduling; omitting both keeps the classic FIFO
+        behaviour.  Deadlines are best-effort -- a late request still
+        completes, and the miss is recorded in the telemetry collector.
         """
         model = self.registry.model(model_name)  # raises KeyError if unknown
         batch = np.asarray(inputs, dtype=np.float64)
@@ -173,12 +222,42 @@ class InferenceServer:
                 f"model {model_name!r} takes samples of shape "
                 f"{model.input_shape}, got {batch.shape[1:]}"
             )
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (seconds from now)")
+        if self.telemetry is not None:
+            # Read the generation BEFORE fetching tables: if the registry
+            # changes concurrently (re-registration between fetch and
+            # attach), the stored generation is already behind the live one,
+            # so the next submit invalidates the cache and re-wires -- a
+            # race mis-attributes at most the in-flight request, never
+            # subsequent ones.
+            generation = self.registry.generation
+            if generation != self._wired_generation:
+                self._wired_cost_models.clear()
+                self._wired_generation = generation
+            if model_name not in self._wired_cost_models:
+                cost_model = self.registry.cost_model(model_name)
+                if cost_model is not None:
+                    # The registry's tables win: after a re-registration the
+                    # collector may still hold the previous tenant's.
+                    self.telemetry.attach_cost_model(model_name, cost_model)
+                    self._wired_cost_models.add(model_name)
+                elif self.telemetry.cost_model(model_name) is not None:
+                    # Tables attached to the collector directly (no registry
+                    # arch): keep them.
+                    self._wired_cost_models.add(model_name)
+                # Absence is not cached: re-registering the model with an
+                # architecture later must still wire its cost tables.
+        now = time.monotonic()
         future = InferenceFuture()
         request = InferenceRequest(
             model_name=model_name,
             inputs=batch,
             future=future,
-            enqueued_at=time.monotonic(),
+            enqueued_at=now,
+            priority=priority,
+            deadline_s=None if deadline_s is None else now + deadline_s,
+            request_id=next(self._request_ids),
         )
         self._queue.submit(request)
         with self._stats_lock:
@@ -186,10 +265,18 @@ class InferenceServer:
         return future
 
     def infer(
-        self, model_name: str, inputs: np.ndarray, timeout: float | None = None
+        self,
+        model_name: str,
+        inputs: np.ndarray,
+        timeout: float | None = None,
+        priority: int = 0,
+        deadline_s: float | None = None,
     ) -> np.ndarray:
         """Synchronous convenience wrapper: submit and wait for the result."""
-        return self.submit(model_name, inputs).result(timeout)
+        future = self.submit(
+            model_name, inputs, priority=priority, deadline_s=deadline_s
+        )
+        return future.result(timeout)
 
     def statistics(self) -> ServerStatistics:
         """A consistent snapshot of the serving counters."""
@@ -284,6 +371,7 @@ class InferenceServer:
         bounds = np.cumsum(sizes)[:-1]
         for request, result in zip(batch, np.split(outputs, bounds, axis=0)):
             request.future._set_result(result)
+        completed = time.monotonic()
         with self._stats_lock:
             stats = self._stats
             stats.requests_completed += len(batch)
@@ -295,3 +383,49 @@ class InferenceServer:
                 dispatched - request.enqueued_at for request in batch
             )
             stats.batches_per_model[name] = stats.batches_per_model.get(name, 0) + 1
+        if self.telemetry is not None:
+            self._record_telemetry(batch, sizes, dispatched, completed, engine_time)
+
+    def _record_telemetry(
+        self,
+        batch: list[InferenceRequest],
+        sizes: list[int],
+        dispatched: float,
+        completed: float,
+        engine_time: float,
+    ) -> None:
+        """Feed one completed batch into the telemetry collector."""
+        name = batch[0].model_name
+        batch_samples = int(sum(sizes))
+        self.telemetry.record_engine_run(name, batch_samples, engine_time)
+        cost = self.telemetry.cost_model(name)
+        # The pipeline-fill latency is paid once per coalesced batch, so each
+        # request is charged its sample-weighted share of the *batch's*
+        # modeled latency (mirroring engine_share_s for wall time); summing
+        # the per-request figures recovers the batch total exactly.
+        batch_modeled_us = (
+            None if cost is None else cost.batch_latency_us(batch_samples)
+        )
+        for request in batch:
+            self.telemetry.record(
+                RequestTrace(
+                    request_id=request.request_id,
+                    model_name=name,
+                    n_samples=request.n_samples,
+                    priority=request.priority,
+                    deadline_s=request.deadline_s,
+                    enqueued_at=request.enqueued_at,
+                    dispatched_at=dispatched,
+                    completed_at=completed,
+                    batch_size=batch_samples,
+                    engine_time_s=engine_time,
+                    modeled_energy_pj=(
+                        None if cost is None else cost.energy_pj(request.n_samples)
+                    ),
+                    modeled_latency_us=(
+                        None
+                        if batch_modeled_us is None
+                        else batch_modeled_us * request.n_samples / batch_samples
+                    ),
+                )
+            )

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 
 import numpy as np
 
@@ -169,6 +170,7 @@ class ShardedEngine(NetworkEngine):
             return super().run(x, return_codes=return_codes, micro_batch=micro)
         if not self.model.is_calibrated:
             raise RuntimeError("model must be calibrated before quantized inference")
+        pipeline_start = time.perf_counter() if self._run_probes else None
 
         starts = range(0, x.shape[0], micro)
         # Bounded inter-stage queues provide backpressure: a slow stage caps
@@ -235,6 +237,10 @@ class ShardedEngine(NetworkEngine):
             worker.join()
         if failure is not None:
             raise failure.error
+        if pipeline_start is not None:
+            self._notify_run_probes(
+                int(x.shape[0]), time.perf_counter() - pipeline_start
+            )
         return np.concatenate([results[i] for i in sorted(results)], axis=0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

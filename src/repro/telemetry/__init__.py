@@ -1,0 +1,51 @@
+"""Hardware-grounded serving telemetry: cost attribution and SLO accounting.
+
+The paper's first-class metrics are energy and throughput, but the
+:mod:`repro.hw` models that compute them only ran inside offline experiment
+harnesses.  This package bridges them into the live serving stack:
+
+* :mod:`repro.telemetry.cost` -- :class:`CostModel` precomputes per-layer
+  energy (pJ/sample) and latency (cycles/us per sample) tables from
+  :mod:`repro.hw.energy` / :mod:`repro.hw.throughput` for a compiled model on
+  an :class:`~repro.hw.architecture.ArchitectureSpec`, so serve-time
+  attribution is a float multiply.  Totals match
+  :meth:`EnergyModel.model_energy <repro.hw.energy.EnergyModel.model_energy>`
+  (the Fig. 12 harness) to float round-off.
+* :mod:`repro.telemetry.collector` -- :class:`TelemetryCollector` keeps
+  thread-safe per-request :class:`RequestTrace` records (queue wait, batch
+  size, engine wall time, modeled energy/latency) and rolling per-model /
+  per-tenant :class:`ModelAggregate` totals, exportable as JSON and
+  Prometheus text format.  It also calibrates modeled batch latency against
+  observed engine wall time, which the SLO-aware scheduler in
+  :mod:`repro.serve` uses to compute deadline slack.
+
+Quickstart::
+
+    from repro.hw import RAELLA_ARCH
+    from repro.serve import InferenceServer, ModelRegistry
+    from repro.telemetry import TelemetryCollector
+
+    registry = ModelRegistry()
+    registry.register("mlp", model, arch=RAELLA_ARCH)   # builds a CostModel
+    telemetry = TelemetryCollector()
+    with InferenceServer(registry, telemetry=telemetry) as server:
+        server.infer("mlp", inputs, priority=1, deadline_s=0.1)
+    print(telemetry.aggregate("mlp").modeled_energy_uj)
+    print(telemetry.to_prometheus())
+"""
+
+from repro.telemetry.collector import (
+    ModelAggregate,
+    RequestTrace,
+    TelemetryCollector,
+)
+from repro.telemetry.cost import CostModel, LayerCost, shapes_from_model
+
+__all__ = [
+    "CostModel",
+    "LayerCost",
+    "ModelAggregate",
+    "RequestTrace",
+    "TelemetryCollector",
+    "shapes_from_model",
+]

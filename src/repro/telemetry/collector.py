@@ -1,0 +1,359 @@
+"""Thread-safe serve-time telemetry: request traces and rolling aggregates.
+
+:class:`TelemetryCollector` is the account book of the serving stack.  The
+:class:`~repro.serve.server.InferenceServer` feeds it one
+:class:`RequestTrace` per completed request (queue wait, coalesced batch
+size, engine wall time, modeled energy/latency from the request's
+:class:`~repro.telemetry.cost.CostModel`) plus one engine-run record per
+coalesced batch; :meth:`NetworkEngine.add_run_probe
+<repro.runtime.engine.NetworkEngine.add_run_probe>` feeds the same engine-run
+records for direct engine use outside the server.  Everything is exportable
+as JSON (:meth:`export_json`) and Prometheus text format
+(:meth:`to_prometheus`).
+
+Each hosted model name is a tenant, so the per-model aggregates double as the
+per-tenant accounting the multi-tenant registry needs.
+
+The collector also bridges *modeled* time to *wall* time: the cost model
+predicts batch latency in simulated-hardware microseconds, while deadlines at
+the serving layer live on the wall clock of this NumPy simulator.  An
+exponential moving average of ``observed engine seconds / modeled batch
+seconds`` per model calibrates :meth:`predicted_batch_latency_s`, which the
+SLO-aware scheduler subtracts from request deadlines to compute slack.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.telemetry.cost import CostModel
+
+__all__ = ["RequestTrace", "ModelAggregate", "TelemetryCollector"]
+
+#: EMA smoothing for the wall-time-per-modeled-time calibration factor.
+_CALIBRATION_ALPHA = 0.2
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """The full serving record of one completed request.
+
+    Timestamps are ``time.monotonic()`` values; ``engine_time_s`` is the wall
+    time of the *whole coalesced batch* the request rode in (use
+    :attr:`engine_share_s` for a per-request attribution).
+    ``modeled_energy_pj`` is the accelerator energy of the request's own
+    samples; ``modeled_latency_us`` is the request's sample-weighted share of
+    its batch's modeled latency (the pipeline fill is paid once per batch, so
+    per-request shares sum to the batch total).  Modeled fields are ``None``
+    when the request's model has no attached cost model.
+    """
+
+    request_id: int
+    model_name: str
+    n_samples: int
+    priority: int
+    deadline_s: float | None
+    enqueued_at: float
+    dispatched_at: float
+    completed_at: float
+    batch_size: int
+    engine_time_s: float
+    modeled_energy_pj: float | None = None
+    modeled_latency_us: float | None = None
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Time the request waited for co-batching before dispatch."""
+        return self.dispatched_at - self.enqueued_at
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end serving latency (enqueue to completion)."""
+        return self.completed_at - self.enqueued_at
+
+    @property
+    def engine_share_s(self) -> float:
+        """The request's sample-weighted share of its batch's engine time."""
+        if self.batch_size <= 0:
+            return 0.0
+        return self.engine_time_s * self.n_samples / self.batch_size
+
+    @property
+    def deadline_missed(self) -> bool:
+        """Whether the request completed after its deadline (False if none)."""
+        return self.deadline_s is not None and self.completed_at > self.deadline_s
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation including the derived fields."""
+        return {
+            "request_id": self.request_id,
+            "model": self.model_name,
+            "n_samples": self.n_samples,
+            "priority": self.priority,
+            "deadline_s": self.deadline_s,
+            "queue_wait_s": self.queue_wait_s,
+            "latency_s": self.latency_s,
+            "batch_size": self.batch_size,
+            "engine_time_s": self.engine_time_s,
+            "engine_share_s": self.engine_share_s,
+            "modeled_energy_pj": self.modeled_energy_pj,
+            "modeled_latency_us": self.modeled_latency_us,
+            "deadline_missed": self.deadline_missed,
+        }
+
+
+@dataclass
+class ModelAggregate:
+    """Rolling per-model (= per-tenant) serving totals."""
+
+    model_name: str
+    requests: int = 0
+    samples: int = 0
+    queue_wait_s: float = 0.0
+    engine_share_s: float = 0.0
+    modeled_energy_pj: float = 0.0
+    modeled_latency_us: float = 0.0
+    max_batch_size: int = 0
+    deadline_requests: int = 0
+    deadline_misses: int = 0
+    engine_runs: int = 0
+    engine_run_samples: int = 0
+    engine_run_s: float = 0.0
+
+    @property
+    def mean_queue_wait_s(self) -> float:
+        """Average co-batching wait per request."""
+        return self.queue_wait_s / self.requests if self.requests else 0.0
+
+    @property
+    def modeled_energy_uj(self) -> float:
+        """Total modeled energy attributed to this model (uJ)."""
+        return self.modeled_energy_pj / 1e6
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of deadline-carrying requests that missed."""
+        if self.deadline_requests == 0:
+            return 0.0
+        return self.deadline_misses / self.deadline_requests
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation including the derived fields."""
+        return {
+            "model": self.model_name,
+            "requests": self.requests,
+            "samples": self.samples,
+            "queue_wait_s": self.queue_wait_s,
+            "mean_queue_wait_s": self.mean_queue_wait_s,
+            "engine_share_s": self.engine_share_s,
+            "modeled_energy_pj": self.modeled_energy_pj,
+            "modeled_energy_uj": self.modeled_energy_uj,
+            "modeled_latency_us": self.modeled_latency_us,
+            "max_batch_size": self.max_batch_size,
+            "deadline_requests": self.deadline_requests,
+            "deadline_misses": self.deadline_misses,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "engine_runs": self.engine_runs,
+            "engine_run_samples": self.engine_run_samples,
+            "engine_run_s": self.engine_run_s,
+        }
+
+
+#: (metric suffix, help text, ModelAggregate attribute) for the text export.
+_PROMETHEUS_GAUGES = (
+    ("requests_total", "Completed requests per model.", "requests"),
+    ("samples_total", "Input samples served per model.", "samples"),
+    ("queue_wait_seconds_total", "Cumulative co-batching wait.", "queue_wait_s"),
+    ("engine_seconds_total", "Cumulative attributed engine wall time.",
+     "engine_share_s"),
+    ("modeled_energy_picojoules_total",
+     "Cumulative modeled accelerator energy.", "modeled_energy_pj"),
+    ("deadline_requests_total", "Requests that carried a deadline.",
+     "deadline_requests"),
+    ("deadline_misses_total", "Requests completed after their deadline.",
+     "deadline_misses"),
+    ("engine_runs_total", "Engine batch executions observed.", "engine_runs"),
+)
+
+
+class TelemetryCollector:
+    """Thread-safe request traces, per-model aggregates and exports.
+
+    Parameters
+    ----------
+    max_traces:
+        Size of the rolling per-request trace window (aggregates are
+        cumulative and unaffected by trace eviction).
+    """
+
+    def __init__(self, max_traces: int = 1024):
+        if max_traces < 1:
+            raise ValueError("max_traces must be positive")
+        self._traces: deque[RequestTrace] = deque(maxlen=max_traces)
+        self._aggregates: dict[str, ModelAggregate] = {}
+        self._cost_models: dict[str, CostModel] = {}
+        self._wall_per_modeled: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    # -- cost-model wiring -----------------------------------------------------
+
+    def attach_cost_model(self, model_name: str, cost_model: CostModel) -> None:
+        """Attach the cost tables used to attribute ``model_name`` requests."""
+        with self._lock:
+            self._cost_models[model_name] = cost_model
+
+    def cost_model(self, model_name: str) -> CostModel | None:
+        """The attached cost model for ``model_name`` (``None`` if absent)."""
+        with self._lock:
+            return self._cost_models.get(model_name)
+
+    def predicted_batch_latency_s(
+        self, model_name: str, n_samples: int
+    ) -> float | None:
+        """Predicted wall-clock latency of a batch, for SLO slack computation.
+
+        Starts from the cost model's modeled batch latency and scales it by
+        the observed wall-per-modeled calibration EMA once engine runs have
+        been recorded.  ``None`` when ``model_name`` has no cost model (the
+        scheduler then treats predicted latency as zero).
+        """
+        with self._lock:
+            cost = self._cost_models.get(model_name)
+            if cost is None:
+                return None
+            scale = self._wall_per_modeled.get(model_name, 1.0)
+        return cost.batch_latency_s(n_samples) * scale
+
+    # -- recording -------------------------------------------------------------
+
+    def _aggregate_locked(self, model_name: str) -> ModelAggregate:
+        aggregate = self._aggregates.get(model_name)
+        if aggregate is None:
+            aggregate = self._aggregates[model_name] = ModelAggregate(model_name)
+        return aggregate
+
+    def record(self, trace: RequestTrace) -> None:
+        """Record one completed request."""
+        with self._lock:
+            self._traces.append(trace)
+            aggregate = self._aggregate_locked(trace.model_name)
+            aggregate.requests += 1
+            aggregate.samples += trace.n_samples
+            aggregate.queue_wait_s += trace.queue_wait_s
+            aggregate.engine_share_s += trace.engine_share_s
+            aggregate.max_batch_size = max(
+                aggregate.max_batch_size, trace.batch_size
+            )
+            if trace.modeled_energy_pj is not None:
+                aggregate.modeled_energy_pj += trace.modeled_energy_pj
+            if trace.modeled_latency_us is not None:
+                aggregate.modeled_latency_us += trace.modeled_latency_us
+            if trace.deadline_s is not None:
+                aggregate.deadline_requests += 1
+                aggregate.deadline_misses += int(trace.deadline_missed)
+
+    def record_engine_run(
+        self, model_name: str, n_samples: int, elapsed_s: float
+    ) -> None:
+        """Record one engine batch execution (also calibrates prediction).
+
+        The server calls this once per coalesced batch;
+        ``NetworkEngine.add_run_probe(collector.engine_probe(name))`` wires
+        the same record for engines driven outside the server.
+        """
+        with self._lock:
+            aggregate = self._aggregate_locked(model_name)
+            aggregate.engine_runs += 1
+            aggregate.engine_run_samples += n_samples
+            aggregate.engine_run_s += elapsed_s
+            cost = self._cost_models.get(model_name)
+            if cost is not None and n_samples > 0:
+                modeled = cost.batch_latency_s(n_samples)
+                if modeled > 0.0:
+                    ratio = elapsed_s / modeled
+                    previous = self._wall_per_modeled.get(model_name)
+                    self._wall_per_modeled[model_name] = (
+                        ratio
+                        if previous is None
+                        else previous
+                        + _CALIBRATION_ALPHA * (ratio - previous)
+                    )
+
+    def engine_probe(self, model_name: str):
+        """A :meth:`NetworkEngine.add_run_probe` callback feeding this collector."""
+
+        def probe(n_samples: int, elapsed_s: float) -> None:
+            self.record_engine_run(model_name, n_samples, elapsed_s)
+
+        return probe
+
+    # -- snapshots -------------------------------------------------------------
+
+    def traces(self, model_name: str | None = None) -> list[RequestTrace]:
+        """A snapshot of the rolling trace window (optionally one model's)."""
+        with self._lock:
+            if model_name is None:
+                return list(self._traces)
+            return [t for t in self._traces if t.model_name == model_name]
+
+    def aggregate(self, model_name: str) -> ModelAggregate:
+        """A snapshot of one model's cumulative aggregate."""
+        with self._lock:
+            aggregate = self._aggregates.get(model_name)
+            if aggregate is None:
+                return ModelAggregate(model_name)
+            return ModelAggregate(**vars(aggregate))
+
+    def aggregates(self) -> dict[str, ModelAggregate]:
+        """Snapshots of every model's cumulative aggregate."""
+        with self._lock:
+            return {
+                name: ModelAggregate(**vars(aggregate))
+                for name, aggregate in self._aggregates.items()
+            }
+
+    # -- exports ---------------------------------------------------------------
+
+    def export_json(self, include_traces: bool = True, indent: int | None = None) -> str:
+        """Serialise aggregates (and optionally the trace window) to JSON."""
+        with self._lock:
+            payload = {
+                "models": {
+                    name: aggregate.as_dict()
+                    for name, aggregate in self._aggregates.items()
+                },
+            }
+            if include_traces:
+                payload["traces"] = [trace.as_dict() for trace in self._traces]
+        return json.dumps(payload, indent=indent)
+
+    @staticmethod
+    def _escape_label(value: str) -> str:
+        """Escape a label value per the Prometheus exposition format."""
+        return (
+            value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        )
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        """Render the aggregates in the Prometheus text exposition format."""
+        aggregates = self.aggregates()
+        lines: list[str] = []
+        for suffix, help_text, attribute in _PROMETHEUS_GAUGES:
+            metric = f"{prefix}_{suffix}"
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} counter")
+            for name in sorted(aggregates):
+                value = getattr(aggregates[name], attribute)
+                label = self._escape_label(name)
+                lines.append(f'{metric}{{model="{label}"}} {value}')
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (
+                f"TelemetryCollector(models={sorted(self._aggregates)}, "
+                f"traces={len(self._traces)})"
+            )

@@ -4,7 +4,7 @@ import pytest
 
 from repro.hw.architecture import ISAAC_ARCH, RAELLA_ARCH, RAELLA_NO_SPEC_ARCH
 from repro.hw.mapping import Mapper
-from repro.hw.throughput import ThroughputModel
+from repro.hw.throughput import ThroughputModel, ThroughputReport
 from repro.nn.zoo import model_shapes
 
 
@@ -88,3 +88,36 @@ class TestThroughputModel:
         assert timing.latency_us == pytest.approx(
             timing.latency_cycles * RAELLA_ARCH.cycle_time_ns / 1e3
         )
+
+
+class TestEmptyThroughputReport:
+    """An empty report must fail loudly, not with a bare ``max()`` ValueError."""
+
+    def _empty_report(self) -> ThroughputReport:
+        return ThroughputReport(model_name="empty", arch_name="raella")
+
+    @pytest.mark.parametrize(
+        "accessor",
+        [
+            lambda r: r.bottleneck,
+            lambda r: r.steady_state_latency_us,
+            lambda r: r.throughput_samples_per_s,
+            lambda r: r.single_sample_latency_us,
+            lambda r: r.summary(),
+        ],
+        ids=[
+            "bottleneck",
+            "steady_state_latency_us",
+            "throughput_samples_per_s",
+            "single_sample_latency_us",
+            "summary",
+        ],
+    )
+    def test_empty_timings_raise_clear_error(self, accessor):
+        with pytest.raises(ValueError, match="no layer timings"):
+            accessor(self._empty_report())
+
+    def test_populated_report_unaffected(self):
+        report = ThroughputModel(RAELLA_ARCH).evaluate(model_shapes("resnet18"))
+        assert report.bottleneck.latency_cycles > 0
+        assert report.single_sample_latency_us > 0

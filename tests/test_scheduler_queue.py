@@ -1,0 +1,144 @@
+"""Edge-case tests for the dynamic micro-batching request queue.
+
+Covers the scheduler behaviours the serving tests exercise only implicitly:
+oversized single requests, a zero latency budget (immediate dispatch),
+interleaved multi-model fairness, and the opt-in batch-size-aware adaptive
+delay budget.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.scheduler import (
+    BatchingPolicy,
+    InferenceFuture,
+    InferenceRequest,
+    RequestQueue,
+)
+
+
+def make_request(name: str, samples: int = 1, enqueued_at: float | None = None):
+    return InferenceRequest(
+        model_name=name,
+        inputs=np.zeros((samples, 3)),
+        future=InferenceFuture(),
+        enqueued_at=time.monotonic() if enqueued_at is None else enqueued_at,
+    )
+
+
+class TestBatchingPolicyValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            BatchingPolicy(max_batch_size=0)
+        with pytest.raises(ValueError, match="max_delay_s"):
+            BatchingPolicy(max_delay_s=-0.1)
+
+    def test_effective_delay_constant_without_adaptive(self):
+        policy = BatchingPolicy(max_batch_size=8, max_delay_s=0.4)
+        for queued in (0, 4, 8, 100):
+            assert policy.effective_delay_s(queued) == 0.4
+
+    def test_effective_delay_shrinks_with_fill(self):
+        policy = BatchingPolicy(
+            max_batch_size=8, max_delay_s=0.4, adaptive_delay=True
+        )
+        assert policy.effective_delay_s(0) == pytest.approx(0.4)
+        assert policy.effective_delay_s(4) == pytest.approx(0.2)
+        assert policy.effective_delay_s(6) == pytest.approx(0.1)
+        assert policy.effective_delay_s(8) == 0.0
+        assert policy.effective_delay_s(100) == 0.0  # clamped, never negative
+
+
+class TestRequestQueueEdgeCases:
+    def test_oversized_single_request_forms_its_own_batch(self):
+        queue = RequestQueue()
+        queue.submit(make_request("m", samples=50))
+        queue.submit(make_request("m", samples=2))
+        policy = BatchingPolicy(max_batch_size=8, max_delay_s=10.0)
+        queue.close()
+        batch = queue.next_batch(policy)
+        assert len(batch) == 1
+        assert batch[0].n_samples == 50  # runs alone, never splits
+        follow_up = queue.next_batch(policy)
+        assert [r.n_samples for r in follow_up] == [2]
+
+    def test_oversized_request_never_coalesces_a_second_request(self):
+        queue = RequestQueue()
+        queue.submit(make_request("m", samples=8))
+        queue.submit(make_request("m", samples=1))
+        policy = BatchingPolicy(max_batch_size=8, max_delay_s=10.0)
+        queue.close()
+        # The first request exactly fills the batch: the 1-sample request
+        # must wait for the next batch rather than overflow this one.
+        assert [r.n_samples for r in queue.next_batch(policy)] == [8]
+        assert [r.n_samples for r in queue.next_batch(policy)] == [1]
+
+    def test_zero_delay_dispatches_immediately(self):
+        queue = RequestQueue()
+        queue.submit(make_request("m"))
+        policy = BatchingPolicy(max_batch_size=64, max_delay_s=0.0)
+        start = time.monotonic()
+        batch = queue.next_batch(policy)  # queue still open, batch not full
+        elapsed = time.monotonic() - start
+        assert len(batch) == 1
+        assert elapsed < 1.0  # no waiting on the (zero) latency budget
+
+    def test_interleaved_multi_model_fairness(self):
+        queue = RequestQueue()
+        base = time.monotonic()
+        # Interleaved arrivals: a0 b0 a1 b1 a2 b2 ...
+        for i in range(3):
+            queue.submit(make_request("a", enqueued_at=base + 2 * i))
+            queue.submit(make_request("b", enqueued_at=base + 2 * i + 1))
+        queue.close()
+        policy = BatchingPolicy(max_batch_size=64, max_delay_s=10.0)
+        first = queue.next_batch(policy)
+        second = queue.next_batch(policy)
+        assert queue.next_batch(policy) is None
+        # Oldest head first (a), whole per-model queue coalesces, then b --
+        # a steady stream on one model cannot starve the other.
+        assert [r.model_name for r in first] == ["a", "a", "a"]
+        assert [r.model_name for r in second] == ["b", "b", "b"]
+
+    def test_continuous_stream_does_not_starve_other_model(self):
+        queue = RequestQueue()
+        base = time.monotonic()
+        queue.submit(make_request("quiet", enqueued_at=base))
+        for i in range(10):
+            queue.submit(make_request("busy", enqueued_at=base + 0.001 * (i + 1)))
+        queue.close()
+        policy = BatchingPolicy(max_batch_size=4, max_delay_s=10.0)
+        assert queue.next_batch(policy)[0].model_name == "quiet"
+
+    def test_submit_after_close_raises(self):
+        queue = RequestQueue()
+        queue.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            queue.submit(make_request("m"))
+        policy = BatchingPolicy()
+        assert queue.next_batch(policy) is None
+
+
+class TestAdaptiveDelay:
+    def test_near_full_queue_dispatches_early(self):
+        queue = RequestQueue()
+        queue.submit(make_request("m", samples=3))
+        policy = BatchingPolicy(
+            max_batch_size=4, max_delay_s=2.0, adaptive_delay=True
+        )
+        start = time.monotonic()
+        batch = queue.next_batch(policy)  # 3/4 full: budget shrinks to 0.5s
+        elapsed = time.monotonic() - start
+        assert [r.n_samples for r in batch] == [3]
+        assert elapsed < 1.5  # well under the non-adaptive 2s budget
+
+    def test_non_adaptive_waits_longer_than_adaptive_budget(self):
+        queue = RequestQueue()
+        queue.submit(make_request("m", samples=3))
+        policy = BatchingPolicy(max_batch_size=4, max_delay_s=0.4)
+        start = time.monotonic()
+        queue.next_batch(policy)
+        elapsed = time.monotonic() - start
+        assert elapsed >= 0.3  # the full (non-adaptive) budget was honoured
