@@ -41,7 +41,9 @@ def test_ablation_center_cost_power(benchmark, skewed_layer):
     layer, _ = skewed_layer
 
     def sweep():
-        return {power: _worst_column_bias(layer, power) for power in (1.0, 2.0, 4.0, 8.0)}
+        return {
+            power: _worst_column_bias(layer, power) for power in (1.0, 2.0, 4.0, 8.0)
+        }
 
     biases = benchmark(sweep)
     benchmark.extra_info["worst_column_bias_by_power"] = {
@@ -60,7 +62,8 @@ def test_ablation_error_budget(benchmark, skewed_layer):
         slices = {}
         for budget in (0.01, 0.09, 1.0):
             choice = choose_weight_slicing(
-                layer, patches,
+                layer,
+                patches,
                 AdaptiveSlicingConfig(error_budget=budget, max_test_patches=48),
             )
             slices[budget] = choice.slicing.n_slices

@@ -10,9 +10,7 @@ def test_fig07_adaptive_weight_slicings(run_once, benchmark):
         max_test_patches=128,
         n_test_inputs=1,
     )
-    summary = {
-        model.model_name: model.slice_count_histogram for model in result.models
-    }
+    summary = {model.model_name: model.slice_count_histogram for model in result.models}
     benchmark.extra_info["slice_count_histograms"] = {
         k: {str(n): c for n, c in v.items()} for k, v in summary.items()
     }

@@ -20,7 +20,5 @@ def test_fig13_comparison_with_retraining_architectures(benchmark):
     assert efficiency["raella"] > efficiency["forms8"]
     assert 0.5 < throughput["raella"] / throughput["forms8"] < 2.0
     assert efficiency["raella_65nm_no_spec"] >= efficiency["raella_65nm"]
-    best_raella_65nm = max(
-        efficiency["raella_65nm"], efficiency["raella_65nm_no_spec"]
-    )
+    best_raella_65nm = max(efficiency["raella_65nm"], efficiency["raella_65nm_no_spec"])
     assert best_raella_65nm >= efficiency["timely"] * 0.95

@@ -4,9 +4,7 @@ from repro.experiments.fig15_noise import run_fig15
 
 
 def test_fig15_accuracy_under_noise(run_once, benchmark):
-    result = run_once(
-        run_fig15, noise_levels=(0.0, 0.12), max_samples=150, epochs=20
-    )
+    result = run_once(run_fig15, noise_levels=(0.0, 0.12), max_samples=150, epochs=20)
     drops = {
         setup: {
             str(point.noise_level): round(point.accuracy_drop_pct, 2)
@@ -23,7 +21,9 @@ def test_fig15_accuracy_under_noise(run_once, benchmark):
     for setup in result.setup_names:
         assert result.drop_at(setup, 0.0) < 3.0
     worst_noise = 0.12
-    assert result.drop_at("isaac", worst_noise) >= result.drop_at("raella", worst_noise) - 1.0
+    assert result.drop_at("isaac", worst_noise) >= result.drop_at(
+        "raella", worst_noise
+    ) - 1.0
     assert abs(
         result.drop_at("raella", worst_noise)
         - result.drop_at("center_offset+adaptive", worst_noise)

@@ -24,8 +24,9 @@ from repro.runtime import VectorizedLayerExecutor
 @pytest.fixture(scope="module")
 def medium_layer():
     rng = np.random.default_rng(0)
-    layer = Linear("bench_fc", synthetic_linear_weights(64, 384, rng, std=0.1),
-                   fuse_relu=True)
+    layer = Linear(
+        "bench_fc", synthetic_linear_weights(64, 384, rng, std=0.1), fuse_relu=True
+    )
     inputs = np.abs(rng.normal(0, 1, size=(64, 384)))
     layer.calibrate(inputs, layer.forward_float(inputs))
     patches = layer.input_quant.quantize(inputs)
@@ -34,7 +35,9 @@ def medium_layer():
 
 def test_kernel_center_optimisation(benchmark, medium_layer):
     layer, _ = medium_layer
-    centers = benchmark(optimal_centers, layer.weight_codes, RAELLA_DEFAULT_WEIGHT_SLICING)
+    centers = benchmark(
+        optimal_centers, layer.weight_codes, RAELLA_DEFAULT_WEIGHT_SLICING
+    )
     assert centers.shape == (64,)
 
 

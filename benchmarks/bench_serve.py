@@ -41,9 +41,7 @@ def serving_setup():
     model.calibrate(np.abs(rng.normal(0, 1, size=(64, 128))))
     registry = ModelRegistry()
     registry.register("mlp", model)
-    requests = [
-        np.abs(rng.normal(0, 1, size=(1, 128))) for _ in range(N_REQUESTS)
-    ]
+    requests = [np.abs(rng.normal(0, 1, size=(1, 128))) for _ in range(N_REQUESTS)]
     engine = registry.engine("mlp")
     engine.run(requests[0])  # warm caches/executors out of the timed region
     return registry, requests

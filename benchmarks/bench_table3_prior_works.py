@@ -16,4 +16,6 @@ def test_table3_prior_work_classification(benchmark):
     assert not raella.needs_retraining
     assert by_name["isaac"].high_cost_adc
     assert by_name["forms8"].limits_weight_count and by_name["forms8"].needs_retraining
-    assert by_name["timely"].fidelity_loss == "high" and by_name["timely"].needs_retraining
+    assert by_name["timely"].fidelity_loss == "high" and by_name[
+        "timely"
+    ].needs_retraining

@@ -37,7 +37,8 @@ BATCH_POLICY = BatchingPolicy(max_batch_size=32, max_delay_s=0.005)
 def make_model(name: str, in_features: int, hidden: int, seed: int) -> QuantizedModel:
     rng = np.random.default_rng(seed)
     fc1 = Linear(
-        "fc1", synthetic_linear_weights(hidden, in_features, rng, std=0.15),
+        "fc1",
+        synthetic_linear_weights(hidden, in_features, rng, std=0.15),
         fuse_relu=True,
     )
     fc2 = Linear("fc2", synthetic_linear_weights(10, hidden, rng, std=0.15))
@@ -57,9 +58,7 @@ def overhead_setup():
     rng = np.random.default_rng(11)
     registry = ModelRegistry()
     registry.register("mlp", make_model("mlp", 128, 64, seed=11), arch=RAELLA_ARCH)
-    requests = [
-        np.abs(rng.normal(0, 1, size=(8, 128))) for _ in range(N_REQUESTS)
-    ]
+    requests = [np.abs(rng.normal(0, 1, size=(8, 128))) for _ in range(N_REQUESTS)]
     registry.engine("mlp").run(requests[0])  # warm caches out of timed region
     return registry, requests
 
@@ -118,10 +117,10 @@ def test_telemetry_overhead_within_bound(overhead_setup):
 def slo_setup():
     """A bulk tenant and an interactive tenant sharing one registry."""
     registry = ModelRegistry()
-    registry.register("bulk", make_model("bulk", 128, 96, seed=3),
-                      arch=RAELLA_ARCH)
+    registry.register("bulk", make_model("bulk", 128, 96, seed=3), arch=RAELLA_ARCH)
     registry.register(
-        "interactive", make_model("interactive", 64, 48, seed=4),
+        "interactive",
+        make_model("interactive", 64, 48, seed=4),
         arch=RAELLA_ARCH,
     )
     rng = np.random.default_rng(5)
@@ -153,13 +152,9 @@ def run_mixed_load(
         telemetry=telemetry,
         slo_scheduling=slo_scheduling,
     )
-    bulk_futures = [
-        server.submit("bulk", r, priority=0, deadline_s=60.0) for r in bulk
-    ]
+    bulk_futures = [server.submit("bulk", r, priority=0, deadline_s=60.0) for r in bulk]
     interactive_futures = [
-        server.submit(
-            "interactive", r, priority=1, deadline_s=interactive_deadline_s
-        )
+        server.submit("interactive", r, priority=1, deadline_s=interactive_deadline_s)
         for r in interactive
     ]
     start = time.perf_counter()
@@ -179,17 +174,26 @@ def test_slo_scheduling_beats_fifo_miss_rate(slo_setup):
     # time a full FIFO drain takes, so interactive requests stuck behind the
     # bulk backlog must miss while a jumped-queue service comfortably meets.
     _, _, _, drain_time = run_mixed_load(
-        registry, bulk, interactive, slo_scheduling=False,
+        registry,
+        bulk,
+        interactive,
+        slo_scheduling=False,
         interactive_deadline_s=60.0,
     )
     deadline = max(drain_time / 3.0, 0.010)
 
     fifo, fifo_bulk, fifo_interactive, _ = run_mixed_load(
-        registry, bulk, interactive, slo_scheduling=False,
+        registry,
+        bulk,
+        interactive,
+        slo_scheduling=False,
         interactive_deadline_s=deadline,
     )
     slo, slo_bulk, slo_interactive, _ = run_mixed_load(
-        registry, bulk, interactive, slo_scheduling=True,
+        registry,
+        bulk,
+        interactive,
+        slo_scheduling=True,
         interactive_deadline_s=deadline,
     )
 

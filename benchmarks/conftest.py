@@ -16,7 +16,8 @@ def run_once(benchmark):
     """Run a callable exactly once under the benchmark timer."""
 
     def runner(func, *args, **kwargs):
-        return benchmark.pedantic(func, args=args, kwargs=kwargs,
-                                  rounds=1, iterations=1, warmup_rounds=0)
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
 
     return runner

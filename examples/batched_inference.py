@@ -23,8 +23,8 @@ import time
 
 import numpy as np
 
-from repro.core.compiler import RaellaCompiler, RaellaCompilerConfig
 from repro.core.adaptive_slicing import AdaptiveSlicingConfig
+from repro.core.compiler import RaellaCompiler, RaellaCompilerConfig
 from repro.nn.synthetic import synthetic_images
 from repro.nn.zoo import resnet18_like
 from repro.runtime import GLOBAL_WEIGHT_CACHE, NetworkEngine

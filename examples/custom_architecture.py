@@ -17,7 +17,12 @@ from repro.arithmetic.slicing import Slicing
 from repro.core.adaptive_slicing import layer_output_error
 from repro.core.dynamic_input import SpeculationMode
 from repro.core.executor import PimLayerConfig
-from repro.hw.architecture import ISAAC_ARCH, RAELLA_ARCH, ArchitectureSpec, OperandStatistics
+from repro.hw.architecture import (
+    ISAAC_ARCH,
+    RAELLA_ARCH,
+    ArchitectureSpec,
+    OperandStatistics,
+)
 from repro.hw.energy import EnergyModel
 from repro.hw.throughput import ThroughputModel
 from repro.nn.synthetic import synthetic_images

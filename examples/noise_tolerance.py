@@ -37,7 +37,8 @@ def main() -> None:
 
     configs = {
         "isaac": RaellaCompilerConfig(
-            pim=IsaacBaseline().pim_config(), adaptive_slicing_enabled=False,
+            pim=IsaacBaseline().pim_config(),
+            adaptive_slicing_enabled=False,
             n_test_inputs=4,
         ),
         "raella": RaellaCompilerConfig(
@@ -54,8 +55,11 @@ def main() -> None:
                 config, noise=noise, executor_factory=VectorizedLayerExecutor
             ).compile(training.model, test_inputs=flat.x_train[:4])
             accuracy = evaluate_accuracy(
-                training.model, flat, pim_matmul=program.pim_matmul,
-                max_samples=200, micro_batch=64,
+                training.model,
+                flat,
+                pim_matmul=program.pim_matmul,
+                max_samples=200,
+                micro_batch=64,
             )
             row.append(accuracy)
         print(f"{level:8.2f}  " + "  ".join(f"{acc:10.3f}" for acc in row))

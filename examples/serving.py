@@ -37,9 +37,7 @@ from repro.telemetry import TelemetryCollector
 
 def make_model(name: str, seed: int) -> QuantizedModel:
     rng = np.random.default_rng(seed)
-    fc1 = Linear(
-        "fc1", synthetic_linear_weights(48, 96, rng, std=0.15), fuse_relu=True
-    )
+    fc1 = Linear("fc1", synthetic_linear_weights(48, 96, rng, std=0.15), fuse_relu=True)
     fc2 = Linear("fc2", synthetic_linear_weights(10, 48, rng, std=0.15))
     model = QuantizedModel(name, [fc1, fc2], input_shape=(96,))
     model.calibrate(np.abs(rng.normal(0, 1, size=(64, 96))))
@@ -123,12 +121,14 @@ def main() -> None:
             tenant = "tenant_a" if i % 2 == 0 else "tenant_b"
             # Even requests are interactive (high priority, tight deadline),
             # odd ones are bulk (default priority, loose deadline).
-            futures.append(server.submit(
-                tenant,
-                np.abs(rng.normal(0, 1, size=(1 + i % 3, 96))),
-                priority=1 if i % 2 == 0 else 0,
-                deadline_s=0.05 if i % 2 == 0 else 5.0,
-            ))
+            futures.append(
+                server.submit(
+                    tenant,
+                    np.abs(rng.normal(0, 1, size=(1 + i % 3, 96))),
+                    priority=1 if i % 2 == 0 else 0,
+                    deadline_s=0.05 if i % 2 == 0 else 5.0,
+                )
+            )
         for future in futures:
             future.result(timeout=30)
 

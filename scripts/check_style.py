@@ -1,0 +1,863 @@
+#!/usr/bin/env python
+"""Offline approximation of the CI lint gate (ruff check + ruff format).
+
+The `lint` CI job runs ruff, but ruff is not installed in fully-offline
+development environments (this repo supports them by design -- see
+setup.py).  This script re-implements the high-signal subset of the rules
+enabled in ruff.toml with only the standard library, so style drift is
+caught before a PR ever reaches CI:
+
+* syntax errors (E9),
+* unused imports (F401, honouring ``__all__``, ``__future__`` and
+  ``import x as x`` re-exports),
+* unused local variables (F841, conservative: only simple ``name = ...``
+  assignments whose name is never read in the function),
+* import-block ordering (I001: future/stdlib/third-party/first-party
+  grouping, one blank line between groups, statements interleaved by module
+  name, members ordered constants < classes < others),
+* formatter drift (ruff format): lines over the 88-column limit, and
+  bracket groups that match none of the formatter's three layouts --
+  everything on one line; one indented inner line (no magic trailing
+  comma); or fully exploded, one element per line, with a magic trailing
+  comma -- plus single-quoted strings, trailing whitespace, tabs, and
+  missing end-of-file newlines.
+
+``--fix`` applies the mechanical repairs (joining/exploding bracket groups,
+quote normalisation, whitespace) and refuses any rewrite that changes the
+file's AST.  Exit status 1 when findings remain.  This is an approximation:
+ruff in CI remains the referee, and anything it flags that this script
+missed should be added here.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+import tokenize
+from pathlib import Path
+
+LINE_LIMIT = 88
+FIRST_PARTY = {"repro", "tests"}
+DEFAULT_ROOTS = ("src", "tests", "benchmarks", "examples", "scripts", "setup.py")
+STDLIB = set(getattr(sys, "stdlib_module_names", ())) | {"__future__"}
+
+OPENS = {"(", "[", "{"}
+CLOSES = {")": "(", "]": "[", "}": "{"}
+
+
+def split_top_level(text: str):
+    """Split joined bracket contents at depth-0 commas (None if unsplittable).
+
+    Tracks quotes and nesting; cannot see lambdas or conditional expressions,
+    so the caller AST-verifies every rewrite built from this.
+    """
+    elements = []
+    current = []
+    depth = 0
+    quote = None
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if quote is not None:
+            current.append(char)
+            if char == "\\":
+                if index + 1 < len(text):
+                    current.append(text[index + 1])
+                    index += 1
+            elif char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+            current.append(char)
+        elif char in OPENS:
+            depth += 1
+            current.append(char)
+        elif char in CLOSES:
+            depth -= 1
+            current.append(char)
+        elif char == "," and depth == 0:
+            elements.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+        index += 1
+    if quote is not None or depth != 0:
+        return None
+    tail = "".join(current).strip()
+    if tail:
+        elements.append(tail)
+    return [element for element in elements if element]
+
+
+def member_sort_key(name: str):
+    """isort member order per ruff.toml: constants, classes, the rest
+    (``order-by-type = true``), case-sensitive within each rank."""
+    if name.isupper() or (name.upper() == name and "_" in name):
+        rank = 0
+    elif name[:1].isupper():
+        rank = 1
+    else:
+        rank = 2
+    return (rank, name)
+
+
+class Group:
+    """One bracket pair spanning source lines, with its element layout."""
+
+    def __init__(self, open_token, close_token, inner):
+        self.open = open_token
+        self.close = close_token
+        self.inner = inner
+
+    @property
+    def multiline(self) -> bool:
+        return self.open.start[0] != self.close.start[0]
+
+    @property
+    def has_comment(self) -> bool:
+        return any(t.type == tokenize.COMMENT for t in self.inner)
+
+    @property
+    def has_multiline_string(self) -> bool:
+        return any(
+            t.type == tokenize.STRING and t.start[0] != t.end[0]
+            for t in self.inner
+        )
+
+    @property
+    def trailing_comma(self) -> bool:
+        return bool(self.inner) and (
+            self.inner[-1].type == tokenize.OP and self.inner[-1].string == ","
+        )
+
+    @property
+    def has_implicit_concat(self) -> bool:
+        """Adjacent string literals: the formatter never re-joins them."""
+        return any(
+            a.type == tokenize.STRING and b.type == tokenize.STRING
+            for a, b in zip(self.inner, self.inner[1:])
+        )
+
+    @property
+    def skip(self) -> bool:
+        return (
+            self.has_comment
+            or self.has_multiline_string
+            or self.has_implicit_concat
+        )
+
+    @property
+    def is_comprehension(self) -> bool:
+        """A depth-0 ``for``: comprehensions are one element, split at
+        keywords -- the element-per-line layout rules do not apply."""
+        depth = 0
+        for token in self.inner:
+            if token.type == tokenize.OP:
+                if token.string in OPENS:
+                    depth += 1
+                elif token.string in CLOSES:
+                    depth -= 1
+            elif (token.type == tokenize.NAME and token.string == "for" and depth == 0):
+                return True
+        return False
+
+    def element_commas(self):
+        """Depth-0 comma tokens (element separators) inside the group."""
+        depth = 0
+        commas = []
+        for token in self.inner:
+            if token.type != tokenize.OP:
+                continue
+            if token.string in OPENS:
+                depth += 1
+            elif token.string in CLOSES:
+                depth -= 1
+            elif token.string == "," and depth == 0:
+                commas.append(token)
+        return commas
+
+
+class Checker:
+    def __init__(self, path: Path, fix: bool = False):
+        self.path = path
+        self.fix = fix
+        self.source = path.read_text(encoding="utf-8")
+        self.lines = self.source.splitlines()
+        self.findings: list[tuple[int, str, str]] = []
+
+    def flag(self, line: int, code: str, message: str) -> None:
+        self.findings.append((line, code, message))
+
+    def run(self) -> list[tuple[int, str, str]]:
+        try:
+            tree = ast.parse(self.source)
+        except SyntaxError as error:
+            self.flag(error.lineno or 0, "E999", f"syntax error: {error.msg}")
+            return self.findings
+        if self.fix:
+            self.apply_fixes()
+            tree = ast.parse(self.source)
+        self.check_unused_imports(tree)
+        self.check_unused_locals(tree)
+        self.check_import_order(tree)
+        self.check_text()
+        self.check_tokens()
+        return self.findings
+
+    # -- pyflakes-ish ----------------------------------------------------------
+
+    def check_unused_imports(self, tree: ast.Module) -> None:
+        used = set()
+        exported = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                base = node
+                while isinstance(base, ast.Attribute):
+                    base = base.value
+                if isinstance(base, ast.Name):
+                    used.add(base.id)
+        for node in tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "__all__"
+                    for t in node.targets
+                )
+                and isinstance(node.value, (ast.List, ast.Tuple))
+            ):
+                for element in node.value.elts:
+                    if isinstance(element, ast.Constant):
+                        exported.add(element.value)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.partition(".")[0]
+                    if alias.asname and alias.asname == alias.name:
+                        continue  # explicit re-export
+                    if bound not in used and bound not in exported:
+                        self.flag(node.lineno, "F401", f"unused import {alias.name!r}")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    if alias.asname and alias.asname == alias.name:
+                        continue  # explicit re-export
+                    if bound not in used and bound not in exported:
+                        self.flag(node.lineno, "F401", f"unused import {alias.name!r}")
+
+    def check_unused_locals(self, tree: ast.Module) -> None:
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            loads = set()
+            assigns: dict[str, int] = {}
+            declared = set()
+            for node in ast.walk(func):
+                if isinstance(node, ast.Name):
+                    if isinstance(node.ctx, (ast.Load, ast.Del)):
+                        loads.add(node.id)
+                elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                    declared.update(node.names)
+                elif isinstance(node, ast.AugAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    loads.add(node.target.id)
+            for node in ast.walk(func):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name):
+                        assigns.setdefault(target.id, node.lineno)
+            for name, lineno in sorted(assigns.items(), key=lambda kv: kv[1]):
+                if name.startswith("_") or name in loads or name in declared:
+                    continue
+                self.flag(lineno, "F841", f"local variable {name!r} is never used")
+
+    # -- isort-ish -------------------------------------------------------------
+
+    @staticmethod
+    def import_group(module: str, level: int) -> int:
+        if level > 0:
+            return 4
+        root = module.partition(".")[0]
+        if root == "__future__":
+            return 0
+        if root in STDLIB:
+            return 1
+        if root in FIRST_PARTY:
+            return 3
+        return 2
+
+    def check_import_order(self, tree: ast.Module) -> None:
+        # Within a group, straight imports precede from-imports (isort's
+        # default `from_first = false`), each block sorted by module name.
+        entries = []
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                module = node.names[0].name
+                entries.append(
+                    (self.import_group(module, 0), (0, module.lower()), node)
+                )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                group = self.import_group(module, node.level)
+                entries.append((group, (1, module.lower()), node))
+                names = [alias.name for alias in node.names]
+                if "*" not in names and names != sorted(names, key=member_sort_key):
+                    self.flag(
+                        node.lineno,
+                        "I001",
+                        f"from-import names not sorted: {', '.join(names)}",
+                    )
+            elif entries and not isinstance(node, ast.Expr):
+                break  # import block ends at the first real statement
+        previous = None
+        for group, key, node in entries:
+            if previous is not None:
+                prev_group, prev_key, prev_node = previous
+                if group < prev_group:
+                    self.flag(
+                        node.lineno,
+                        "I001",
+                        "import group out of order "
+                        "(future < stdlib < third-party < first-party)",
+                    )
+                elif group == prev_group and key < prev_key:
+                    self.flag(node.lineno, "I001", "imports not sorted within group")
+                gap = node.lineno - (prev_node.end_lineno or prev_node.lineno) - 1
+                if group != prev_group and gap < 1:
+                    self.flag(
+                        node.lineno,
+                        "I001",
+                        "missing blank line between import groups",
+                    )
+            previous = (group, key, node)
+
+    # -- formatter drift -------------------------------------------------------
+
+    def long_line_exempt(self, row: int) -> bool:
+        """Whether the formatter could even shorten this long line.
+
+        The formatter never splits string literals or comments, so a line
+        whose 88th column falls inside one is left alone (and E501 is not in
+        the enabled lint rules).  Only over-long *code* counts as drift.
+        """
+        try:
+            tokens = self.tokenize_lines()
+        except tokenize.TokenizeError:
+            return False
+        for token in tokens:
+            if token.type not in (tokenize.STRING, tokenize.COMMENT):
+                continue
+            (start_row, start_col), (end_row, end_col) = token.start, token.end
+            if start_row <= row <= end_row:
+                col_from = start_col if row == start_row else 0
+                col_to = end_col if row == end_row else len(self.lines[row - 1])
+                if col_from <= LINE_LIMIT <= col_to:
+                    return True
+        return False
+
+    def check_text(self) -> None:
+        for index, line in enumerate(self.lines, start=1):
+            if len(line) > LINE_LIMIT and not self.long_line_exempt(index):
+                self.flag(index, "FMT", f"line too long ({len(line)} > {LINE_LIMIT})")
+            if line.rstrip() != line:
+                self.flag(index, "FMT", "trailing whitespace")
+            if "\t" in line:
+                self.flag(index, "FMT", "tab character")
+        if self.source and not self.source.endswith("\n"):
+            self.flag(len(self.lines), "FMT", "missing newline at end of file")
+        self.check_def_blank_lines()
+
+    def check_def_blank_lines(self) -> None:
+        """A def/class directly after a same-indent statement needs blank lines.
+
+        The formatter puts one blank line between methods and two between
+        top-level definitions; the common drift (an edit dropping the gap
+        entirely) shows up as a ``def``/``class``/decorator line whose
+        immediately preceding line is a same-indent statement.
+        """
+        docstring_rows = set()
+        logical_start: dict[int, int] = {}
+        try:
+            start_row = None
+            for token in self.tokenize_lines():
+                if token.type == tokenize.STRING and token.start[0] != token.end[0]:
+                    docstring_rows.update(range(token.start[0], token.end[0] + 1))
+                if token.type in (tokenize.NEWLINE, tokenize.NL, tokenize.ENDMARKER):
+                    if start_row is not None:
+                        for row in range(start_row, token.start[0] + 1):
+                            logical_start.setdefault(row, start_row)
+                    if token.type == tokenize.NEWLINE:
+                        start_row = None
+                elif start_row is None and token.type not in (
+                    tokenize.INDENT,
+                    tokenize.DEDENT,
+                    tokenize.COMMENT,
+                ):
+                    start_row = token.start[0]
+        except tokenize.TokenizeError:
+            return
+        header = re.compile(r"^(\s*)(def |async def |class |@)")
+        for index in range(1, len(self.lines)):
+            row = index + 1
+            if row in docstring_rows:
+                continue
+            match = header.match(self.lines[index])
+            if match is None:
+                continue
+            previous = self.lines[index - 1]
+            if not previous.strip():
+                continue
+            prev_start = logical_start.get(index, index)
+            statement = self.lines[prev_start - 1].lstrip()
+            # Decorators, comments, block openers and docstrings are fine
+            # directly above a definition; anything else needs a gap.
+            if statement.startswith(("@", "#", '"', "'")) or statement.endswith(":"):
+                continue
+            prev_indent = re.match(r"\s*", self.lines[prev_start - 1]).group(0)
+            if prev_indent != match.group(1):
+                continue
+            self.flag(
+                row,
+                "FMT",
+                "def/class directly follows a statement; the formatter "
+                "inserts blank line(s) here",
+            )
+
+    def tokenize_lines(self):
+        readline = iter([line + "\n" for line in self.lines]).__next__
+        return list(tokenize.generate_tokens(readline))
+
+    def bracket_groups(self):
+        tokens = [
+            t
+            for t in self.tokenize_lines()
+            if t.type
+            not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+            )
+        ]
+        stack = []
+        groups = []
+        for position, token in enumerate(tokens):
+            if token.type == tokenize.OP and token.string in OPENS:
+                stack.append(position)
+            elif token.type == tokenize.OP and token.string in CLOSES:
+                if stack:
+                    start = stack.pop()
+                    groups.append(
+                        Group(tokens[start], token, tokens[start + 1 : position])
+                    )
+        return groups
+
+    def check_tokens(self) -> None:
+        try:
+            groups = self.bracket_groups()
+            tokens = self.tokenize_lines()
+        except tokenize.TokenizeError:
+            return
+        for token in tokens:
+            if token.type == tokenize.STRING:
+                self.check_string_token(token)
+        for group in groups:
+            if group.multiline:
+                self.check_group_layout(group)
+
+    def check_string_token(self, token) -> None:
+        text = token.string
+        prefix = re.match(r"[A-Za-z]*", text).group(0)
+        body = text[len(prefix) :]
+        if body.startswith("'''") or not body.startswith("'"):
+            return
+        if '"' in body:
+            return  # single quotes avoid escaping; the formatter keeps them
+        self.flag(
+            token.start[0],
+            "FMT",
+            "single-quoted string (formatter uses double quotes)",
+        )
+
+    def joined_form(self, group: Group):
+        """(total length, prefix, joined inner, suffix) if joined on one line."""
+        open_row, open_col = group.open.start
+        close_row, close_col = group.close.start
+        prefix = self.lines[open_row - 1][: open_col + 1]
+        suffix = self.lines[close_row - 1][close_col:]
+        segments = []
+        first = self.lines[open_row - 1][open_col + 1 :].strip()
+        if first:
+            segments.append(first)
+        for row in range(open_row + 1, close_row):
+            text = self.lines[row - 1].strip()
+            if text:
+                segments.append(text)
+        last = self.lines[close_row - 1][:close_col].strip()
+        if last:
+            segments.append(last)
+        joined = " ".join(segments)
+        if group.trailing_comma:
+            joined = joined.rstrip(",").rstrip()
+        joined = re.sub(r"([([{]) ", r"\1", joined)
+        joined = re.sub(r" ([)\]}])", r"\1", joined)
+        return len(prefix) + len(joined) + len(suffix), prefix, joined, suffix
+
+    def group_problem(self, group: Group) -> tuple[int, str] | None:
+        """The formatter-drift finding for one multi-line group, if any.
+
+        The formatter has exactly three stable layouts for a bracket group:
+        (1) everything on one line (taken whenever it fits and there is no
+        magic trailing comma); (2) a single indented inner line with the
+        brackets on their own boundaries (no magic trailing comma); (3)
+        fully exploded, one element per line, with a magic trailing comma.
+        Single-element groups (no depth-0 comma) may span lines freely --
+        that is how nested splits look.
+        """
+        open_row, open_col = group.open.start
+        close_row, close_col = group.close.start
+        open_line = self.lines[open_row - 1]
+        close_line = self.lines[close_row - 1]
+        open_ends_line = open_col == len(open_line.rstrip()) - 1
+        close_starts_line = close_line[:close_col].strip() == ""
+        inner_rows = close_row - open_row - 1
+        commas = group.element_commas()
+        if not group.trailing_comma:
+            length, _, _, _ = self.joined_form(group)
+            # Layout 1: everything fits on one line.
+            if length <= LINE_LIMIT:
+                return (
+                    open_row,
+                    f"multi-line group fits on one line ({length} cols); "
+                    "the formatter would join it",
+                )
+            # Comprehensions are one element split at for/if keywords; any
+            # over-limit layout beyond that is fine by the formatter.
+            if group.is_comprehension:
+                return None
+            if not (open_ends_line and close_starts_line):
+                return (
+                    open_row,
+                    "multi-line group: open/close brackets must sit on their "
+                    "own line boundaries",
+                )
+            # Single element spanning lines: a nested split, always fine.
+            if not commas:
+                return None
+            # Layout 2: a single indented inner line (that itself fits).
+            if inner_rows == 1:
+                if len(self.lines[open_row]) <= LINE_LIMIT:
+                    return None
+                return (
+                    open_row,
+                    "over-long single inner line; the formatter would explode "
+                    "the group one element per line",
+                )
+            return (
+                open_row,
+                "multi-element group spanning lines without a magic trailing "
+                "comma; the formatter would explode it one element per line "
+                "(adding the trailing comma)",
+            )
+        # Layout 3: magic trailing comma -> fully exploded.
+        if not (open_ends_line and close_starts_line):
+            return (
+                open_row,
+                "magic trailing comma: open/close brackets must sit on their "
+                "own line boundaries",
+            )
+        for comma in commas[:-1]:
+            row = comma.start[0]
+            after = self.lines[row - 1][comma.start[1] + 1 :].strip()
+            if after:
+                return (
+                    row,
+                    "magic trailing comma: the formatter explodes this group "
+                    "one element per line",
+                )
+        return None
+
+    def check_group_layout(self, group: Group) -> None:
+        if group.skip:
+            return
+        problem = self.group_problem(group)
+        if problem is not None:
+            self.flag(problem[0], "FMT", problem[1])
+
+    # -- fixes -----------------------------------------------------------------
+
+    def apply_fixes(self) -> None:
+        for repair in (
+            self.fix_whitespace,
+            self.fix_quotes,
+            self.fix_groups,
+            self.fix_long_lines,
+            self.fix_groups,
+            self.fix_whitespace,
+        ):
+            before = self.source
+            repair()
+            if self.source != before and not self.ast_equal(before, self.source):
+                self.source = before  # refuse any semantics-changing rewrite
+                self.lines = self.source.splitlines()
+        self.path.write_text(self.source, encoding="utf-8")
+
+    @staticmethod
+    def ast_equal(before: str, after: str) -> bool:
+        try:
+            return ast.dump(ast.parse(before)) == ast.dump(ast.parse(after))
+        except SyntaxError:
+            return False
+
+    def set_lines(self, lines: list[str]) -> None:
+        self.lines = lines
+        self.source = "\n".join(lines) + ("\n" if lines else "")
+
+    def fix_whitespace(self) -> None:
+        self.set_lines([line.rstrip() for line in self.lines])
+
+    def fix_long_lines(self) -> None:
+        """Split over-long code lines at a bracket group (right-hand split).
+
+        Any valid-layout split of a line whose joined form exceeds the limit
+        is stable under the formatter (it only re-joins what fits), so
+        splitting at the last bracket pair on the line -- the first pair for
+        ``def``/``class`` signatures, matching the formatter's preference for
+        breaking at the parameter list -- cannot introduce new drift.  Every
+        rewrite is AST-verified by the caller's repair loop per pass and by
+        this method per line.
+        """
+        for _ in range(200):
+            if not self.fix_one_long_line():
+                return
+
+    def fix_one_long_line(self) -> bool:
+        for row, line in enumerate(self.lines, start=1):
+            if len(line) <= LINE_LIMIT or self.long_line_exempt(row):
+                continue
+            pairs = self.line_bracket_pairs(row)
+            stripped = line.lstrip()
+            if stripped.startswith(("def ", "class ", "async def ")):
+                pairs = pairs[:1] + pairs[:0:-1]
+            else:
+                pairs = pairs[::-1]
+            for open_col, close_col in pairs:
+                if self.split_line_at(row, open_col, close_col):
+                    return True
+        return False
+
+    def line_bracket_pairs(self, row: int):
+        """Outermost (open_col, close_col) bracket pairs fully on this line."""
+        try:
+            tokens = self.tokenize_lines()
+        except tokenize.TokenizeError:
+            return []
+        stack = []
+        pairs = []
+        for token in tokens:
+            if token.type != tokenize.OP:
+                continue
+            if token.string in OPENS:
+                stack.append(token)
+            elif token.string in CLOSES and stack:
+                open_token = stack.pop()
+                if not stack and open_token.start[0] == row and token.start[0] == row:
+                    pairs.append((open_token.start[1], token.start[1]))
+        return sorted(pairs)
+
+    def split_line_at(self, row: int, open_col: int, close_col: int) -> bool:
+        line = self.lines[row - 1]
+        prefix = line[: open_col + 1]
+        inner = line[open_col + 1 : close_col].strip()
+        suffix = line[close_col:]
+        if not inner:
+            return False
+        indent = re.match(r"\s*", line).group(0)
+        inner_indent = indent + "    "
+        if len(inner_indent) + len(inner) <= LINE_LIMIT:
+            rebuilt = [prefix, inner_indent + inner.rstrip(","), indent + suffix]
+        else:
+            elements = split_top_level(inner)
+            if not elements or len(elements) < 2:
+                return False
+            rebuilt = [prefix]
+            rebuilt.extend(f"{inner_indent}{element}," for element in elements)
+            rebuilt.append(indent + suffix)
+        if any(len(part) > LINE_LIMIT for part in rebuilt):
+            return False
+        before = self.source
+        lines = list(self.lines)
+        lines[row - 1 : row] = rebuilt
+        self.set_lines(lines)
+        if not self.ast_equal(before, self.source):
+            self.source = before
+            self.lines = self.source.splitlines()
+            return False
+        return True
+
+    def fix_quotes(self) -> None:
+        try:
+            tokens = self.tokenize_lines()
+        except tokenize.TokenizeError:
+            return
+        lines = list(self.lines)
+        for token in reversed(tokens):
+            if token.type != tokenize.STRING or token.start[0] != token.end[0]:
+                continue
+            text = token.string
+            prefix = re.match(r"[A-Za-z]*", text).group(0)
+            body = text[len(prefix) :]
+            if not body.startswith("'") or body.startswith("'''"):
+                continue
+            if '"' in body or "\\" in body:
+                continue  # would need escaping analysis; leave for manual fix
+            replacement = prefix + '"' + body[1:-1] + '"'
+            row, col = token.start
+            line = lines[row - 1]
+            lines[row - 1] = line[:col] + replacement + line[col + len(text) :]
+        self.set_lines(lines)
+
+    def fix_groups(self) -> None:
+        """Repeatedly repair the first fixable bracket-layout finding.
+
+        Every single-group rewrite is AST-verified; a rewrite that changes
+        semantics (e.g. a top-level comma that was really a lambda parameter
+        separator) is reverted and the group blocked for manual repair.
+        """
+        blocked: set = set()
+        for _ in range(1000):  # bounded; each pass fixes one group
+            try:
+                groups = self.bracket_groups()
+            except tokenize.TokenizeError:
+                return
+            groups.sort(key=lambda g: g.open.start)
+            before = self.source
+            fixed_key = self.fix_one_group(groups, blocked)
+            if fixed_key is None:
+                return
+            if not self.ast_equal(before, self.source):
+                self.source = before
+                self.lines = self.source.splitlines()
+                blocked.add(fixed_key)
+
+    def fix_one_group(self, groups, blocked):
+        for group in groups:
+            if not group.multiline or group.skip:
+                continue
+            if self.group_problem(group) is None:
+                continue
+            length, prefix, joined, suffix = self.joined_form(group)
+            key = (prefix.strip(), joined)
+            if key in blocked:
+                continue
+            rebuilt = self.rebuild_group(group, length, prefix, joined, suffix)
+            if rebuilt is None:
+                rebuilt = self.unhug_group(group)
+            if rebuilt is None:
+                continue
+            open_row = group.open.start[0]
+            close_row = group.close.start[0]
+            lines = list(self.lines)
+            lines[open_row - 1 : close_row] = rebuilt
+            self.set_lines(lines)
+            return key
+        return None
+
+    def unhug_group(self, group: Group):
+        """Un-hug ``foo([...])`` / ``foo(bar(...))``-style sole arguments.
+
+        The stable formatter does not hug a sole bracketed argument against
+        the call parentheses: the inner group moves to its own indentation
+        level.  Applies when the opening line ends with an inner open
+        bracket and the closing line is just the two closers.
+        """
+        open_row, open_col = group.open.start
+        close_row, close_col = group.close.start
+        open_line = self.lines[open_row - 1]
+        close_line = self.lines[close_row - 1]
+        rest = open_line[open_col + 1 :].rstrip()
+        if not rest or rest[-1] not in OPENS:
+            return None
+        before = close_line[:close_col].rstrip()
+        if not before or before[-1] not in CLOSES:
+            return None
+        if CLOSES[before[-1]] != rest[-1]:
+            return None
+        if before[: len(before) - 1].strip():
+            return None  # more than the inner closer before the outer one
+        indent = re.match(r"\s*", open_line).group(0)
+        shift = "    "
+        rebuilt = [open_line[: open_col + 1]]
+        rebuilt.append(indent + shift + rest)
+        for row in range(open_row + 1, close_row):
+            mid = self.lines[row - 1]
+            rebuilt.append(shift + mid if mid.strip() else mid)
+        rebuilt.append(indent + shift + before[-1])
+        rebuilt.append(indent + close_line[close_col:])
+        if any(len(part) > LINE_LIMIT for part in rebuilt):
+            return None
+        return rebuilt
+
+    def rebuild_group(self, group, length, prefix, joined, suffix):
+        """The formatter-shaped replacement lines for one group, or None."""
+        open_row = group.open.start[0]
+        indent = re.match(r"\s*", self.lines[open_row - 1]).group(0)
+        inner_indent = indent + "    "
+        if not group.trailing_comma and length <= LINE_LIMIT:
+            return [prefix + joined + suffix]  # layout 1: join
+        if len(prefix) > LINE_LIMIT:
+            return None  # the opening line itself overflows: manual fix
+        elements = split_top_level(joined)
+        if elements is None:
+            return None
+        if not group.trailing_comma:
+            if len(inner_indent) + len(joined) <= LINE_LIMIT:
+                # Layout 2: one indented inner line.
+                return [prefix, inner_indent + joined, indent + suffix]
+            if len(elements) < 2:
+                return None  # single long element: needs a manual nested split
+        exploded = [prefix]
+        exploded.extend(f"{inner_indent}{element}," for element in elements)
+        exploded.append(indent + suffix)
+        if any(len(line) > LINE_LIMIT for line in exploded):
+            return None  # an element overflows on its own: manual fix
+        return exploded
+
+
+def iter_files(arguments: list[str]):
+    root_dir = Path(__file__).resolve().parent.parent
+    roots = arguments or [str(root_dir / r) for r in DEFAULT_ROOTS]
+    for root in roots:
+        path = Path(root)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def main(arguments: list[str]) -> int:
+    fix = "--fix" in arguments
+    paths = [a for a in arguments if a != "--fix"]
+    total = 0
+    for path in iter_files(paths):
+        findings = Checker(path, fix=fix).run()
+        for line, code, message in sorted(findings):
+            print(f"{path}:{line}: {code} {message}")
+        total += len(findings)
+    if total:
+        print(f"\n{total} finding(s)")
+        return 1
+    print("style check clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

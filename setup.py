@@ -15,8 +15,9 @@ ROOT = Path(__file__).resolve().parent
 
 def read_version() -> str:
     namespace: dict = {}
-    exec((ROOT / "src" / "repro" / "_version.py").read_text(encoding="utf-8"),
-         namespace)
+    exec(
+        (ROOT / "src" / "repro" / "_version.py").read_text(encoding="utf-8"), namespace
+    )
     return namespace["__version__"]
 
 
@@ -48,8 +49,14 @@ setup(
         "test": ["pytest", "hypothesis", "pytest-benchmark"],
     },
     keywords=[
-        "processing-in-memory", "analog computing", "ReRAM", "crossbar",
-        "quantization", "DNN accelerator", "simulation", "RAELLA",
+        "processing-in-memory",
+        "analog computing",
+        "ReRAM",
+        "crossbar",
+        "quantization",
+        "DNN accelerator",
+        "simulation",
+        "RAELLA",
     ],
     classifiers=[
         "Development Status :: 4 - Beta",

@@ -98,15 +98,15 @@ class SaturatingADC:
         clipped = np.clip(sums, self.min_value, self.max_value)
         saturated = (clipped == self.min_value) | (clipped == self.max_value)
         if mask is None:
-            return ADCResult(values=clipped, saturated=saturated,
-                             n_converts=int(sums.size))
+            return ADCResult(
+                values=clipped, saturated=saturated, n_converts=int(sums.size)
+            )
         mask = np.asarray(mask, dtype=bool)
         if mask.shape != sums.shape:
             raise ValueError("mask shape must match column_sums shape")
         values = np.where(mask, clipped, 0)
         saturated = saturated & mask
-        return ADCResult(values=values, saturated=saturated,
-                         n_converts=int(mask.sum()))
+        return ADCResult(values=values, saturated=saturated, n_converts=int(mask.sum()))
 
     def detects_saturation(self, converted: np.ndarray) -> np.ndarray:
         """Mask of converted outputs that equal an ADC bound.
@@ -152,8 +152,7 @@ class TruncatingADC:
         hi = (1 << (sum_bits - 1)) - 1 if self.signed else (1 << sum_bits) - 1
         clipped = np.clip(quantized, lo, hi)
         saturated = np.zeros_like(clipped, dtype=bool)
-        return ADCResult(values=clipped, saturated=saturated,
-                         n_converts=int(sums.size))
+        return ADCResult(values=clipped, saturated=saturated, n_converts=int(sums.size))
 
     def lsbs_dropped(self, sum_bits: int) -> int:
         """Number of least-significant bits lost for a given sum width."""

@@ -125,9 +125,7 @@ class Crossbar:
         if not self.is_programmed:
             raise RuntimeError("crossbar has not been programmed")
 
-    def program(
-        self, positive: np.ndarray, negative: np.ndarray | None = None
-    ) -> None:
+    def program(self, positive: np.ndarray, negative: np.ndarray | None = None) -> None:
         """Program slice matrices into the array.
 
         ``positive`` and ``negative`` may be smaller than the array (the used
@@ -175,7 +173,9 @@ class Crossbar:
     def programming_energy_pj(self) -> float:
         """One-time energy to write the programmed devices."""
         self._require_programmed()
-        written = int(np.count_nonzero(self._positive) + np.count_nonzero(self._negative))
+        written = int(
+            np.count_nonzero(self._positive) + np.count_nonzero(self._negative)
+        )
         return written * self.config.device.write_energy_pj
 
     def compute(self, input_slice: np.ndarray) -> CrossbarComputeResult:

@@ -52,9 +52,7 @@ class PulseTrainDAC:
         """Check that an input slice fits the DAC (narrower slices use the
         lowest levels only, Section 4.3.1) and return it as int64."""
         if not 1 <= slice_bits <= self.bits:
-            raise ValueError(
-                f"slice of {slice_bits}b does not fit a {self.bits}b DAC"
-            )
+            raise ValueError(f"slice of {slice_bits}b does not fit a {self.bits}b DAC")
         arr = np.asarray(values, dtype=np.int64)
         if np.any(arr < 0) or np.any(arr >= (1 << slice_bits)):
             raise ValueError(f"values outside the {slice_bits}-bit DAC range")

@@ -100,9 +100,7 @@ class ReRAMDevice:
         standard multi-level-cell assumption used by NeuroSim-style models.
         """
         if not 0 <= level <= self.max_slice_value:
-            raise ValueError(
-                f"level {level} outside [0, {self.max_slice_value}]"
-            )
+            raise ValueError(f"level {level} outside [0, {self.max_slice_value}]")
         fraction = level / self.max_slice_value
         return self.g_off_s + fraction * (self.g_on_s - self.g_off_s)
 
@@ -115,6 +113,10 @@ class ReRAMDevice:
 DEFAULT_RERAM = ReRAMDevice()
 
 #: Device parameters used for the TIMELY (65 nm) comparison.
-TIMELY_RERAM = ReRAMDevice(bits_per_device=4, read_voltage_v=0.2,
-                           r_on_ohm=1_000.0, r_off_ohm=20_000.0,
-                           write_energy_pj=150.0)
+TIMELY_RERAM = ReRAMDevice(
+    bits_per_device=4,
+    read_voltage_v=0.2,
+    r_on_ohm=1_000.0,
+    r_off_ohm=20_000.0,
+    write_energy_pj=150.0,
+)

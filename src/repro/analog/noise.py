@@ -22,9 +22,7 @@ __all__ = ["NoiseModel", "NoiselessModel", "GaussianColumnNoise"]
 class NoiseModel(Protocol):
     """Protocol for column-sum noise models."""
 
-    def apply(
-        self, positive_sums: np.ndarray, negative_sums: np.ndarray
-    ) -> np.ndarray:
+    def apply(self, positive_sums: np.ndarray, negative_sums: np.ndarray) -> np.ndarray:
         """Return noisy column sums given positive/negative activity."""
         ...
 
@@ -33,9 +31,7 @@ class NoiseModel(Protocol):
 class NoiselessModel:
     """Ideal crossbar: the column sum is exactly ``N+ - N-``."""
 
-    def apply(
-        self, positive_sums: np.ndarray, negative_sums: np.ndarray
-    ) -> np.ndarray:
+    def apply(self, positive_sums: np.ndarray, negative_sums: np.ndarray) -> np.ndarray:
         """Return the ideal column sums."""
         return np.asarray(positive_sums, dtype=np.float64) - np.asarray(
             negative_sums, dtype=np.float64
@@ -63,9 +59,7 @@ class GaussianColumnNoise:
             raise ValueError("noise level must be non-negative")
         self._rng = np.random.default_rng(self.seed)
 
-    def apply(
-        self, positive_sums: np.ndarray, negative_sums: np.ndarray
-    ) -> np.ndarray:
+    def apply(self, positive_sums: np.ndarray, negative_sums: np.ndarray) -> np.ndarray:
         """Draw noisy column sums.
 
         The mean is the ideal sum ``N+ - N-`` and the standard deviation is

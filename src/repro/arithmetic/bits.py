@@ -38,7 +38,9 @@ def _as_int_array(values: np.ndarray | Sequence[int]) -> np.ndarray:
     return arr.astype(np.int64, copy=False)
 
 
-def _validate_widths(widths: Sequence[int], total_bits: int | None = None) -> tuple[int, ...]:
+def _validate_widths(
+    widths: Sequence[int], total_bits: int | None = None
+) -> tuple[int, ...]:
     """Validate a slice-width specification (most-significant slice first)."""
     widths = tuple(int(w) for w in widths)
     if not widths:
@@ -100,9 +102,7 @@ def unsigned_slices(
     return out
 
 
-def signed_crop(
-    values: np.ndarray | Sequence[int], high: int, low: int
-) -> np.ndarray:
+def signed_crop(values: np.ndarray | Sequence[int], high: int, low: int) -> np.ndarray:
     """The paper's slicing function ``D(h, l, x)``.
 
     Crops signed integers to the bits between indices ``high`` and ``low``
@@ -152,9 +152,7 @@ def reassemble_slices(
     """
     widths = _validate_widths(widths)
     if len(slices) != len(widths):
-        raise ValueError(
-            f"got {len(slices)} slices for {len(widths)} widths"
-        )
+        raise ValueError(f"got {len(slices)} slices for {len(widths)} widths")
     shifts = slice_shifts(widths)
     total = np.zeros_like(_as_int_array(slices[0]))
     for part, shift in zip(slices, shifts):
@@ -162,9 +160,7 @@ def reassemble_slices(
     return total
 
 
-def bit_density(
-    values: np.ndarray | Sequence[int], n_bits: int = 8
-) -> np.ndarray:
+def bit_density(values: np.ndarray | Sequence[int], n_bits: int = 8) -> np.ndarray:
     """Per-bit density: probability that each bit position is 1.
 
     Used to reproduce Fig. 8 of the paper.  Bit position 0 is the LSB.  Signed

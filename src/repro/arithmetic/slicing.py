@@ -118,7 +118,9 @@ class Slicing:
 
 
 @lru_cache(maxsize=None)
-def enumerate_slicings(total_bits: int = 8, max_slice_bits: int = 4) -> tuple[Slicing, ...]:
+def enumerate_slicings(
+    total_bits: int = 8, max_slice_bits: int = 4
+) -> tuple[Slicing, ...]:
     """Enumerate every slicing of ``total_bits`` with slices of at most ``max_slice_bits``.
 
     For 8-bit operands and 4-bit devices this yields the 108 slicings the paper

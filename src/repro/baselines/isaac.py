@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.arithmetic.slicing import ISAAC_WEIGHT_SLICING, Slicing
+from repro.arithmetic.slicing import ISAAC_WEIGHT_SLICING
 from repro.core.center_offset import WeightEncoding
 from repro.core.dynamic_input import SpeculationMode
 from repro.core.executor import PimLayerConfig
@@ -50,7 +50,9 @@ class IsaacBaseline:
         if lossless_adc:
             max_weight_slice = (1 << ISAAC_WEIGHT_SLICING.max_slice_bits) - 1
             worst_case = self.arch.crossbar_rows * max_weight_slice
-            adc_bits = max(int(math.ceil(math.log2(worst_case + 1))), self.arch.adc_bits)
+            adc_bits = max(
+                int(math.ceil(math.log2(worst_case + 1))), self.arch.adc_bits
+            )
         else:
             adc_bits = self.arch.adc_bits
         return PimLayerConfig(

@@ -27,7 +27,7 @@ zero point.  Three encodings are supported:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 import numpy as np
@@ -93,7 +93,7 @@ def _slice_column_cost(
     for width, shift in zip(slicing.widths, slicing.shifts):
         sliced = signed_crop(offsets, shift + width - 1, shift)
         column_sum = sliced.sum(axis=-1).astype(np.float64)
-        cost += (2.0 ** shift) * np.abs(column_sum) ** power
+        cost += (2.0**shift) * np.abs(column_sum) ** power
     return cost
 
 
@@ -239,7 +239,9 @@ class CenterOffsetEncoder:
                 raise ValueError("Zero+Offset encoding needs weight zero points")
             zero_points = np.asarray(zero_points, dtype=np.int64)
             if zero_points.size == 1:
-                return np.full(n_filters, int(zero_points.reshape(-1)[0]), dtype=np.int64)
+                return np.full(
+                    n_filters, int(zero_points.reshape(-1)[0]), dtype=np.int64
+                )
             if zero_points.shape != (n_filters,):
                 raise ValueError("zero_points must have one entry per filter")
             return zero_points.copy()

@@ -119,15 +119,16 @@ class InputSlicePlan:
         for idx, (width, shift) in enumerate(
             zip(speculative_slicing.widths, speculative_slicing.shifts)
         ):
-            phases.append(InputPhase(kind="speculative", width=width, shift=shift,
-                                     parent=idx))
+            phases.append(
+                InputPhase(kind="speculative", width=width, shift=shift, parent=idx)
+            )
             for bit in reversed(range(width)):
                 phases.append(
-                    InputPhase(kind="recovery", width=1, shift=shift + bit,
-                               parent=idx)
+                    InputPhase(kind="recovery", width=1, shift=shift + bit, parent=idx)
                 )
-        return cls(mode=mode, speculative_slicing=speculative_slicing,
-                   phases=tuple(phases))
+        return cls(
+            mode=mode, speculative_slicing=speculative_slicing, phases=tuple(phases)
+        )
 
     @property
     def n_cycles(self) -> int:
@@ -150,9 +151,7 @@ class InputSlicePlan:
         return tuple(p for p in self.phases if p.kind != "recovery")
 
 
-def extract_input_slice(
-    input_codes: np.ndarray, phase: InputPhase
-) -> np.ndarray:
+def extract_input_slice(input_codes: np.ndarray, phase: InputPhase) -> np.ndarray:
     """Extract the (non-negative) slice values a phase feeds to the DACs."""
     codes = np.asarray(input_codes, dtype=np.int64)
     if np.any(codes < 0):

@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.analog.noise import GaussianColumnNoise, NoiselessModel, NoiseModel
+from repro.analog.noise import NoiseModel, NoiselessModel
 from repro.arithmetic.slicing import (
     RAELLA_DEFAULT_WEIGHT_SLICING,
     RAELLA_SPECULATIVE_INPUT_SLICING,
@@ -348,15 +348,15 @@ class PimLayerExecutor:
             # whole phase output (exactly ``remaining`` samples); taking a
             # contiguous prefix would bias the distribution towards the
             # first columns of the first batches.
-            indices = (np.arange(remaining) * (flat.size / remaining)).astype(
-                np.int64
-            )
+            indices = (np.arange(remaining) * (flat.size / remaining)).astype(np.int64)
             flat = flat[indices]
         bucket.append(flat.astype(np.float64, copy=True))
 
     # -- execution ---------------------------------------------------------------
 
-    def __call__(self, input_codes: np.ndarray, layer: MatmulLayer | None = None) -> np.ndarray:
+    def __call__(
+        self, input_codes: np.ndarray, layer: MatmulLayer | None = None
+    ) -> np.ndarray:
         """PIM mat-mul hook interface (see :class:`repro.nn.layers.PimMatmul`)."""
         if layer is not None and layer is not self.layer:
             raise ValueError(
@@ -436,9 +436,7 @@ class PimLayerExecutor:
         """
         rounded = np.round(sums)
         clipped = np.clip(rounded, self.config.adc_min, self.config.adc_max)
-        saturated = (rounded < self.config.adc_min) | (
-            rounded > self.config.adc_max
-        )
+        saturated = (rounded < self.config.adc_min) | (rounded > self.config.adc_max)
         return clipped, saturated
 
     def _chunk_matmul(self, codes: np.ndarray, chunk: _EncodedChunk) -> np.ndarray:
@@ -521,8 +519,6 @@ class PimLayerExecutor:
         spec: tuple[int, InputPhase],
         recovery_phases: list[tuple[int, InputPhase]],
     ) -> np.ndarray:
-        m = codes.shape[0]
-        n_filters = chunk.encoded.n_filters
         spec_index, spec_phase = spec
         # Speculative cycle: all columns converted.
         sums = self._phase_sums(codes, chunk, spec_phase, spec_index)

@@ -21,10 +21,10 @@ from repro.core.center_offset import WeightEncoding
 from repro.core.dynamic_input import SpeculationMode
 from repro.core.executor import PimLayerConfig
 from repro.experiments.runner import ExperimentResult
-from repro.runtime import VectorizedLayerExecutor
 from repro.nn.model import QuantizedModel
 from repro.nn.synthetic import synthetic_images
 from repro.nn.zoo import resnet18_like
+from repro.runtime import VectorizedLayerExecutor
 
 __all__ = ["ColumnSumSetupResult", "Fig03Result", "run_fig03", "format_fig03"]
 
@@ -164,7 +164,11 @@ def format_fig03(result: Fig03Result) -> str:
     table = ExperimentResult(
         name=f"Fig. 3 -- column sums ({result.model_name}, {result.layer_name})",
         headers=(
-            "setup", "phase", "<=7b fraction", "fidelity loss", "spec failures",
+            "setup",
+            "phase",
+            "<=7b fraction",
+            "fidelity loss",
+            "spec failures",
         ),
     )
     for setup in result.setups:

@@ -54,9 +54,7 @@ def _column_sums_for_encoding(
     slicing: Slicing,
 ) -> EncodingComparison:
     encoder = CenterOffsetEncoder(slicing=slicing, encoding=encoding)
-    encoded = encoder.encode(
-        weight_codes[:, np.newaxis], np.array([zero_point])
-    )
+    encoded = encoder.encode(weight_codes[:, np.newaxis], np.array([zero_point]))
     diff = encoded.positive_slices[:, :, 0] - encoded.negative_slices[:, :, 0]
     # One crossbar column per weight slice; 1-bit input slices as in Fig. 5.
     sums = []
@@ -85,8 +83,9 @@ def run_fig05(
     filter_codes = codes[0]
     zero_point = int(params.zero_point[0])
     activations = synthetic_activations((n_inputs, n_weights), rng, scale=1.0)
-    input_codes = np.clip(np.round(activations / activations.max() * 255), 0, 255
-                          ).astype(np.int64)
+    input_codes = np.clip(
+        np.round(activations / activations.max() * 255), 0, 255
+    ).astype(np.int64)
     slicing = slicing or Slicing((2, 2, 2, 2))
     return [
         _column_sums_for_encoding(
@@ -103,7 +102,10 @@ def format_fig05(comparisons: list[EncodingComparison]) -> str:
     table = ExperimentResult(
         name="Fig. 5 -- differential vs Center+Offset encoding",
         headers=(
-            "encoding", "center", "mean slice value", "mean column sum",
+            "encoding",
+            "center",
+            "mean slice value",
+            "mean column sum",
             "ADC saturation rate",
         ),
     )

@@ -117,8 +117,11 @@ def format_fig12(result: Fig12Result) -> str:
     table = ExperimentResult(
         name="Fig. 12 -- efficiency and throughput normalised to ISAAC",
         headers=(
-            "model", "efficiency x", "efficiency x (no spec)",
-            "throughput x", "throughput x (no spec)",
+            "model",
+            "efficiency x",
+            "efficiency x (no spec)",
+            "throughput x",
+            "throughput x (no spec)",
         ),
     )
     for row in result.rows:

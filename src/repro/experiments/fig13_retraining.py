@@ -85,9 +85,7 @@ def run_fig13(model_names: tuple[str, ...] = _DEFAULT_MODELS) -> Fig13Result:
     )
     result.entries.append(_evaluate(RAELLA_ARCH, model_names, retraining=False))
     result.entries.append(_evaluate(forms.arch, model_names, retraining=True))
-    result.entries.append(
-        _evaluate(RAELLA_65NM_ARCH, model_names, retraining=False)
-    )
+    result.entries.append(_evaluate(RAELLA_65NM_ARCH, model_names, retraining=False))
     result.entries.append(
         _evaluate(RAELLA_65NM_NO_SPEC_ARCH, model_names, retraining=False)
     )
@@ -103,7 +101,9 @@ def format_fig13(result: Fig13Result) -> str:
             f"(geomean of {', '.join(result.model_names)})"
         ),
         headers=(
-            "architecture", "retrains DNN", "efficiency vs ISAAC",
+            "architecture",
+            "retrains DNN",
+            "efficiency vs ISAAC",
             "throughput vs ISAAC",
         ),
     )

@@ -60,9 +60,7 @@ class Fig14Result:
 
     def mean_converts_per_mac(self, setup: str) -> float:
         """Average Converts/MAC of a setup across the models."""
-        values = [
-            self.converts_per_mac[(setup, model)] for model in self.model_names
-        ]
+        values = [self.converts_per_mac[(setup, model)] for model in self.model_names]
         return float(sum(values) / len(values))
 
     def energy_reduction_vs_isaac(self, setup: str, model: str) -> float:
@@ -100,8 +98,13 @@ def format_fig14(result: Fig14Result) -> str:
     table = ExperimentResult(
         name="Fig. 14 -- energy ablation",
         headers=(
-            "setup", "model", "energy (uJ)", "ADC fraction",
-            "crossbar fraction", "converts/MAC", "reduction vs ISAAC",
+            "setup",
+            "model",
+            "energy (uJ)",
+            "ADC fraction",
+            "crossbar fraction",
+            "converts/MAC",
+            "reduction vs ISAAC",
         ),
     )
     for setup in result.setup_names:

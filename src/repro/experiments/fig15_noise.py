@@ -19,8 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-import numpy as np
-
 from repro.analog.noise import GaussianColumnNoise
 from repro.arithmetic.slicing import ISAAC_WEIGHT_SLICING
 from repro.baselines.isaac import IsaacBaseline
@@ -128,7 +126,9 @@ def run_fig15(
                 config, noise=noise, executor_factory=VectorizedLayerExecutor
             ).compile(model, test_inputs=test_inputs, seed=seed)
             accuracy = evaluate_accuracy(
-                model, flat_dataset, pim_matmul=program.pim_matmul,
+                model,
+                flat_dataset,
+                pim_matmul=program.pim_matmul,
                 max_samples=max_samples,
             )
             result.points.append(
@@ -151,8 +151,9 @@ def format_fig15(result: Fig15Result) -> str:
     )
     for setup in result.setup_names:
         for point in result.series(setup):
-            table.add_row(setup, point.noise_level, point.accuracy,
-                          point.accuracy_drop_pct)
+            table.add_row(
+                setup, point.noise_level, point.accuracy, point.accuracy_drop_pct
+            )
     return table.to_text()
 
 

@@ -33,7 +33,9 @@ def format_table(
 
     rendered = [[render(c) for c in row] for row in rows]
     widths = [
-        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        max(len(headers[i]), *(len(r[i]) for r in rendered))
+        if rendered
+        else len(headers[i])
         for i in range(len(headers))
     ]
     lines = [

@@ -72,15 +72,22 @@ def format_table1(rows: list[Table1Row]) -> str:
     table = ExperimentResult(
         name="Table 1 -- slicing tradeoffs (2b input x 2b weight)",
         headers=(
-            "sliced input", "sliced weight", "cycles", "columns",
-            "bits/MAC", "converts/MAC",
+            "sliced input",
+            "sliced weight",
+            "cycles",
+            "columns",
+            "bits/MAC",
+            "converts/MAC",
         ),
     )
     for row in rows:
         table.add_row(
             "yes" if row.sliced_input else "no",
             "yes" if row.sliced_weight else "no",
-            row.cycles, row.columns, row.bits_per_mac, row.converts_per_mac,
+            row.cycles,
+            row.columns,
+            row.bits_per_mac,
+            row.converts_per_mac,
         )
     return table.to_text()
 

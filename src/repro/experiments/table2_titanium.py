@@ -79,8 +79,12 @@ def format_table2(result: Table2Result) -> str:
     table = ExperimentResult(
         name=f"Table 2 -- Titanium Law terms ({result.model_name})",
         headers=(
-            "architecture", "energy/convert (pJ)", "converts/MAC",
-            "MACs/DNN (G)", "utilization", "ADC energy (uJ)",
+            "architecture",
+            "energy/convert (pJ)",
+            "converts/MAC",
+            "MACs/DNN (G)",
+            "utilization",
+            "ADC energy (uJ)",
         ),
     )
     for terms in result.terms:

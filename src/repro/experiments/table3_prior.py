@@ -74,8 +74,12 @@ def format_table3(rows: list[Table3Row]) -> str:
     table = ExperimentResult(
         name="Table 3 -- comparison to prior works",
         headers=(
-            "architecture", "high-cost ADC", "limits weight count",
-            "fidelity loss", "needs retraining", "modelled here",
+            "architecture",
+            "high-cost ADC",
+            "limits weight count",
+            "fidelity loss",
+            "needs retraining",
+            "modelled here",
         ),
     )
     for row in rows:

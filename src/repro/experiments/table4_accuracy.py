@@ -16,8 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-import numpy as np
-
 from repro.baselines.forms import FORMS_REPORTED_ACCURACY_DROP
 from repro.baselines.timely import TIMELY_REPORTED_ACCURACY_DROP
 from repro.core.adaptive_slicing import AdaptiveSlicingConfig
@@ -29,7 +27,11 @@ from repro.core.compiler import (
     RaellaProgram,
 )
 from repro.experiments.runner import ExperimentResult
-from repro.nn.datasets import ClassificationDataset, gaussian_clusters, procedural_images
+from repro.nn.datasets import (
+    ClassificationDataset,
+    gaussian_clusters,
+    procedural_images,
+)
 from repro.nn.training import evaluate_accuracy, train_cnn, train_mlp
 from repro.runtime import VectorizedLayerExecutor
 
@@ -118,13 +120,19 @@ def _evaluate_model(
         compiler_config, executor_factory=VectorizedLayerExecutor
     ).compile(model, test_inputs=test_inputs, seed=seed)
     center_accuracy = evaluate_accuracy(
-        model, dataset, pim_matmul=program.pim_matmul,
-        max_samples=max_samples, micro_batch=EVAL_MICRO_BATCH,
+        model,
+        dataset,
+        pim_matmul=program.pim_matmul,
+        max_samples=max_samples,
+        micro_batch=EVAL_MICRO_BATCH,
     )
     zero_program = clone_program_with_encoding(program, WeightEncoding.ZERO_OFFSET)
     zero_accuracy = evaluate_accuracy(
-        model, dataset, pim_matmul=zero_program.pim_matmul,
-        max_samples=max_samples, micro_batch=EVAL_MICRO_BATCH,
+        model,
+        dataset,
+        pim_matmul=zero_program.pim_matmul,
+        max_samples=max_samples,
+        micro_batch=EVAL_MICRO_BATCH,
     )
     return AccuracyEntry(
         model_name=name,
@@ -152,8 +160,13 @@ def run_table4(
     mlp = train_mlp(mlp_dataset, epochs=epochs, seed=seed)
     result.entries.append(
         _evaluate_model(
-            "mlp", mlp.model, mlp_dataset, mlp.quantized_accuracy,
-            compiler_config, max_samples, seed,
+            "mlp",
+            mlp.model,
+            mlp_dataset,
+            mlp.quantized_accuracy,
+            compiler_config,
+            max_samples,
+            seed,
         )
     )
 
@@ -162,8 +175,13 @@ def run_table4(
         cnn = train_cnn(cnn_dataset, epochs=epochs, seed=seed)
         result.entries.append(
             _evaluate_model(
-                "cnn", cnn.model, cnn_dataset, cnn.quantized_accuracy,
-                compiler_config, max_samples, seed,
+                "cnn",
+                cnn.model,
+                cnn_dataset,
+                cnn.quantized_accuracy,
+                compiler_config,
+                max_samples,
+                seed,
             )
         )
     return result
@@ -174,8 +192,13 @@ def format_table4(result: Table4Result) -> str:
     table = ExperimentResult(
         name="Table 4 -- accuracy drop (percentage points, lower is better)",
         headers=(
-            "model", "task", "quantized acc", "C+O acc", "Z+O acc",
-            "C+O drop", "Z+O drop",
+            "model",
+            "task",
+            "quantized acc",
+            "C+O acc",
+            "Z+O acc",
+            "C+O drop",
+            "Z+O drop",
         ),
     )
     for entry in result.entries:

@@ -114,9 +114,11 @@ def count_layer_actions(
     shift_adds = adc_converts
     psum_buffer_bytes = adc_converts * 3.0  # 16b psum read-modify-write + flags
     input_buffer_bytes = positions * k_eff * arch.input_streams * signed_factor
-    input_tensor_bytes = float(layer.in_channels * layer.input_size ** 2
-                               if layer.kind != "linear"
-                               else layer.in_channels * layer.input_size)
+    input_tensor_bytes = float(
+        layer.in_channels * layer.input_size**2
+        if layer.kind != "linear"
+        else layer.in_channels * layer.input_size
+    )
     output_tensor_bytes = float(n_filters * positions)
     edram_bytes = input_tensor_bytes + output_tensor_bytes
     router_bytes = output_tensor_bytes

@@ -70,7 +70,9 @@ class OperandStatistics:
         fraction can be inferred; other fields keep their defaults.
         """
         failure = stats.speculation_failure_rate
-        kwargs = {"speculation_failure_rate": failure} if stats.speculation_slots else {}
+        kwargs = {
+            "speculation_failure_rate": failure
+        } if stats.speculation_slots else {}
         return cls(**kwargs)
 
     #: Unsigned ISAAC-style weights have dense high-order bits, so the average
@@ -133,8 +135,14 @@ class ArchitectureSpec:
     operand_stats: OperandStatistics = field(default_factory=OperandStatistics)
 
     def __post_init__(self) -> None:
-        if min(self.crossbar_rows, self.crossbar_cols, self.adcs_per_crossbar,
-               self.crossbars_per_ima, self.imas_per_tile, self.n_tiles) <= 0:
+        if min(
+            self.crossbar_rows,
+            self.crossbar_cols,
+            self.adcs_per_crossbar,
+            self.crossbars_per_ima,
+            self.imas_per_tile,
+            self.n_tiles,
+        ) <= 0:
             raise ValueError("architecture dimensions must be positive")
         if self.mac_reduction_factor < 1.0:
             raise ValueError("mac_reduction_factor must be >= 1")

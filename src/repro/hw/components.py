@@ -130,11 +130,17 @@ class ComponentLibrary:
         from dataclasses import replace
 
         fields_to_scale = [
-            "adc_energy_8b_pj", "dac_energy_per_pulse_pj",
-            "reram_energy_per_device_pulse_pj", "column_periphery_energy_pj",
-            "shift_add_energy_pj", "quantize_energy_pj", "center_add_energy_pj",
-            "center_apply_energy_pj", "sram_energy_per_byte_pj",
-            "edram_energy_per_byte_pj", "router_energy_per_byte_pj",
+            "adc_energy_8b_pj",
+            "dac_energy_per_pulse_pj",
+            "reram_energy_per_device_pulse_pj",
+            "column_periphery_energy_pj",
+            "shift_add_energy_pj",
+            "quantize_energy_pj",
+            "center_add_energy_pj",
+            "center_apply_energy_pj",
+            "sram_energy_per_byte_pj",
+            "edram_energy_per_byte_pj",
+            "router_energy_per_byte_pj",
             "reram_write_energy_pj",
         ]
         return replace(self, **{f: getattr(self, f) * factor for f in fields_to_scale})

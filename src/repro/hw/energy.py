@@ -121,9 +121,7 @@ class EnergyModel:
             },
         )
 
-    def model_energy(
-        self, shapes: ModelShapes, batch_size: int = 1
-    ) -> EnergyBreakdown:
+    def model_energy(self, shapes: ModelShapes, batch_size: int = 1) -> EnergyBreakdown:
         """Energy breakdown of a whole DNN for ``batch_size`` input samples."""
         total = EnergyBreakdown(name=f"{shapes.name}@{self.arch.name}")
         for actions in count_model_actions(shapes, self.arch):

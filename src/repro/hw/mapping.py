@@ -11,7 +11,6 @@ cross-tile replication factors, and chip utilisation.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.hw.actions import LayerActionCounts, count_model_actions

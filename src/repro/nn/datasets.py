@@ -71,7 +71,10 @@ def gaussian_clusters(
     x_test, y_test = sample(n_test)
     return ClassificationDataset(
         name=f"gaussian_clusters_{n_classes}c_{n_features}f",
-        x_train=x_train, y_train=y_train, x_test=x_test, y_test=y_test,
+        x_train=x_train,
+        y_train=y_train,
+        x_test=x_test,
+        y_test=y_test,
     )
 
 
@@ -107,5 +110,8 @@ def procedural_images(
     x_test, y_test = sample(n_test)
     return ClassificationDataset(
         name=f"procedural_images_{n_classes}c_{h}x{w}",
-        x_train=x_train, y_train=y_train, x_test=x_test, y_test=y_test,
+        x_train=x_train,
+        y_train=y_train,
+        x_test=x_test,
+        y_test=y_test,
     )

@@ -53,7 +53,8 @@ def im2col(
     out_w = conv_output_size(w, kernel, stride, padding)
     if padding > 0:
         x = np.pad(
-            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
             mode="constant",
         )
     strides = x.strides
@@ -105,8 +106,10 @@ def _pool2d(
     if padding > 0:
         fill = -np.inf if reducer is np.max else 0.0
         x = np.pad(
-            x, ((0, 0), (0, 0), (padding, padding), (padding, padding)),
-            mode="constant", constant_values=fill,
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+            constant_values=fill,
         )
     strides = x.strides
     windows = np.lib.stride_tricks.as_strided(

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Callable, Protocol
+from typing import Protocol
 
 import numpy as np
 
@@ -216,7 +216,9 @@ class MatmulLayer(Layer):
     # -- calibration ---------------------------------------------------------
 
     def calibrate(
-        self, float_inputs: np.ndarray, float_outputs: np.ndarray,
+        self,
+        float_inputs: np.ndarray,
+        float_outputs: np.ndarray,
         signed_output: bool = False,
     ) -> None:
         """Set activation quantization from observed float tensors."""
@@ -239,13 +241,13 @@ class MatmulLayer(Layer):
 
     # -- integer execution ---------------------------------------------------
 
-    def _to_patches(self, codes: np.ndarray, pad_value: int) -> tuple[np.ndarray, tuple]:
+    def _to_patches(
+        self, codes: np.ndarray, pad_value: int
+    ) -> tuple[np.ndarray, tuple]:
         """Convert an input code tensor into (patches, shape_info)."""
         raise NotImplementedError
 
-    def _from_flat(
-        self, flat: np.ndarray, shape_info: tuple, batch: int
-    ) -> np.ndarray:
+    def _from_flat(self, flat: np.ndarray, shape_info: tuple, batch: int) -> np.ndarray:
         """Reshape flat per-output-feature results into the output tensor."""
         raise NotImplementedError
 
@@ -320,8 +322,12 @@ class Conv2d(MatmulLayer):
         self.kernel = int(weights.shape[2])
         self.in_channels = int(weights.shape[1])
         super().__init__(
-            name, weights, bias, out_features=int(weights.shape[0]),
-            fuse_relu=fuse_relu, signed_input=signed_input,
+            name,
+            weights,
+            bias,
+            out_features=int(weights.shape[0]),
+            fuse_relu=fuse_relu,
+            signed_input=signed_input,
         )
 
     def forward_float(self, x: np.ndarray) -> np.ndarray:
@@ -343,7 +349,9 @@ class Conv2d(MatmulLayer):
         _, out_h, out_w = self.output_shape(input_shape)
         return self.n_weights * out_h * out_w
 
-    def _to_patches(self, codes: np.ndarray, pad_value: int) -> tuple[np.ndarray, tuple]:
+    def _to_patches(
+        self, codes: np.ndarray, pad_value: int
+    ) -> tuple[np.ndarray, tuple]:
         shifted = codes - pad_value
         patches, (out_h, out_w) = F.im2col(
             shifted, self.kernel, self.stride, self.padding
@@ -373,8 +381,12 @@ class Linear(MatmulLayer):
             raise ValueError("linear weights must have shape (out_features, in_features)")
         self.in_features = int(weights.shape[1])
         super().__init__(
-            name, weights, bias, out_features=int(weights.shape[0]),
-            fuse_relu=fuse_relu, signed_input=signed_input,
+            name,
+            weights,
+            bias,
+            out_features=int(weights.shape[0]),
+            fuse_relu=fuse_relu,
+            signed_input=signed_input,
         )
 
     def forward_float(self, x: np.ndarray) -> np.ndarray:
@@ -392,7 +404,9 @@ class Linear(MatmulLayer):
         """Multiply-accumulates for one input sample."""
         return self.n_weights
 
-    def _to_patches(self, codes: np.ndarray, pad_value: int) -> tuple[np.ndarray, tuple]:
+    def _to_patches(
+        self, codes: np.ndarray, pad_value: int
+    ) -> tuple[np.ndarray, tuple]:
         return np.asarray(codes, dtype=np.int64), ()
 
     def _from_flat(self, flat: np.ndarray, shape_info: tuple, batch: int) -> np.ndarray:
@@ -418,8 +432,13 @@ class ReLU(Layer):
 class MaxPool2d(Layer):
     """Max pooling; operates directly on codes in the integer path."""
 
-    def __init__(self, kernel: int, stride: int | None = None, padding: int = 0,
-                 name: str = "maxpool"):
+    def __init__(
+        self,
+        kernel: int,
+        stride: int | None = None,
+        padding: int = 0,
+        name: str = "maxpool",
+    ):
         super().__init__(name)
         self.kernel = kernel
         self.stride = kernel if stride is None else stride
@@ -446,8 +465,13 @@ class MaxPool2d(Layer):
 class AvgPool2d(Layer):
     """Average pooling; the integer path averages codes and rounds."""
 
-    def __init__(self, kernel: int, stride: int | None = None, padding: int = 0,
-                 name: str = "avgpool"):
+    def __init__(
+        self,
+        kernel: int,
+        stride: int | None = None,
+        padding: int = 0,
+        name: str = "avgpool",
+    ):
         super().__init__(name)
         self.kernel = kernel
         self.stride = kernel if stride is None else stride

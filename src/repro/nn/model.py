@@ -8,8 +8,8 @@ hook (see :class:`repro.nn.layers.MatmulLayer`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -87,9 +87,7 @@ class QuantizedModel:
     def total_macs(self) -> int:
         """Total multiply-accumulates per input sample."""
         shapes = self.layer_input_shapes()
-        return sum(
-            layer.macs(shapes[layer.name]) for layer in self.matmul_layers()
-        )
+        return sum(layer.macs(shapes[layer.name]) for layer in self.matmul_layers())
 
     def total_weights(self) -> int:
         """Total weight count across mat-mul layers."""
@@ -190,7 +188,9 @@ class QuantizedModel:
         micro_batch: int | None = None,
     ) -> np.ndarray:
         """Class predictions from the integer path."""
-        logits = self.forward_quantized(x, pim_matmul=pim_matmul, micro_batch=micro_batch)
+        logits = self.forward_quantized(
+            x, pim_matmul=pim_matmul, micro_batch=micro_batch
+        )
         return np.argmax(logits, axis=-1)
 
     def predict_float(self, x: np.ndarray) -> np.ndarray:
@@ -215,10 +215,13 @@ class QuantizedModel:
         codes = self.input_quant.quantize(np.asarray(x, dtype=np.float64))
         quant = self.input_quant
         for layer in self.layers:
-            if isinstance(layer, MatmulLayer) and (wanted is None or layer.name in wanted):
+            if isinstance(layer, MatmulLayer) and (
+                wanted is None or layer.name in wanted
+            ):
                 patches, _ = layer._to_patches(codes, layer.input_quant.zero_point)
                 captured[layer.name] = LayerActivation(
-                    layer_name=layer.name, patch_codes=np.asarray(patches, dtype=np.int64)
+                    layer_name=layer.name,
+                    patch_codes=np.asarray(patches, dtype=np.int64),
                 )
             codes, quant = layer.forward_quantized(codes, quant)
         return captured

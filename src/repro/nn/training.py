@@ -156,8 +156,14 @@ def train_mlp(
     rng = np.random.default_rng(seed)
     features = dataset.x_train.reshape(len(dataset.x_train), -1)
     params, history = _train_dense_stack(
-        features, dataset.y_train, hidden_sizes, dataset.n_classes,
-        epochs, lr, batch_size, rng,
+        features,
+        dataset.y_train,
+        hidden_sizes,
+        dataset.n_classes,
+        epochs,
+        lr,
+        batch_size,
+        rng,
     )
     model_name = name or f"mlp_{dataset.name}"
     layers = _dense_stack_to_layers(params, model_name)
@@ -167,7 +173,8 @@ def train_mlp(
 
     flat_dataset = ClassificationDataset(
         name=dataset.name,
-        x_train=features, y_train=dataset.y_train,
+        x_train=features,
+        y_train=dataset.y_train,
         x_test=dataset.x_test.reshape(len(dataset.x_test), -1),
         y_test=dataset.y_test,
     )
@@ -207,8 +214,9 @@ def train_cnn(
     for i, out_c in enumerate(conv_channels):
         weights = synthetic_conv_weights(out_c, in_c, 3, rng, std=0.25)
         conv_layers.append(
-            Conv2d(f"{model_name}_conv{i}", weights, stride=1, padding=1,
-                   fuse_relu=True)
+            Conv2d(
+                f"{model_name}_conv{i}", weights, stride=1, padding=1, fuse_relu=True
+            )
         )
         conv_layers.append(MaxPool2d(2, name=f"{model_name}_pool{i}"))
         in_c = out_c
@@ -224,8 +232,14 @@ def train_cnn(
 
     train_features = extract(dataset.x_train)
     params, history = _train_dense_stack(
-        train_features, dataset.y_train, hidden_sizes, dataset.n_classes,
-        epochs, lr, batch_size, rng,
+        train_features,
+        dataset.y_train,
+        hidden_sizes,
+        dataset.n_classes,
+        epochs,
+        lr,
+        batch_size,
+        rng,
     )
     layers = conv_layers + _dense_stack_to_layers(params, model_name)
     model = QuantizedModel(model_name, layers, input_shape=(c, h, w))

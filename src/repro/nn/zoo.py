@@ -26,7 +26,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.nn.layers import Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d
+from repro.nn.layers import Conv2d, GlobalAvgPool, Linear, MaxPool2d
 from repro.nn.model import QuantizedModel
 from repro.nn.synthetic import (
     synthetic_conv_weights,
@@ -97,8 +97,15 @@ class LayerShape:
     def __post_init__(self) -> None:
         if self.kind not in ("conv", "dwconv", "linear"):
             raise ValueError(f"unknown layer kind {self.kind!r}")
-        if min(self.in_channels, self.out_channels, self.kernel_h, self.kernel_w,
-               self.stride, self.input_size, self.groups) <= 0:
+        if min(
+            self.in_channels,
+            self.out_channels,
+            self.kernel_h,
+            self.kernel_w,
+            self.stride,
+            self.input_size,
+            self.groups,
+        ) <= 0:
             raise ValueError("layer shape dimensions must be positive")
         if self.in_channels % self.groups != 0:
             raise ValueError("in_channels must be divisible by groups")
@@ -115,7 +122,7 @@ class LayerShape:
         """Number of output positions (pixels or sequence tokens) per sample."""
         if self.kind == "linear":
             return self.input_size
-        return self.output_size ** 2
+        return self.output_size**2
 
     @property
     def reduction_dim(self) -> int:
@@ -165,19 +172,42 @@ class ModelShapes:
 
 def _conv(name, cin, cout, k, stride, size, groups=1, signed=False) -> LayerShape:
     kind = "dwconv" if groups == cin and groups > 1 else "conv"
-    return LayerShape(name=name, kind=kind, in_channels=cin, out_channels=cout,
-                      kernel_h=k, kernel_w=k, stride=stride, input_size=size,
-                      groups=groups, signed_input=signed)
+    return LayerShape(
+        name=name,
+        kind=kind,
+        in_channels=cin,
+        out_channels=cout,
+        kernel_h=k,
+        kernel_w=k,
+        stride=stride,
+        input_size=size,
+        groups=groups,
+        signed_input=signed,
+    )
 
 
 def _rect_conv(name, cin, cout, kh, kw, size) -> LayerShape:
-    return LayerShape(name=name, kind="conv", in_channels=cin, out_channels=cout,
-                      kernel_h=kh, kernel_w=kw, stride=1, input_size=size)
+    return LayerShape(
+        name=name,
+        kind="conv",
+        in_channels=cin,
+        out_channels=cout,
+        kernel_h=kh,
+        kernel_w=kw,
+        stride=1,
+        input_size=size,
+    )
 
 
 def _linear(name, cin, cout, positions=1, signed=False) -> LayerShape:
-    return LayerShape(name=name, kind="linear", in_channels=cin, out_channels=cout,
-                      input_size=positions, signed_input=signed)
+    return LayerShape(
+        name=name,
+        kind="linear",
+        in_channels=cin,
+        out_channels=cout,
+        input_size=positions,
+        signed_input=signed,
+    )
 
 
 def _resnet18_shapes() -> ModelShapes:
@@ -193,7 +223,9 @@ def _resnet18_shapes() -> ModelShapes:
             out_size = max(size // stride, 1)
             layers.append(_conv(f"{prefix}.conv2", out_c, out_c, 3, 1, out_size))
             if stride != 1 or in_c != out_c:
-                layers.append(_conv(f"{prefix}.downsample", in_c, out_c, 1, stride, size))
+                layers.append(
+                    _conv(f"{prefix}.downsample", in_c, out_c, 1, stride, size)
+                )
             in_c = out_c
             size = out_size
     layers.append(_linear("fc", 512, 1000))
@@ -204,7 +236,9 @@ def _resnet50_shapes() -> ModelShapes:
     layers = [_conv("conv1", 3, 64, 7, 2, 224)]
     size = 56
     in_c = 64
-    stage_cfg = [(64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)]
+    stage_cfg = [
+        (64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)
+    ]
     for stage, (mid_c, out_c, blocks, first_stride) in enumerate(stage_cfg, start=1):
         for block in range(blocks):
             stride = first_stride if block == 0 else 1
@@ -214,7 +248,9 @@ def _resnet50_shapes() -> ModelShapes:
             out_size = max(size // stride, 1)
             layers.append(_conv(f"{prefix}.conv3", mid_c, out_c, 1, 1, out_size))
             if stride != 1 or in_c != out_c:
-                layers.append(_conv(f"{prefix}.downsample", in_c, out_c, 1, stride, size))
+                layers.append(
+                    _conv(f"{prefix}.downsample", in_c, out_c, 1, stride, size)
+                )
             in_c = out_c
             size = out_size
     layers.append(_linear("fc", 2048, 1000))
@@ -242,14 +278,16 @@ def _googlenet_shapes() -> ModelShapes:
         _conv("conv3", 64, 192, 3, 1, 56),
     ]
     for (name, in_c, b1, b2r, b2, b3r, b3, b4, size) in _GOOGLENET_INCEPTIONS:
-        layers.extend([
-            _conv(f"{name}.branch1", in_c, b1, 1, 1, size),
-            _conv(f"{name}.branch2_reduce", in_c, b2r, 1, 1, size),
-            _conv(f"{name}.branch2", b2r, b2, 3, 1, size),
-            _conv(f"{name}.branch3_reduce", in_c, b3r, 1, 1, size),
-            _conv(f"{name}.branch3", b3r, b3, 3, 1, size),
-            _conv(f"{name}.branch4", in_c, b4, 1, 1, size),
-        ])
+        layers.extend(
+            [
+                _conv(f"{name}.branch1", in_c, b1, 1, 1, size),
+                _conv(f"{name}.branch2_reduce", in_c, b2r, 1, 1, size),
+                _conv(f"{name}.branch2", b2r, b2, 3, 1, size),
+                _conv(f"{name}.branch3_reduce", in_c, b3r, 1, 1, size),
+                _conv(f"{name}.branch3", b3r, b3, 3, 1, size),
+                _conv(f"{name}.branch4", in_c, b4, 1, 1, size),
+            ]
+        )
     layers.append(_linear("fc", 1024, 1000))
     return ModelShapes("googlenet", tuple(layers))
 
@@ -266,62 +304,72 @@ def _inceptionv3_shapes() -> ModelShapes:
     in_c = 192
     for i, pool_c in enumerate((32, 64, 64)):
         name = f"mixed5{chr(ord('b') + i)}"
-        layers.extend([
-            _conv(f"{name}.branch1x1", in_c, 64, 1, 1, 35),
-            _conv(f"{name}.branch5x5_1", in_c, 48, 1, 1, 35),
-            _conv(f"{name}.branch5x5_2", 48, 64, 5, 1, 35),
-            _conv(f"{name}.branch3x3dbl_1", in_c, 64, 1, 1, 35),
-            _conv(f"{name}.branch3x3dbl_2", 64, 96, 3, 1, 35),
-            _conv(f"{name}.branch3x3dbl_3", 96, 96, 3, 1, 35),
-            _conv(f"{name}.branch_pool", in_c, pool_c, 1, 1, 35),
-        ])
+        layers.extend(
+            [
+                _conv(f"{name}.branch1x1", in_c, 64, 1, 1, 35),
+                _conv(f"{name}.branch5x5_1", in_c, 48, 1, 1, 35),
+                _conv(f"{name}.branch5x5_2", 48, 64, 5, 1, 35),
+                _conv(f"{name}.branch3x3dbl_1", in_c, 64, 1, 1, 35),
+                _conv(f"{name}.branch3x3dbl_2", 64, 96, 3, 1, 35),
+                _conv(f"{name}.branch3x3dbl_3", 96, 96, 3, 1, 35),
+                _conv(f"{name}.branch_pool", in_c, pool_c, 1, 1, 35),
+            ]
+        )
         in_c = 64 + 64 + 96 + pool_c
     # Reduction to 17x17.
-    layers.extend([
-        _conv("mixed6a.branch3x3", 288, 384, 3, 2, 35),
-        _conv("mixed6a.branch3x3dbl_1", 288, 64, 1, 1, 35),
-        _conv("mixed6a.branch3x3dbl_2", 64, 96, 3, 1, 35),
-        _conv("mixed6a.branch3x3dbl_3", 96, 96, 3, 2, 35),
-    ])
+    layers.extend(
+        [
+            _conv("mixed6a.branch3x3", 288, 384, 3, 2, 35),
+            _conv("mixed6a.branch3x3dbl_1", 288, 64, 1, 1, 35),
+            _conv("mixed6a.branch3x3dbl_2", 64, 96, 3, 1, 35),
+            _conv("mixed6a.branch3x3dbl_3", 96, 96, 3, 2, 35),
+        ]
+    )
     # Four InceptionB (factorized 7x7) blocks at 17x17.
     for i, mid in enumerate((128, 160, 160, 192)):
         name = f"mixed6{chr(ord('b') + i)}"
-        layers.extend([
-            _conv(f"{name}.branch1x1", 768, 192, 1, 1, 17),
-            _conv(f"{name}.branch7x7_1", 768, mid, 1, 1, 17),
-            _rect_conv(f"{name}.branch7x7_2", mid, mid, 1, 7, 17),
-            _rect_conv(f"{name}.branch7x7_3", mid, 192, 7, 1, 17),
-            _conv(f"{name}.branch7x7dbl_1", 768, mid, 1, 1, 17),
-            _rect_conv(f"{name}.branch7x7dbl_2", mid, mid, 7, 1, 17),
-            _rect_conv(f"{name}.branch7x7dbl_3", mid, mid, 1, 7, 17),
-            _rect_conv(f"{name}.branch7x7dbl_4", mid, mid, 7, 1, 17),
-            _rect_conv(f"{name}.branch7x7dbl_5", mid, 192, 1, 7, 17),
-            _conv(f"{name}.branch_pool", 768, 192, 1, 1, 17),
-        ])
+        layers.extend(
+            [
+                _conv(f"{name}.branch1x1", 768, 192, 1, 1, 17),
+                _conv(f"{name}.branch7x7_1", 768, mid, 1, 1, 17),
+                _rect_conv(f"{name}.branch7x7_2", mid, mid, 1, 7, 17),
+                _rect_conv(f"{name}.branch7x7_3", mid, 192, 7, 1, 17),
+                _conv(f"{name}.branch7x7dbl_1", 768, mid, 1, 1, 17),
+                _rect_conv(f"{name}.branch7x7dbl_2", mid, mid, 7, 1, 17),
+                _rect_conv(f"{name}.branch7x7dbl_3", mid, mid, 1, 7, 17),
+                _rect_conv(f"{name}.branch7x7dbl_4", mid, mid, 7, 1, 17),
+                _rect_conv(f"{name}.branch7x7dbl_5", mid, 192, 1, 7, 17),
+                _conv(f"{name}.branch_pool", 768, 192, 1, 1, 17),
+            ]
+        )
     # Reduction to 8x8.
-    layers.extend([
-        _conv("mixed7a.branch3x3_1", 768, 192, 1, 1, 17),
-        _conv("mixed7a.branch3x3_2", 192, 320, 3, 2, 17),
-        _conv("mixed7a.branch7x7x3_1", 768, 192, 1, 1, 17),
-        _rect_conv("mixed7a.branch7x7x3_2", 192, 192, 1, 7, 17),
-        _rect_conv("mixed7a.branch7x7x3_3", 192, 192, 7, 1, 17),
-        _conv("mixed7a.branch7x7x3_4", 192, 192, 3, 2, 17),
-    ])
+    layers.extend(
+        [
+            _conv("mixed7a.branch3x3_1", 768, 192, 1, 1, 17),
+            _conv("mixed7a.branch3x3_2", 192, 320, 3, 2, 17),
+            _conv("mixed7a.branch7x7x3_1", 768, 192, 1, 1, 17),
+            _rect_conv("mixed7a.branch7x7x3_2", 192, 192, 1, 7, 17),
+            _rect_conv("mixed7a.branch7x7x3_3", 192, 192, 7, 1, 17),
+            _conv("mixed7a.branch7x7x3_4", 192, 192, 3, 2, 17),
+        ]
+    )
     # Two InceptionC blocks at 8x8.
     in_c = 1280
     for i in range(2):
         name = f"mixed7{chr(ord('b') + i)}"
-        layers.extend([
-            _conv(f"{name}.branch1x1", in_c, 320, 1, 1, 8),
-            _conv(f"{name}.branch3x3_1", in_c, 384, 1, 1, 8),
-            _rect_conv(f"{name}.branch3x3_2a", 384, 384, 1, 3, 8),
-            _rect_conv(f"{name}.branch3x3_2b", 384, 384, 3, 1, 8),
-            _conv(f"{name}.branch3x3dbl_1", in_c, 448, 1, 1, 8),
-            _conv(f"{name}.branch3x3dbl_2", 448, 384, 3, 1, 8),
-            _rect_conv(f"{name}.branch3x3dbl_3a", 384, 384, 1, 3, 8),
-            _rect_conv(f"{name}.branch3x3dbl_3b", 384, 384, 3, 1, 8),
-            _conv(f"{name}.branch_pool", in_c, 192, 1, 1, 8),
-        ])
+        layers.extend(
+            [
+                _conv(f"{name}.branch1x1", in_c, 320, 1, 1, 8),
+                _conv(f"{name}.branch3x3_1", in_c, 384, 1, 1, 8),
+                _rect_conv(f"{name}.branch3x3_2a", 384, 384, 1, 3, 8),
+                _rect_conv(f"{name}.branch3x3_2b", 384, 384, 3, 1, 8),
+                _conv(f"{name}.branch3x3dbl_1", in_c, 448, 1, 1, 8),
+                _conv(f"{name}.branch3x3dbl_2", 448, 384, 3, 1, 8),
+                _rect_conv(f"{name}.branch3x3dbl_3a", 384, 384, 1, 3, 8),
+                _rect_conv(f"{name}.branch3x3dbl_3b", 384, 384, 3, 1, 8),
+                _conv(f"{name}.branch_pool", in_c, 192, 1, 1, 8),
+            ]
+        )
         in_c = 2048
     layers.append(_linear("fc", 2048, 1000))
     return ModelShapes("inceptionv3", tuple(layers))
@@ -349,8 +397,9 @@ def _mobilenetv2_shapes() -> ModelShapes:
             hidden = in_c * t
             if t != 1:
                 layers.append(_conv(f"{prefix}.expand", in_c, hidden, 1, 1, size))
-            layers.append(_conv(f"{prefix}.dw", hidden, hidden, 3, stride, size,
-                                groups=hidden))
+            layers.append(
+                _conv(f"{prefix}.dw", hidden, hidden, 3, stride, size, groups=hidden)
+            )
             size = max(size // stride, 1)
             layers.append(_conv(f"{prefix}.project", hidden, out_c, 1, 1, size))
             in_c = out_c
@@ -376,20 +425,30 @@ def _shufflenetv2_shapes() -> ModelShapes:
             half = out_c // 2
             if block == 0:
                 # Downsampling unit: both branches are processed.
-                layers.extend([
-                    _conv(f"{prefix}.branch1_dw", in_c, in_c, 3, 2, size, groups=in_c),
-                    _conv(f"{prefix}.branch1_pw", in_c, half, 1, 1, size // 2),
-                    _conv(f"{prefix}.branch2_pw1", in_c, half, 1, 1, size),
-                    _conv(f"{prefix}.branch2_dw", half, half, 3, 2, size, groups=half),
-                    _conv(f"{prefix}.branch2_pw2", half, half, 1, 1, size // 2),
-                ])
+                layers.extend(
+                    [
+                        _conv(
+                            f"{prefix}.branch1_dw", in_c, in_c, 3, 2, size, groups=in_c
+                        ),
+                        _conv(f"{prefix}.branch1_pw", in_c, half, 1, 1, size // 2),
+                        _conv(f"{prefix}.branch2_pw1", in_c, half, 1, 1, size),
+                        _conv(
+                            f"{prefix}.branch2_dw", half, half, 3, 2, size, groups=half
+                        ),
+                        _conv(f"{prefix}.branch2_pw2", half, half, 1, 1, size // 2),
+                    ]
+                )
                 size = size // 2
             else:
-                layers.extend([
-                    _conv(f"{prefix}.branch2_pw1", half, half, 1, 1, size),
-                    _conv(f"{prefix}.branch2_dw", half, half, 3, 1, size, groups=half),
-                    _conv(f"{prefix}.branch2_pw2", half, half, 1, 1, size),
-                ])
+                layers.extend(
+                    [
+                        _conv(f"{prefix}.branch2_pw1", half, half, 1, 1, size),
+                        _conv(
+                            f"{prefix}.branch2_dw", half, half, 3, 1, size, groups=half
+                        ),
+                        _conv(f"{prefix}.branch2_pw2", half, half, 1, 1, size),
+                    ]
+                )
             in_c = out_c
     layers.append(_conv("conv5", 464, 1024, 1, 1, 7))
     layers.append(_linear("fc", 1024, 1000))
@@ -459,8 +518,13 @@ def _runnable_conv_stack(
             out_c, in_c, kernel, rng, std=weight_std, mean_spread=mean_spread
         )
         layers.append(
-            Conv2d(f"{name}_conv{i}", weights, stride=stride,
-                   padding=kernel // 2, fuse_relu=True)
+            Conv2d(
+                f"{name}_conv{i}",
+                weights,
+                stride=stride,
+                padding=kernel // 2,
+                fuse_relu=True,
+            )
         )
         size = (size + stride - 1) // stride
         if pool > 1:
@@ -482,9 +546,12 @@ def resnet18_like(seed: int = 0, image_size: int = 32) -> QuantizedModel:
     """Small ResNet18-flavoured conv stack (large 3x3 filters, wide channels)."""
     rng = np.random.default_rng(seed)
     stack = [
-        (32, 3, 1, 1), (32, 3, 1, 2),
-        (48, 3, 1, 1), (48, 3, 1, 2),
-        (64, 3, 1, 1), (96, 3, 1, 2),
+        (32, 3, 1, 1),
+        (32, 3, 1, 2),
+        (48, 3, 1, 1),
+        (48, 3, 1, 2),
+        (64, 3, 1, 1),
+        (96, 3, 1, 2),
     ]
     return _runnable_conv_stack("resnet18_like", stack, 16, 96, rng, image_size)
 
@@ -493,8 +560,13 @@ def resnet50_like(seed: int = 0, image_size: int = 32) -> QuantizedModel:
     """Small ResNet50-flavoured stack (1x1 bottlenecks around 3x3 convs)."""
     rng = np.random.default_rng(seed)
     stack = [
-        (32, 3, 1, 1), (24, 1, 1, 1), (48, 3, 1, 2),
-        (32, 1, 1, 1), (64, 3, 1, 2), (96, 1, 1, 1), (96, 3, 1, 2),
+        (32, 3, 1, 1),
+        (24, 1, 1, 1),
+        (48, 3, 1, 2),
+        (32, 1, 1, 1),
+        (64, 3, 1, 2),
+        (96, 1, 1, 1),
+        (96, 3, 1, 2),
     ]
     return _runnable_conv_stack("resnet50_like", stack, 16, 128, rng, image_size)
 
@@ -503,8 +575,11 @@ def googlenet_like(seed: int = 0, image_size: int = 32) -> QuantizedModel:
     """Small GoogLeNet-flavoured stack mixing 1x1, 3x3 and 5x5 kernels."""
     rng = np.random.default_rng(seed)
     stack = [
-        (24, 5, 1, 2), (32, 1, 1, 1), (48, 3, 1, 2),
-        (32, 1, 1, 1), (64, 3, 1, 2),
+        (24, 5, 1, 2),
+        (32, 1, 1, 1),
+        (48, 3, 1, 2),
+        (32, 1, 1, 1),
+        (64, 3, 1, 2),
     ]
     return _runnable_conv_stack("googlenet_like", stack, 16, 96, rng, image_size)
 
@@ -513,8 +588,11 @@ def inceptionv3_like(seed: int = 0, image_size: int = 32) -> QuantizedModel:
     """Small InceptionV3-flavoured stack with skewed per-filter weight means."""
     rng = np.random.default_rng(seed)
     stack = [
-        (24, 3, 2, 1), (32, 3, 1, 1), (48, 3, 1, 2),
-        (64, 5, 1, 1), (80, 3, 1, 2),
+        (24, 3, 2, 1),
+        (32, 3, 1, 1),
+        (48, 3, 1, 2),
+        (64, 5, 1, 1),
+        (80, 3, 1, 2),
     ]
     return _runnable_conv_stack(
         "inceptionv3_like", stack, 16, 96, rng, image_size, mean_spread=0.09
@@ -525,8 +603,12 @@ def mobilenetv2_like(seed: int = 0, image_size: int = 32) -> QuantizedModel:
     """Small MobileNetV2-flavoured stack dominated by 1x1 convs (small filters)."""
     rng = np.random.default_rng(seed)
     stack = [
-        (16, 3, 2, 1), (32, 1, 1, 1), (32, 3, 1, 2),
-        (48, 1, 1, 1), (48, 1, 1, 2), (64, 1, 1, 1),
+        (16, 3, 2, 1),
+        (32, 1, 1, 1),
+        (32, 3, 1, 2),
+        (48, 1, 1, 1),
+        (48, 1, 1, 2),
+        (64, 1, 1, 1),
     ]
     return _runnable_conv_stack("mobilenetv2_like", stack, 16, 64, rng, image_size)
 
@@ -535,8 +617,11 @@ def shufflenetv2_like(seed: int = 0, image_size: int = 32) -> QuantizedModel:
     """Small ShuffleNetV2-flavoured stack with narrow 1x1-heavy layers."""
     rng = np.random.default_rng(seed)
     stack = [
-        (12, 3, 2, 1), (24, 1, 1, 1), (24, 3, 1, 2),
-        (32, 1, 1, 1), (48, 1, 1, 2),
+        (12, 3, 2, 1),
+        (24, 1, 1, 1),
+        (24, 3, 1, 2),
+        (32, 1, 1, 1),
+        (48, 1, 1, 2),
     ]
     return _runnable_conv_stack("shufflenetv2_like", stack, 16, 64, rng, image_size)
 
@@ -554,13 +639,11 @@ def bert_large_ffn_like(
     for block in range(n_blocks):
         expand = synthetic_linear_weights(intermediate, hidden, rng, std=0.12)
         layers.append(
-            Linear(f"bert_ffn{block}_in", expand, fuse_relu=True,
-                   signed_input=True)
+            Linear(f"bert_ffn{block}_in", expand, fuse_relu=True, signed_input=True)
         )
         project = synthetic_linear_weights(hidden, intermediate, rng, std=0.12)
         layers.append(
-            Linear(f"bert_ffn{block}_out", project, fuse_relu=False,
-                   signed_input=False)
+            Linear(f"bert_ffn{block}_out", project, fuse_relu=False, signed_input=False)
         )
     model = QuantizedModel(
         "bert_large_ffn_like", layers, input_shape=(hidden,), signed_input=True

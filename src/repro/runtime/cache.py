@@ -174,9 +174,7 @@ class ExecutorPool:
                 if vectorized:
                     kwargs["weight_cache"] = self.weight_cache
                     kwargs["float32"] = use_float32
-                executor = self.executor_factory(
-                    layer, config, noise=noise, **kwargs
-                )
+                executor = self.executor_factory(layer, config, noise=noise, **kwargs)
                 self._executors[key] = executor
             elif reset_stats:
                 executor.reset_stats()

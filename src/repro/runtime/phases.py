@@ -23,9 +23,7 @@ __all__ = ["plan_shift_masks", "extract_phase_tensor"]
 def plan_shift_masks(plan: InputSlicePlan) -> tuple[np.ndarray, np.ndarray]:
     """Per-phase shift and mask vectors of a plan (treat as read-only)."""
     shifts = np.array([phase.shift for phase in plan.phases], dtype=np.int64)
-    masks = np.array(
-        [(1 << phase.width) - 1 for phase in plan.phases], dtype=np.int64
-    )
+    masks = np.array([(1 << phase.width) - 1 for phase in plan.phases], dtype=np.int64)
     shifts.setflags(write=False)
     masks.setflags(write=False)
     return shifts, masks

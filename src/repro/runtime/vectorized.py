@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analog.noise import NoiselessModel, NoiseModel
+from repro.analog.noise import NoiseModel, NoiselessModel
 from repro.core.dynamic_input import InputPhase
 from repro.core.executor import PimLayerConfig, PimLayerExecutor, _EncodedChunk
 from repro.nn.layers import MatmulLayer

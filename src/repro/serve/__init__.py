@@ -19,7 +19,14 @@ layer:
   Requests may carry a priority and deadline; with a
   :class:`~repro.telemetry.TelemetryCollector` attached the server records
   per-request cost traces and schedules SLO-aware (highest priority, least
-  deadline slack first) instead of FIFO-by-age.
+  deadline slack first) instead of FIFO-by-age, with an aging rule so
+  best-effort work is never starved.  Workers dispatch the globally most
+  urgent formed batch across models rather than FIFO-draining one model.
+* :mod:`repro.serve.admission` -- :class:`AdmissionController` screens every
+  submit against queue-depth/inflight-cost caps, an overload state machine
+  (:class:`OverloadState`) and the calibrated unmeetable-deadline test,
+  returning a typed :class:`AdmissionDecision` (accepted / downgraded /
+  shed) instead of silently enqueueing doomed work.
 * :mod:`repro.serve.sharded` -- :class:`ShardedEngine` pipelines micro-batches
   across layer stages in worker threads, bit-identical to the sequential
   engine.
@@ -32,11 +39,19 @@ Quickstart::
     registry.register("resnet", model)          # a calibrated QuantizedModel
     policy = BatchingPolicy(max_batch_size=32, max_delay_s=0.002)
     with InferenceServer(registry, policy) as server:
-        future = server.submit("resnet", inputs)   # (n_samples, *input_shape)
-        outputs = future.result()
+        decision = server.submit("resnet", inputs)  # (n_samples, *input_shape)
+        outputs = decision.result()
     print(server.statistics().mean_batch_size)
 """
 
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionCounters,
+    AdmissionDecision,
+    AdmissionPolicy,
+    OverloadState,
+    RequestShedError,
+)
 from repro.serve.registry import ModelRegistry
 from repro.serve.scheduler import (
     BatchingPolicy,
@@ -48,12 +63,18 @@ from repro.serve.server import InferenceServer, ServerStatistics
 from repro.serve.sharded import ShardedEngine
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionCounters",
+    "AdmissionDecision",
+    "AdmissionPolicy",
     "BatchingPolicy",
     "InferenceFuture",
     "InferenceRequest",
     "InferenceServer",
     "ModelRegistry",
+    "OverloadState",
     "RequestQueue",
+    "RequestShedError",
     "ServerStatistics",
     "ShardedEngine",
 ]

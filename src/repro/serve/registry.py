@@ -49,6 +49,7 @@ class ModelRegistry:
         self.float32 = float32
         self._engines: dict[str, NetworkEngine] = {}
         self._cost_models: dict[str, CostModel] = {}
+        self._tenants: dict[str, str] = {}
         self._reserved: set[str] = set()
         self._lock = threading.RLock()
         # Bumped on every (un)registration; servers use it to invalidate
@@ -71,6 +72,7 @@ class ModelRegistry:
         sharded: bool = False,
         float32: bool | None = None,
         arch: ArchitectureSpec | None = None,
+        tenant: str | None = None,
     ) -> NetworkEngine:
         """Host a calibrated model under ``name`` and return its engine.
 
@@ -84,6 +86,13 @@ class ModelRegistry:
         :meth:`cost_model` and attached automatically by an
         :class:`~repro.serve.server.InferenceServer` running with a
         telemetry collector.
+
+        ``tenant`` groups several hosted models under one accounting /
+        admission-control label (A/B variants, one customer's model family);
+        it defaults to the model's own hosted name, keeping the historical
+        one-model-one-tenant behaviour.  Per-tenant queue caps in
+        :class:`~repro.serve.admission.AdmissionPolicy` sum over every model
+        registered with the same tenant label.
         """
         if not model.is_calibrated:
             raise ValueError(f"model {model.name!r} must be calibrated first")
@@ -125,6 +134,8 @@ class ModelRegistry:
             self._engines[name] = engine
             if cost_model is not None:
                 self._cost_models[name] = cost_model
+            if tenant is not None:
+                self._tenants[name] = tenant
             self.generation += 1
         return engine
 
@@ -147,12 +158,25 @@ class ModelRegistry:
                 raise KeyError(f"no model registered under {name!r}")
             return self._cost_models.get(name)
 
+    def tenant(self, name: str) -> str:
+        """The tenant label of a hosted model (its own name when unset)."""
+        with self._lock:
+            if name not in self._engines:
+                raise KeyError(f"no model registered under {name!r}")
+            return self._tenants.get(name, name)
+
+    def tenants(self) -> dict[str, str]:
+        """Hosted model name -> tenant label, for admission accounting."""
+        with self._lock:
+            return {name: self._tenants.get(name, name) for name in self._engines}
+
     def unregister(self, name: str) -> None:
         """Drop a hosted model (its pooled executors stay cached for reuse)."""
         with self._lock:
             if self._engines.pop(name, None) is None:
                 raise KeyError(f"no model registered under {name!r}")
             self._cost_models.pop(name, None)
+            self._tenants.pop(name, None)
             self.generation += 1
 
     def names(self) -> list[str]:

@@ -16,8 +16,12 @@ within a class the model whose next dispatchable batch has the least *slack*
 would contain, with the prediction supplied by a
 :class:`~repro.telemetry.cost.CostModel`-backed estimator -- wins.  A model
 whose slack has run out dispatches immediately, even with a partial batch.
-With no priorities, no deadlines, or SLO mode off, the scheduling decisions
-are exactly the FIFO ones.
+An aging rule bounds starvation: heads older than
+:attr:`BatchingPolicy.starvation_limit_s` are promoted into the top pending
+priority class, so best-effort work survives a saturated high-priority
+stream.  With no
+priorities, no deadlines, or SLO mode off, the scheduling decisions are
+exactly the FIFO ones.
 
 Requests never split across batches: a batch is a whole number of requests, so
 splitting engine outputs back per request is a plain ``np.split`` at request
@@ -60,17 +64,30 @@ class BatchingPolicy:
         the queued samples approach ``max_batch_size``, so a nearly full
         batch dispatches early instead of idling out the full budget waiting
         for the last few samples (see :meth:`effective_delay_s`).
+    starvation_limit_s:
+        The aging rule bounding priority starvation: a model whose oldest
+        pending request (or oldest dispatched batch, at the worker layer)
+        has waited longer than this is promoted into the top pending
+        priority class, competing there on slack/deadline like everything
+        else -- so a saturated stream of high-priority work cannot delay a
+        best-effort request without a deadline forever, while genuinely
+        urgent deadlines still dispatch first.  Must be positive; it only
+        matters under SLO-aware scheduling (the FIFO path is oldest-first
+        already).
     """
 
     max_batch_size: int = 32
     max_delay_s: float = 0.002
     adaptive_delay: bool = False
+    starvation_limit_s: float = 0.25
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be positive")
         if self.max_delay_s < 0:
             raise ValueError("max_delay_s must be non-negative")
+        if self.starvation_limit_s <= 0:
+            raise ValueError("starvation_limit_s must be positive")
 
     def effective_delay_s(self, queued_samples: int) -> float:
         """The waiting budget given how full the pending batch already is.
@@ -204,10 +221,27 @@ class RequestQueue:
         with self._condition:
             return sum(len(q) for q in self._pending.values())
 
+    def queued_samples_by_model(self) -> dict[str, int]:
+        """Pending sample counts per model, for admission-control decisions.
+
+        A consistent snapshot under the queue lock; models whose deques have
+        drained are omitted.  The scan is O(pending requests) -- admission
+        control calls this once per submit, which stays far below the
+        microsecond budget for realistic queue depths.
+        """
+        with self._condition:
+            return {
+                name: sum(r.n_samples for r in requests)
+                for name, requests in self._pending.items()
+                if requests
+            }
+
     def _oldest_model(self) -> str | None:
         oldest_name, oldest_time = None, None
         for name, requests in self._pending.items():
-            if requests and (oldest_time is None or requests[0].enqueued_at < oldest_time):
+            if requests and (
+                oldest_time is None or requests[0].enqueued_at < oldest_time
+            ):
                 oldest_name, oldest_time = name, requests[0].enqueued_at
         return oldest_name
 
@@ -258,8 +292,20 @@ class RequestQueue:
         least slack, then oldest head request), even with a partial batch:
         delaying an urgent request behind a less urgent full batch would
         invert the SLO ordering, and the engine has work either way.
+
+        The one exception is the aging rule
+        (:attr:`BatchingPolicy.starvation_limit_s`): a model whose head
+        request has waited longer than the starvation limit is promoted into
+        the *top pending priority class* (slack order still applies within
+        it), so a continuous high-priority stream cannot starve a
+        best-effort model forever -- without this, a deadline-free
+        priority-0 request would lose the ``-priority`` comparison on every
+        single dispatch decision.  A starved deadline-free head's slack is
+        its (long exhausted) delay budget, which keeps falling with age, so
+        it eventually undercuts any stream of fresh arrivals.
         """
-        best_key, best_name, min_due, any_ready = None, None, None, False
+        entries = []
+        min_due, any_ready, top_priority = None, False, 0
         for name, requests in self._pending.items():
             if not requests:
                 continue
@@ -267,9 +313,7 @@ class RequestQueue:
                 requests, policy
             )
             head = requests[0]
-            budget_left = policy.effective_delay_s(samples) - (
-                now - head.enqueued_at
-            )
+            budget_left = policy.effective_delay_s(samples) - (now - head.enqueued_at)
             if min_deadline is None:
                 slack = budget_left
             else:
@@ -287,21 +331,24 @@ class RequestQueue:
             due_in = min(budget_left, slack)
             min_due = due_in if min_due is None else min(min_due, due_in)
             any_ready = any_ready or full or due_in <= 0 or self._closed
-            key = (-priority, slack, head.enqueued_at)
-            if best_key is None or key < best_key:
-                best_key, best_name = key, name
+            top_priority = max(top_priority, priority)
+            starved = now - head.enqueued_at > policy.starvation_limit_s
+            entries.append((name, priority, starved, slack, head.enqueued_at))
         if not any_ready:
             return None, min_due
+        best_key, best_name = None, None
+        for name, priority, starved, slack, enqueued_at in entries:
+            effective = max(priority, top_priority) if starved else priority
+            key = (-effective, slack, enqueued_at)
+            if best_key is None or key < best_key:
+                best_key, best_name = key, name
         return best_name, min_due
 
     def _pop_batch(self, name: str, policy: BatchingPolicy) -> list[InferenceRequest]:
         requests = self._pending[name]
         batch = [requests.popleft()]
         total = batch[0].n_samples
-        while (
-            requests
-            and total + requests[0].n_samples <= policy.max_batch_size
-        ):
+        while requests and total + requests[0].n_samples <= policy.max_batch_size:
             total += requests[0].n_samples
             batch.append(requests.popleft())
         if not requests:

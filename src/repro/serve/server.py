@@ -4,15 +4,25 @@
 in a :class:`~repro.serve.registry.ModelRegistry`, coalesces them per model
 with the dynamic micro-batching scheduler
 (:class:`~repro.serve.scheduler.RequestQueue`), executes each coalesced batch
-on the model's engine, and splits the outputs back per request.
+on the model's engine, and splits the outputs back per request.  With an
+:class:`~repro.serve.admission.AdmissionController` attached, every
+:meth:`~InferenceServer.submit` is first judged against the live backlog and
+the calibrated latency predictions, and doomed or over-cap requests are shed
+(or downgraded) *before* they consume queue space -- the returned
+:class:`~repro.serve.admission.AdmissionDecision` carries the evidence.
 
 Threading model:
 
 * any number of client threads call :meth:`submit` / :meth:`infer`;
 * one scheduler thread forms batches and appends them to per-model FIFO
-  dispatch queues, each drained by at most one worker at a time -- batches of
-  *different* models run concurrently, batches of the same model run in
-  submission order;
+  dispatch queues;
+* worker threads repeatedly pop the *globally most urgent* dispatched batch
+  (highest priority first, with aged-starved batches promoted into the top
+  class, then earliest deadline, then formation order) from any model not
+  already being drained -- batches of
+  different models run concurrently, batches of the same model run in
+  formation order, and a busy worker no longer FIFO-drains one model while
+  a higher-priority batch of another model waits;
 * engine access is additionally serialised per *executor* (locks acquired in
   a global order), because the shared :class:`~repro.runtime.ExecutorPool`
   can back several hosted names with the same executors (e.g. one model
@@ -30,6 +40,7 @@ when choosing a batch size by hand.
 from __future__ import annotations
 
 import itertools
+import math
 import threading
 import time
 from collections import deque
@@ -39,6 +50,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.serve.admission import (
+    ACCEPTED,
+    DOWNGRADED,
+    AdmissionController,
+    AdmissionDecision,
+    OverloadState,
+)
 from repro.serve.registry import ModelRegistry
 from repro.serve.scheduler import (
     BatchingPolicy,
@@ -58,6 +76,8 @@ class ServerStatistics:
     requests_submitted: int = 0
     requests_completed: int = 0
     requests_failed: int = 0
+    requests_shed: int = 0
+    requests_downgraded: int = 0
     batches_executed: int = 0
     samples_executed: int = 0
     max_batch_size: int = 0
@@ -80,6 +100,39 @@ class ServerStatistics:
         return self.queue_wait_s / self.requests_completed
 
 
+@dataclass
+class _DispatchedBatch:
+    """One formed batch waiting for (or undergoing) execution.
+
+    The urgency fields are frozen at formation time: ``priority`` is the
+    batch's highest request priority, ``deadline_s`` its tightest absolute
+    deadline, ``enqueued_at`` its oldest request's submission instant (the
+    aging clock), and ``seq`` the global formation order that keeps
+    same-model batches FIFO and breaks ties deterministically.
+    """
+
+    seq: int
+    requests: list[InferenceRequest]
+    samples: int
+    priority: int
+    deadline_s: float | None
+    enqueued_at: float
+
+    @classmethod
+    def from_requests(
+        cls, seq: int, requests: list[InferenceRequest]
+    ) -> "_DispatchedBatch":
+        deadlines = [r.deadline_s for r in requests if r.deadline_s is not None]
+        return cls(
+            seq=seq,
+            requests=requests,
+            samples=sum(r.n_samples for r in requests),
+            priority=max(r.priority for r in requests),
+            deadline_s=min(deadlines) if deadlines else None,
+            enqueued_at=min(r.enqueued_at for r in requests),
+        )
+
+
 class InferenceServer:
     """Dynamic micro-batching server over a model registry.
 
@@ -88,18 +141,21 @@ class InferenceServer:
     registry:
         The hosted models.  Models may be registered while the server runs.
     policy:
-        Batch-size / latency-budget knobs of the scheduler.
+        Batch-size / latency-budget knobs of the scheduler (including the
+        anti-starvation aging limit used by both batch formation and worker
+        dispatch).
     max_workers:
         Worker threads executing coalesced batches; batches of different
         models run concurrently, batches of one model always serialise.
     telemetry:
         Optional :class:`~repro.telemetry.TelemetryCollector`.  When set, the
         server records a :class:`~repro.telemetry.RequestTrace` per completed
-        request (queue wait, batch size, engine wall time, modeled energy and
-        latency from the model's cost tables) plus one engine-run record per
-        coalesced batch, and the scheduler's deadline slack uses the
-        collector's calibrated latency predictions.  Cost models registered
-        on the :class:`~repro.serve.registry.ModelRegistry` (via its ``arch``
+        request (queue wait, batch size, engine wall time, modeled energy --
+        total and per-component -- and latency from the model's cost tables)
+        plus one engine-run record per coalesced batch, and the scheduler's
+        deadline slack uses the collector's calibrated latency predictions.
+        Cost models registered on the
+        :class:`~repro.serve.registry.ModelRegistry` (via its ``arch``
         parameter) are attached to the collector automatically.
     slo_scheduling:
         Whether pending priorities/deadlines reorder dispatch (SLO-aware
@@ -107,6 +163,13 @@ class InferenceServer:
         SLO hints, preserving FIFO behaviour exactly.  ``False`` forces pure
         FIFO-by-age even for SLO-tagged requests (the baseline the telemetry
         benchmarks compare against).
+    admission:
+        Optional :class:`~repro.serve.admission.AdmissionController`.  When
+        set, every submit is screened against queue-depth/inflight-cost caps,
+        the overload state machine, and the unmeetable-deadline test; shed
+        requests are rejected in microseconds without enqueueing anything.
+        Without one, every valid request is admitted (the pre-admission
+        behaviour) and decisions report no queue evidence.
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`.  Requests
     may be submitted before :meth:`start`; they dispatch once the scheduler
@@ -120,6 +183,7 @@ class InferenceServer:
         max_workers: int = 2,
         telemetry: TelemetryCollector | None = None,
         slo_scheduling: bool = True,
+        admission: AdmissionController | None = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be positive")
@@ -128,6 +192,7 @@ class InferenceServer:
         self.max_workers = max_workers
         self.telemetry = telemetry
         self.slo_scheduling = slo_scheduling
+        self.admission = admission
         self._request_ids = itertools.count()
         # Model names whose cost model was already wired into the collector,
         # so submit() pays the lookup once per model, not per request.  The
@@ -140,10 +205,15 @@ class InferenceServer:
         self._stats = ServerStatistics()
         self._stats_lock = threading.Lock()
         self._executor_locks: dict[int, threading.Lock] = {}
-        # Per-model FIFO dispatch queues; a model is "active" while one
-        # worker drains its queue, which keeps same-model batches in order.
-        self._dispatch: dict[str, deque[list[InferenceRequest]]] = {}
+        # Per-model FIFO queues of formed batches.  Workers pop the globally
+        # most urgent head batch of any model that is not already being
+        # drained; _dispatched_samples counts samples formed-but-unfinished
+        # (including the batch currently executing), which admission control
+        # adds to the request queue's depth to see the whole backlog.
+        self._dispatch: dict[str, deque[_DispatchedBatch]] = {}
         self._active_models: set[str] = set()
+        self._dispatched_samples: dict[str, int] = {}
+        self._dispatch_seq = itertools.count()
         self._dispatch_guard = threading.Lock()
         self._scheduler: threading.Thread | None = None
         self._workers: ThreadPoolExecutor | None = None
@@ -197,8 +267,8 @@ class InferenceServer:
         inputs: np.ndarray,
         priority: int = 0,
         deadline_s: float | None = None,
-    ) -> InferenceFuture:
-        """Enqueue a request and return its future.
+    ) -> AdmissionDecision:
+        """Screen, enqueue (unless shed) and return the admission decision.
 
         ``inputs`` must carry a leading batch dimension:
         ``(n_samples, *model.input_shape)``.  Validation happens here so bad
@@ -207,8 +277,14 @@ class InferenceServer:
         ``priority`` (higher dispatches first) and ``deadline_s`` (seconds
         from now after which the result stops being useful) opt the request
         into SLO-aware scheduling; omitting both keeps the classic FIFO
-        behaviour.  Deadlines are best-effort -- a late request still
-        completes, and the miss is recorded in the telemetry collector.
+        behaviour.  Deadlines are best-effort -- a late *admitted* request
+        still completes, and the miss is recorded in the telemetry collector.
+
+        The returned :class:`~repro.serve.admission.AdmissionDecision` is
+        also the result handle (``decision.result()`` /``decision.done()``
+        forward to the underlying future); a shed decision has no future and
+        raises :class:`~repro.serve.admission.RequestShedError` on
+        :meth:`~repro.serve.admission.AdmissionDecision.result`.
         """
         model = self.registry.model(model_name)  # raises KeyError if unknown
         batch = np.asarray(inputs, dtype=np.float64)
@@ -224,30 +300,19 @@ class InferenceServer:
             )
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError("deadline_s must be positive (seconds from now)")
-        if self.telemetry is not None:
-            # Read the generation BEFORE fetching tables: if the registry
-            # changes concurrently (re-registration between fetch and
-            # attach), the stored generation is already behind the live one,
-            # so the next submit invalidates the cache and re-wires -- a
-            # race mis-attributes at most the in-flight request, never
-            # subsequent ones.
-            generation = self.registry.generation
-            if generation != self._wired_generation:
-                self._wired_cost_models.clear()
-                self._wired_generation = generation
-            if model_name not in self._wired_cost_models:
-                cost_model = self.registry.cost_model(model_name)
-                if cost_model is not None:
-                    # The registry's tables win: after a re-registration the
-                    # collector may still hold the previous tenant's.
-                    self.telemetry.attach_cost_model(model_name, cost_model)
-                    self._wired_cost_models.add(model_name)
-                elif self.telemetry.cost_model(model_name) is not None:
-                    # Tables attached to the collector directly (no registry
-                    # arch): keep them.
-                    self._wired_cost_models.add(model_name)
-                # Absence is not cached: re-registering the model with an
-                # architecture later must still wire its cost tables.
+        self._wire_cost_model(model_name)
+        request_id = next(self._request_ids)
+        decision = self._admission_decision(
+            request_id, model_name, batch.shape[0], priority, deadline_s
+        )
+        if decision.status == DOWNGRADED:
+            priority, deadline_s = 0, None
+        if self.telemetry is not None and self.admission is not None:
+            self.telemetry.record_admission(decision)
+        if not decision.accepted:
+            with self._stats_lock:
+                self._stats.requests_shed += 1
+            return decision
         now = time.monotonic()
         future = InferenceFuture()
         request = InferenceRequest(
@@ -257,12 +322,86 @@ class InferenceServer:
             enqueued_at=now,
             priority=priority,
             deadline_s=None if deadline_s is None else now + deadline_s,
-            request_id=next(self._request_ids),
+            request_id=request_id,
         )
+        decision.future = future
         self._queue.submit(request)
         with self._stats_lock:
             self._stats.requests_submitted += 1
-        return future
+            if decision.status == DOWNGRADED:
+                self._stats.requests_downgraded += 1
+        return decision
+
+    def _admission_decision(
+        self,
+        request_id: int,
+        model_name: str,
+        n_samples: int,
+        priority: int,
+        deadline_s: float | None,
+    ) -> AdmissionDecision:
+        """Run the admission controller (or accept trivially without one)."""
+        if self.admission is None:
+            return AdmissionDecision(
+                status=ACCEPTED,
+                request_id=request_id,
+                model_name=model_name,
+                tenant=model_name,
+                reason="admission control disabled",
+                overload_state=OverloadState.ACCEPTING,
+            )
+        tenants = self.registry.tenants()
+        predictor = (
+            self.telemetry.predicted_batch_latency_s if self.telemetry else None
+        )
+        return self.admission.decide(
+            request_id=request_id,
+            model_name=model_name,
+            tenant=tenants.get(model_name, model_name),
+            n_samples=n_samples,
+            priority=priority,
+            deadline_s=deadline_s,
+            backlog_samples=self._backlog_by_model(),
+            tenants=tenants,
+            predictor=predictor,
+        )
+
+    def _backlog_by_model(self) -> dict[str, int]:
+        """Queued plus dispatched-but-unfinished samples per model."""
+        backlog = self._queue.queued_samples_by_model()
+        with self._dispatch_guard:
+            for name, samples in self._dispatched_samples.items():
+                if samples:
+                    backlog[name] = backlog.get(name, 0) + samples
+        return backlog
+
+    def _wire_cost_model(self, model_name: str) -> None:
+        """Attach the registry's cost tables to the collector, once per model."""
+        if self.telemetry is None:
+            return
+        # Read the generation BEFORE fetching tables: if the registry
+        # changes concurrently (re-registration between fetch and
+        # attach), the stored generation is already behind the live one,
+        # so the next submit invalidates the cache and re-wires -- a
+        # race mis-attributes at most the in-flight request, never
+        # subsequent ones.
+        generation = self.registry.generation
+        if generation != self._wired_generation:
+            self._wired_cost_models.clear()
+            self._wired_generation = generation
+        if model_name not in self._wired_cost_models:
+            cost_model = self.registry.cost_model(model_name)
+            if cost_model is not None:
+                # The registry's tables win: after a re-registration the
+                # collector may still hold the previous tenant's.
+                self.telemetry.attach_cost_model(model_name, cost_model)
+                self._wired_cost_models.add(model_name)
+            elif self.telemetry.cost_model(model_name) is not None:
+                # Tables attached to the collector directly (no registry
+                # arch): keep them.
+                self._wired_cost_models.add(model_name)
+            # Absence is not cached: re-registering the model with an
+            # architecture later must still wire its cost tables.
 
     def infer(
         self,
@@ -272,26 +411,32 @@ class InferenceServer:
         priority: int = 0,
         deadline_s: float | None = None,
     ) -> np.ndarray:
-        """Synchronous convenience wrapper: submit and wait for the result."""
-        future = self.submit(
+        """Synchronous convenience wrapper: submit and wait for the result.
+
+        Raises :class:`~repro.serve.admission.RequestShedError` when the
+        admission controller sheds the request.
+        """
+        decision = self.submit(
             model_name, inputs, priority=priority, deadline_s=deadline_s
         )
-        return future.result(timeout)
+        return decision.result(timeout)
 
     def statistics(self) -> ServerStatistics:
         """A consistent snapshot of the serving counters."""
         with self._stats_lock:
-            snapshot = ServerStatistics(**{
-                name: value
-                for name, value in vars(self._stats).items()
-                if name != "batches_per_model"
-            })
+            snapshot = ServerStatistics(
+                **{
+                    name: value
+                    for name, value in vars(self._stats).items()
+                    if name != "batches_per_model"
+                }
+            )
             snapshot.batches_per_model = dict(self._stats.batches_per_model)
             return snapshot
 
     @property
     def pending_requests(self) -> int:
-        """Requests currently queued (not yet dispatched)."""
+        """Requests currently queued (not yet formed into batches)."""
         return len(self._queue)
 
     # -- scheduler / workers ---------------------------------------------------
@@ -326,24 +471,72 @@ class InferenceServer:
             if batch is None:
                 return
             name = batch[0].model_name
+            entry = _DispatchedBatch.from_requests(next(self._dispatch_seq), batch)
             with self._dispatch_guard:
-                self._dispatch.setdefault(name, deque()).append(batch)
-                spawn_worker = name not in self._active_models
-                if spawn_worker:
-                    self._active_models.add(name)
-            if spawn_worker:
-                self._workers.submit(self._drain_model, name)
+                self._dispatch.setdefault(name, deque()).append(entry)
+                self._dispatched_samples[name] = (
+                    self._dispatched_samples.get(name, 0) + entry.samples
+                )
+            # One worker task per formed batch: each task executes zero or
+            # more batches (whatever is most urgent when it gets a thread)
+            # and exits when nothing is selectable, so batches can never
+            # outnumber the tasks that will look for them.
+            self._workers.submit(self._dispatch_worker)
 
-    def _drain_model(self, name: str) -> None:
-        """Execute one model's dispatched batches in FIFO order."""
+    def _select_model_locked(self, now: float) -> str | None:
+        """The most urgent head batch across models not already draining.
+
+        Urgency order: highest priority class first -- where a batch older
+        than :attr:`BatchingPolicy.starvation_limit_s` is promoted into the
+        top pending class (the aging rule; best-effort batches cannot starve
+        behind a saturated high-priority stream) -- then earliest deadline
+        (EDF; deadline-free batches rank last), then formation order.  Only
+        head batches compete, and a model being drained by another worker is
+        skipped -- same-model batches must retire in formation order.  With
+        ``slo_scheduling=False`` (the benchmarks' FIFO baseline) dispatch is
+        strictly formation-ordered, mirroring the queue's FIFO mode.
+        """
+        heads = [
+            (name, pending[0])
+            for name, pending in self._dispatch.items()
+            if pending and name not in self._active_models
+        ]
+        if not heads:
+            return None
+        if not self.slo_scheduling:
+            return min(heads, key=lambda item: item[1].seq)[0]
+        top_priority = max(head.priority for _, head in heads)
+        best_name, best_key = None, None
+        for name, head in heads:
+            starved = now - head.enqueued_at > self.policy.starvation_limit_s
+            priority = top_priority if starved else head.priority
+            deadline = math.inf if head.deadline_s is None else head.deadline_s
+            key = (-priority, deadline, head.seq)
+            if best_key is None or key < best_key:
+                best_key, best_name = key, name
+        return best_name
+
+    def _dispatch_worker(self) -> None:
+        """Execute globally-most-urgent batches until none is selectable."""
         while True:
             with self._dispatch_guard:
-                pending = self._dispatch.get(name)
-                if not pending:
-                    self._active_models.discard(name)
+                name = self._select_model_locked(time.monotonic())
+                if name is None:
                     return
-                batch = pending.popleft()
-            self._execute_batch(batch)
+                self._active_models.add(name)
+                entry = self._dispatch[name].popleft()
+            try:
+                self._execute_batch(entry.requests)
+            finally:
+                with self._dispatch_guard:
+                    self._active_models.discard(name)
+                    remaining = self._dispatched_samples.get(name, 0) - entry.samples
+                    if remaining > 0:
+                        self._dispatched_samples[name] = remaining
+                    else:
+                        self._dispatched_samples.pop(name, None)
+                    if not self._dispatch.get(name):
+                        self._dispatch.pop(name, None)
 
     def _execute_batch(self, batch: list[InferenceRequest]) -> None:
         name = batch[0].model_name
@@ -421,6 +614,11 @@ class InferenceServer:
                     engine_time_s=engine_time,
                     modeled_energy_pj=(
                         None if cost is None else cost.energy_pj(request.n_samples)
+                    ),
+                    modeled_energy_components_pj=(
+                        None
+                        if cost is None
+                        else cost.energy_split_pj(request.n_samples)
                     ),
                     modeled_latency_us=(
                         None

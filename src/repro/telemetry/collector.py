@@ -45,10 +45,14 @@ class RequestTrace:
     time of the *whole coalesced batch* the request rode in (use
     :attr:`engine_share_s` for a per-request attribution).
     ``modeled_energy_pj`` is the accelerator energy of the request's own
-    samples; ``modeled_latency_us`` is the request's sample-weighted share of
-    its batch's modeled latency (the pipeline fill is paid once per batch, so
-    per-request shares sum to the batch total).  Modeled fields are ``None``
-    when the request's model has no attached cost model.
+    samples, and ``modeled_energy_components_pj`` its DAC/ADC/crossbar/digital
+    split (:meth:`CostModel.energy_split_pj
+    <repro.telemetry.cost.CostModel.energy_split_pj>`; the buckets sum back
+    to the total to float round-off).  ``modeled_latency_us`` is the
+    request's sample-weighted share of its batch's modeled latency (the
+    pipeline fill is paid once per batch, so per-request shares sum to the
+    batch total).  Modeled fields are ``None`` when the request's model has
+    no attached cost model.
     """
 
     request_id: int
@@ -63,6 +67,7 @@ class RequestTrace:
     engine_time_s: float
     modeled_energy_pj: float | None = None
     modeled_latency_us: float | None = None
+    modeled_energy_components_pj: dict[str, float] | None = None
 
     @property
     def queue_wait_s(self) -> float:
@@ -100,6 +105,7 @@ class RequestTrace:
             "engine_time_s": self.engine_time_s,
             "engine_share_s": self.engine_share_s,
             "modeled_energy_pj": self.modeled_energy_pj,
+            "modeled_energy_components_pj": self.modeled_energy_components_pj,
             "modeled_latency_us": self.modeled_latency_us,
             "deadline_missed": self.deadline_missed,
         }
@@ -107,7 +113,13 @@ class RequestTrace:
 
 @dataclass
 class ModelAggregate:
-    """Rolling per-model (= per-tenant) serving totals."""
+    """Rolling per-model (= per-tenant) serving totals.
+
+    ``admitted_requests`` / ``downgraded_requests`` / ``shed_requests`` count
+    admission-control outcomes (recorded at *submit* time, so they lead the
+    completion counters); ``modeled_energy_components_pj`` accumulates the
+    per-request DAC/ADC/crossbar/digital attribution.
+    """
 
     model_name: str
     requests: int = 0
@@ -116,12 +128,16 @@ class ModelAggregate:
     engine_share_s: float = 0.0
     modeled_energy_pj: float = 0.0
     modeled_latency_us: float = 0.0
+    modeled_energy_components_pj: dict[str, float] = field(default_factory=dict)
     max_batch_size: int = 0
     deadline_requests: int = 0
     deadline_misses: int = 0
     engine_runs: int = 0
     engine_run_samples: int = 0
     engine_run_s: float = 0.0
+    admitted_requests: int = 0
+    downgraded_requests: int = 0
+    shed_requests: int = 0
 
     @property
     def mean_queue_wait_s(self) -> float:
@@ -151,6 +167,7 @@ class ModelAggregate:
             "engine_share_s": self.engine_share_s,
             "modeled_energy_pj": self.modeled_energy_pj,
             "modeled_energy_uj": self.modeled_energy_uj,
+            "modeled_energy_components_pj": dict(self.modeled_energy_components_pj),
             "modeled_latency_us": self.modeled_latency_us,
             "max_batch_size": self.max_batch_size,
             "deadline_requests": self.deadline_requests,
@@ -159,6 +176,9 @@ class ModelAggregate:
             "engine_runs": self.engine_runs,
             "engine_run_samples": self.engine_run_samples,
             "engine_run_s": self.engine_run_s,
+            "admitted_requests": self.admitted_requests,
+            "downgraded_requests": self.downgraded_requests,
+            "shed_requests": self.shed_requests,
         }
 
 
@@ -167,16 +187,48 @@ _PROMETHEUS_GAUGES = (
     ("requests_total", "Completed requests per model.", "requests"),
     ("samples_total", "Input samples served per model.", "samples"),
     ("queue_wait_seconds_total", "Cumulative co-batching wait.", "queue_wait_s"),
-    ("engine_seconds_total", "Cumulative attributed engine wall time.",
-     "engine_share_s"),
-    ("modeled_energy_picojoules_total",
-     "Cumulative modeled accelerator energy.", "modeled_energy_pj"),
-    ("deadline_requests_total", "Requests that carried a deadline.",
-     "deadline_requests"),
-    ("deadline_misses_total", "Requests completed after their deadline.",
-     "deadline_misses"),
+    (
+        "engine_seconds_total",
+        "Cumulative attributed engine wall time.",
+        "engine_share_s",
+    ),
+    (
+        "modeled_energy_picojoules_total",
+        "Cumulative modeled accelerator energy.",
+        "modeled_energy_pj",
+    ),
+    (
+        "deadline_requests_total",
+        "Requests that carried a deadline.",
+        "deadline_requests",
+    ),
+    (
+        "deadline_misses_total",
+        "Requests completed after their deadline.",
+        "deadline_misses",
+    ),
     ("engine_runs_total", "Engine batch executions observed.", "engine_runs"),
+    (
+        "admission_admitted_total",
+        "Requests admitted by admission control.",
+        "admitted_requests",
+    ),
+    (
+        "admission_downgraded_total",
+        "Requests downgraded to best-effort at admission.",
+        "downgraded_requests",
+    ),
+    ("admission_shed_total", "Requests shed by admission control.", "shed_requests"),
 )
+
+#: Overload state string -> numeric gauge level for the Prometheus export.
+#: Mirrors OverloadState.severity in repro.serve.admission (the serve layer
+#: imports telemetry, so telemetry cannot import the enum back).
+_OVERLOAD_SEVERITY = {
+    "accepting": 0,
+    "shed_best_effort": 1,
+    "shed_all_but_top": 2,
+}
 
 
 class TelemetryCollector:
@@ -196,6 +248,9 @@ class TelemetryCollector:
         self._aggregates: dict[str, ModelAggregate] = {}
         self._cost_models: dict[str, CostModel] = {}
         self._wall_per_modeled: dict[str, float] = {}
+        # Latest admission-control overload state string (None until a
+        # decision is recorded); see repro.serve.admission.OverloadState.
+        self._overload_state: str | None = None
         self._lock = threading.Lock()
 
     # -- cost-model wiring -----------------------------------------------------
@@ -244,16 +299,42 @@ class TelemetryCollector:
             aggregate.samples += trace.n_samples
             aggregate.queue_wait_s += trace.queue_wait_s
             aggregate.engine_share_s += trace.engine_share_s
-            aggregate.max_batch_size = max(
-                aggregate.max_batch_size, trace.batch_size
-            )
+            aggregate.max_batch_size = max(aggregate.max_batch_size, trace.batch_size)
             if trace.modeled_energy_pj is not None:
                 aggregate.modeled_energy_pj += trace.modeled_energy_pj
+            if trace.modeled_energy_components_pj is not None:
+                components = aggregate.modeled_energy_components_pj
+                for key, value in trace.modeled_energy_components_pj.items():
+                    components[key] = components.get(key, 0.0) + value
             if trace.modeled_latency_us is not None:
                 aggregate.modeled_latency_us += trace.modeled_latency_us
             if trace.deadline_s is not None:
                 aggregate.deadline_requests += 1
                 aggregate.deadline_misses += int(trace.deadline_missed)
+
+    def record_admission(self, decision) -> None:
+        """Record one admission-control outcome (accepted/downgraded/shed).
+
+        ``decision`` is an :class:`~repro.serve.admission.AdmissionDecision`
+        (duck-typed here -- the serve layer imports telemetry, not the other
+        way around): its status feeds the per-model admission counters and
+        its overload state becomes the exported overload gauge.
+        """
+        with self._lock:
+            aggregate = self._aggregate_locked(decision.model_name)
+            if decision.status == "shed":
+                aggregate.shed_requests += 1
+            elif decision.status == "downgraded":
+                aggregate.downgraded_requests += 1
+            else:
+                aggregate.admitted_requests += 1
+            self._overload_state = decision.overload_state.value
+
+    @property
+    def overload_state(self) -> str | None:
+        """Latest recorded overload state (``None`` before any decision)."""
+        with self._lock:
+            return self._overload_state
 
     def record_engine_run(
         self, model_name: str, n_samples: int, elapsed_s: float
@@ -299,25 +380,36 @@ class TelemetryCollector:
                 return list(self._traces)
             return [t for t in self._traces if t.model_name == model_name]
 
+    @staticmethod
+    def _copy_aggregate(aggregate: ModelAggregate) -> ModelAggregate:
+        """An independent snapshot (the component dict must not be shared)."""
+        snapshot = ModelAggregate(**vars(aggregate))
+        snapshot.modeled_energy_components_pj = dict(
+            aggregate.modeled_energy_components_pj
+        )
+        return snapshot
+
     def aggregate(self, model_name: str) -> ModelAggregate:
         """A snapshot of one model's cumulative aggregate."""
         with self._lock:
             aggregate = self._aggregates.get(model_name)
             if aggregate is None:
                 return ModelAggregate(model_name)
-            return ModelAggregate(**vars(aggregate))
+            return self._copy_aggregate(aggregate)
 
     def aggregates(self) -> dict[str, ModelAggregate]:
         """Snapshots of every model's cumulative aggregate."""
         with self._lock:
             return {
-                name: ModelAggregate(**vars(aggregate))
+                name: self._copy_aggregate(aggregate)
                 for name, aggregate in self._aggregates.items()
             }
 
     # -- exports ---------------------------------------------------------------
 
-    def export_json(self, include_traces: bool = True, indent: int | None = None) -> str:
+    def export_json(
+        self, include_traces: bool = True, indent: int | None = None
+    ) -> str:
         """Serialise aggregates (and optionally the trace window) to JSON."""
         with self._lock:
             payload = {
@@ -326,6 +418,8 @@ class TelemetryCollector:
                     for name, aggregate in self._aggregates.items()
                 },
             }
+            if self._overload_state is not None:
+                payload["overload_state"] = self._overload_state
             if include_traces:
                 payload["traces"] = [trace.as_dict() for trace in self._traces]
         return json.dumps(payload, indent=indent)
@@ -333,13 +427,12 @@ class TelemetryCollector:
     @staticmethod
     def _escape_label(value: str) -> str:
         """Escape a label value per the Prometheus exposition format."""
-        return (
-            value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
-        )
+        return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
     def to_prometheus(self, prefix: str = "repro") -> str:
         """Render the aggregates in the Prometheus text exposition format."""
         aggregates = self.aggregates()
+        overload_state = self.overload_state
         lines: list[str] = []
         for suffix, help_text, attribute in _PROMETHEUS_GAUGES:
             metric = f"{prefix}_{suffix}"
@@ -349,6 +442,28 @@ class TelemetryCollector:
                 value = getattr(aggregates[name], attribute)
                 label = self._escape_label(name)
                 lines.append(f'{metric}{{model="{label}"}} {value}')
+        metric = f"{prefix}_modeled_energy_component_picojoules_total"
+        lines.append(
+            f"# HELP {metric} Cumulative modeled energy per hardware component."
+        )
+        lines.append(f"# TYPE {metric} counter")
+        for name in sorted(aggregates):
+            label = self._escape_label(name)
+            components = aggregates[name].modeled_energy_components_pj
+            for component in sorted(components):
+                value = components[component]
+                lines.append(
+                    f'{metric}{{model="{label}",component="{component}"}} {value}'
+                )
+        if overload_state is not None:
+            metric = f"{prefix}_overload_state"
+            level = _OVERLOAD_SEVERITY.get(overload_state, -1)
+            lines.append(
+                f"# HELP {metric} Admission overload state "
+                "(0 accepting, 1 shedding best-effort, 2 shedding all but top)."
+            )
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {level}")
         return "\n".join(lines) + "\n"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

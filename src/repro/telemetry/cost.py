@@ -102,9 +102,7 @@ def shapes_from_model(model: QuantizedModel) -> ModelShapes:
                 )
             )
         else:  # pragma: no cover - MatmulLayer has exactly these subclasses
-            raise TypeError(
-                f"cannot derive a LayerShape for {type(layer).__name__!r}"
-            )
+            raise TypeError(f"cannot derive a LayerShape for {type(layer).__name__!r}")
     return ModelShapes(model.name, tuple(layers), signed_input=model.signed_input)
 
 
@@ -169,6 +167,16 @@ class CostModel:
         self._energy_per_sample_pj = float(
             sum(cost.energy_pj for cost in self.layer_costs)
         )
+        # Per-sample DAC/ADC/crossbar/digital attribution: the analog front
+        # end keeps its own buckets and "digital" is defined as the exact
+        # remainder, so the four values reconcile with energy_pj() to float
+        # round-off no matter how the per-layer sums associated.
+        components = self.energy_breakdown().components_pj
+        analog = {key: float(components[key]) for key in ("adc", "dac", "crossbar")}
+        self._energy_split_per_sample_pj = {
+            **analog,
+            "digital": self._energy_per_sample_pj - sum(analog.values()),
+        }
 
     # -- construction ---------------------------------------------------------
 
@@ -217,6 +225,22 @@ class CostModel:
         for cost in self.layer_costs:
             total.add(cost.energy)
         return total
+
+    def energy_split_pj(self, n_samples: int = 1) -> dict[str, float]:
+        """Per-component energy attribution for ``n_samples`` inputs (pJ).
+
+        The four buckets are the paper's analog front end -- ``"dac"``,
+        ``"adc"``, ``"crossbar"`` -- plus ``"digital"`` for everything else
+        (shift+add, center processing, buffers, eDRAM, router,
+        quantization).  ``"digital"`` is computed as the remainder against
+        :meth:`energy_pj`, so the buckets sum to the request's existing
+        modeled total to float round-off; request traces carry this split so
+        per-tenant accounting can answer *where* the energy went.
+        """
+        return {
+            key: value * n_samples
+            for key, value in self._energy_split_per_sample_pj.items()
+        }
 
     @property
     def single_sample_latency_us(self) -> float:

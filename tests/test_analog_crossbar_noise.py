@@ -18,8 +18,12 @@ class TestReRAMDevice:
         assert all(b > a for a, b in zip(conductances, conductances[1:]))
 
     def test_conductance_bounds(self):
-        assert DEFAULT_RERAM.conductance_for_level(0) == pytest.approx(DEFAULT_RERAM.g_off_s)
-        assert DEFAULT_RERAM.conductance_for_level(15) == pytest.approx(DEFAULT_RERAM.g_on_s)
+        assert DEFAULT_RERAM.conductance_for_level(0) == pytest.approx(
+            DEFAULT_RERAM.g_off_s
+        )
+        assert DEFAULT_RERAM.conductance_for_level(15) == pytest.approx(
+            DEFAULT_RERAM.g_on_s
+        )
 
     def test_rejects_out_of_range_level(self):
         with pytest.raises(ValueError):
@@ -63,8 +67,12 @@ class TestNoiseModels:
         assert abs(samples.mean() - 400.0) < 0.5
 
     def test_reproducible_with_seed(self):
-        a = GaussianColumnNoise(level=0.1, seed=7).apply(np.full(10, 100.0), np.zeros(10))
-        b = GaussianColumnNoise(level=0.1, seed=7).apply(np.full(10, 100.0), np.zeros(10))
+        a = GaussianColumnNoise(level=0.1, seed=7).apply(
+            np.full(10, 100.0), np.zeros(10)
+        )
+        b = GaussianColumnNoise(level=0.1, seed=7).apply(
+            np.full(10, 100.0), np.zeros(10)
+        )
         assert np.array_equal(a, b)
 
     def test_reseed_changes_draws(self):
@@ -82,7 +90,8 @@ class TestNoiseModels:
 class TestCrossbar:
     def _programmed(self, rows=8, cols=4, signed=True):
         config = CrossbarConfig(
-            rows=16, cols=8,
+            rows=16,
+            cols=8,
             cell_type=CellType.TWO_T_TWO_R if signed else CellType.ONE_T_ONE_R,
         )
         crossbar = Crossbar(config=config)
@@ -129,7 +138,9 @@ class TestCrossbar:
             crossbar.program(np.full((2, 2), 99))
 
     def test_1t1r_rejects_negative_slices(self):
-        crossbar = Crossbar(CrossbarConfig(rows=4, cols=4, cell_type=CellType.ONE_T_ONE_R))
+        crossbar = Crossbar(
+            CrossbarConfig(rows=4, cols=4, cell_type=CellType.ONE_T_ONE_R)
+        )
         with pytest.raises(ValueError):
             crossbar.program(np.ones((2, 2), dtype=int), np.ones((2, 2), dtype=int))
 

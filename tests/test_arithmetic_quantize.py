@@ -37,7 +37,9 @@ class TestQuantizationParams:
             QuantizationParams(scale=np.ones(3), zero_point=np.zeros(2, dtype=int))
 
     def test_per_channel_flag(self):
-        assert QuantizationParams(scale=np.ones(4), zero_point=np.zeros(4, int)).per_channel
+        assert QuantizationParams(
+            scale=np.ones(4), zero_point=np.zeros(4, int)
+        ).per_channel
         assert not QuantizationParams(scale=1.0, zero_point=0).per_channel
 
 
@@ -129,21 +131,22 @@ class TestRequantizePsums:
         assert out[0, 0] == 0 and out[0, 1] == 10
 
     def test_without_relu_clips_at_zero_for_unsigned(self):
-        out = requantize_psums(
-            np.array([[-100.0]]), output_scale=0.1, fuse_relu=False
-        )
+        out = requantize_psums(np.array([[-100.0]]), output_scale=0.1, fuse_relu=False)
         assert out[0, 0] == 0
 
     def test_signed_output_range(self):
         out = requantize_psums(
-            np.array([[-10000.0, 10000.0]]), output_scale=0.1,
-            fuse_relu=False, signed_output=True,
+            np.array([[-10000.0, 10000.0]]),
+            output_scale=0.1,
+            fuse_relu=False,
+            signed_output=True,
         )
         assert out[0, 0] == -128 and out[0, 1] == 127
 
     def test_bias_applied(self):
-        out = requantize_psums(np.array([[0.0]]), output_scale=1.0,
-                               output_bias=np.array([5.0]))
+        out = requantize_psums(
+            np.array([[0.0]]), output_scale=1.0, output_bias=np.array([5.0])
+        )
         assert out[0, 0] == 5
 
     def test_per_channel_scale(self):
@@ -162,8 +165,10 @@ class TestRequantizePsums:
 
 
 class TestQuantizationProperties:
-    @given(st.floats(min_value=0.01, max_value=10.0),
-           st.integers(min_value=0, max_value=255))
+    @given(
+        st.floats(min_value=0.01, max_value=10.0),
+        st.integers(min_value=0, max_value=255),
+    )
     @settings(max_examples=50, deadline=None)
     def test_dequantize_quantize_identity_on_codes(self, scale, zero_point):
         params = QuantizationParams(scale=scale, zero_point=zero_point)

@@ -28,7 +28,9 @@ class TestIsaacBaseline:
         assert lossless.adc_bits > hard.adc_bits
         assert hard.adc_bits == 8
 
-    def test_functional_config_is_exact_without_noise(self, tiny_linear_layer, tiny_patches):
+    def test_functional_config_is_exact_without_noise(
+        self, tiny_linear_layer, tiny_patches
+    ):
         executor = PimLayerExecutor(tiny_linear_layer, IsaacBaseline().pim_config())
         assert np.allclose(
             executor.matmul(tiny_patches), tiny_patches @ tiny_linear_layer.weight_codes
@@ -72,7 +74,9 @@ class TestTimelyBaseline:
 
     def test_energy_positive_and_cheaper_than_isaac(self):
         shapes = model_shapes("resnet18")
-        assert 0 < TimelyBaseline().energy(shapes).total_uj < IsaacBaseline().energy(shapes).total_uj
+        assert 0 < TimelyBaseline().energy(shapes).total_uj < IsaacBaseline().energy(
+            shapes
+        ).total_uj
 
 
 class TestZeroOffsetBaseline:

@@ -14,7 +14,6 @@ from repro.core.adaptive_slicing import (
 )
 from repro.core.center_offset import WeightEncoding
 from repro.core.compiler import RaellaCompiler, RaellaCompilerConfig
-from repro.core.dynamic_input import SpeculationMode
 from repro.core.executor import PimLayerConfig
 from repro.hw.architecture import RAELLA_ARCH
 
@@ -57,14 +56,19 @@ class TestErrorMeasurement:
         assert error == 0.0
 
     def test_error_grows_as_adc_narrows(self, tiny_linear_layer, tiny_patches):
-        wide = layer_output_error(tiny_linear_layer, tiny_patches, PimLayerConfig(adc_bits=9))
-        narrow = layer_output_error(tiny_linear_layer, tiny_patches, PimLayerConfig(adc_bits=4))
+        wide = layer_output_error(
+            tiny_linear_layer, tiny_patches, PimLayerConfig(adc_bits=9)
+        )
+        narrow = layer_output_error(
+            tiny_linear_layer, tiny_patches, PimLayerConfig(adc_bits=4)
+        )
         assert narrow >= wide
 
 
 class TestChooseWeightSlicing:
-    def test_picks_fewest_slices_under_budget(self, tiny_linear_layer, tiny_patches,
-                                              fast_adaptive_config):
+    def test_picks_fewest_slices_under_budget(
+        self, tiny_linear_layer, tiny_patches, fast_adaptive_config
+    ):
         choice = choose_weight_slicing(
             tiny_linear_layer, tiny_patches, config=fast_adaptive_config
         )
@@ -72,10 +76,13 @@ class TestChooseWeightSlicing:
         # A 24-row filter never saturates a 7b ADC, so the densest slicing wins.
         assert choice.slicing == Slicing((4, 4))
 
-    def test_last_layer_is_conservative(self, tiny_linear_layer, tiny_patches,
-                                        fast_adaptive_config):
+    def test_last_layer_is_conservative(
+        self, tiny_linear_layer, tiny_patches, fast_adaptive_config
+    ):
         choice = choose_weight_slicing(
-            tiny_linear_layer, tiny_patches, config=fast_adaptive_config,
+            tiny_linear_layer,
+            tiny_patches,
+            config=fast_adaptive_config,
             is_last_layer=True,
         )
         assert choice.slicing == Slicing((1,) * 8)
@@ -90,10 +97,14 @@ class TestChooseWeightSlicing:
         layer.calibrate(inputs, layer.forward_float(inputs))
         patches = layer.input_quant.quantize(inputs)
         loose = choose_weight_slicing(
-            layer, patches, AdaptiveSlicingConfig(error_budget=10.0, max_test_patches=24)
+            layer,
+            patches,
+            AdaptiveSlicingConfig(error_budget=10.0, max_test_patches=24),
         )
         tight = choose_weight_slicing(
-            layer, patches, AdaptiveSlicingConfig(error_budget=0.02, max_test_patches=24)
+            layer,
+            patches,
+            AdaptiveSlicingConfig(error_budget=0.02, max_test_patches=24),
         )
         assert tight.slicing.n_slices >= loose.slicing.n_slices
 
@@ -115,27 +126,34 @@ class TestChooseWeightSlicing:
 
     def test_exhaustive_and_early_stop_agree(self, tiny_linear_layer, tiny_patches):
         early = choose_weight_slicing(
-            tiny_linear_layer, tiny_patches,
+            tiny_linear_layer,
+            tiny_patches,
             AdaptiveSlicingConfig(max_test_patches=32, group_early_stop=True),
         )
         full = choose_weight_slicing(
-            tiny_linear_layer, tiny_patches,
+            tiny_linear_layer,
+            tiny_patches,
             AdaptiveSlicingConfig(max_test_patches=32, group_early_stop=False),
         )
         assert early.slicing.n_slices == full.slicing.n_slices
 
 
 class TestCompiler:
-    def test_compile_produces_executor_per_layer(self, tiny_mlp_model, fast_compiler_config):
+    def test_compile_produces_executor_per_layer(
+        self, tiny_mlp_model, fast_compiler_config
+    ):
         program = RaellaCompiler(fast_compiler_config).compile(tiny_mlp_model)
         assert set(program.layers) == {"fc1", "fc2"}
 
-    def test_last_layer_uses_conservative_slicing(self, tiny_mlp_model, fast_compiler_config):
+    def test_last_layer_uses_conservative_slicing(
+        self, tiny_mlp_model, fast_compiler_config
+    ):
         program = RaellaCompiler(fast_compiler_config).compile(tiny_mlp_model)
         assert program.layers["fc2"].choice.slicing == Slicing((1,) * 8)
 
-    def test_compiled_program_runs_close_to_exact(self, tiny_mlp_model,
-                                                  fast_compiler_config, rng):
+    def test_compiled_program_runs_close_to_exact(
+        self, tiny_mlp_model, fast_compiler_config, rng
+    ):
         program = RaellaCompiler(fast_compiler_config).compile(tiny_mlp_model)
         x = np.abs(rng.normal(0, 1, size=(8, 16)))
         exact_out = tiny_mlp_model.forward_quantized(x)
@@ -160,7 +178,9 @@ class TestCompiler:
         with pytest.raises(ValueError):
             RaellaCompiler().compile(model)
 
-    def test_statistics_aggregation_and_reset(self, tiny_mlp_model, fast_compiler_config, rng):
+    def test_statistics_aggregation_and_reset(
+        self, tiny_mlp_model, fast_compiler_config, rng
+    ):
         program = RaellaCompiler(fast_compiler_config).compile(tiny_mlp_model)
         program.reset_statistics()
         program.run(np.abs(rng.normal(0, 1, size=(4, 16))))
@@ -173,7 +193,9 @@ class TestCompiler:
         program = RaellaCompiler(fast_compiler_config).compile(tiny_mlp_model)
         assert set(program.slicing_summary()) == {"fc1", "fc2"}
 
-    def test_pim_matmul_rejects_unknown_layer(self, tiny_mlp_model, fast_compiler_config, rng):
+    def test_pim_matmul_rejects_unknown_layer(
+        self, tiny_mlp_model, fast_compiler_config, rng
+    ):
         from repro.nn.layers import Linear
         from repro.nn.synthetic import synthetic_linear_weights
 
@@ -189,7 +211,9 @@ class TestCompiler:
         assert config.pim.weight_encoding == WeightEncoding.ZERO_OFFSET
         assert not config.adaptive_slicing_enabled
         program = RaellaCompiler(config).compile(tiny_mlp_model)
-        assert program.layers["fc1"].executor.config.weight_encoding == WeightEncoding.ZERO_OFFSET
+        assert program.layers[
+            "fc1"
+        ].executor.config.weight_encoding == WeightEncoding.ZERO_OFFSET
 
 
 class TestAccelerator:
@@ -202,8 +226,9 @@ class TestAccelerator:
         assert "fc1" in report.per_layer_statistics
         assert isinstance(report.summary(), str)
 
-    def test_statistics_to_energy_components(self, tiny_mlp_model,
-                                             fast_compiler_config, rng):
+    def test_statistics_to_energy_components(
+        self, tiny_mlp_model, fast_compiler_config, rng
+    ):
         program = RaellaCompiler(fast_compiler_config).compile(tiny_mlp_model)
         program.run(np.abs(rng.normal(0, 1, size=(2, 16))))
         stats = program.aggregate_statistics()

@@ -179,7 +179,9 @@ class TestCenterOffsetEncoder:
 
 
 class TestEncodingProperties:
-    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=1, max_value=255))
+    @given(
+        st.integers(min_value=0, max_value=255), st.integers(min_value=1, max_value=255)
+    )
     @settings(max_examples=60, deadline=None)
     def test_offset_identity(self, code, center):
         plus, minus = compute_offsets(np.array([[code]]), np.array([center]))

@@ -119,9 +119,7 @@ class TestExtractInputSlice:
     def test_slices_recombine_to_value(self):
         plan = InputSlicePlan.build(mode=SpeculationMode.BIT_SERIAL)
         values = np.arange(256)
-        total = sum(
-            extract_input_slice(values, p) << p.shift for p in plan.phases
-        )
+        total = sum(extract_input_slice(values, p) << p.shift for p in plan.phases)
         assert np.array_equal(total, values)
 
     def test_speculative_slices_recombine_to_value(self):

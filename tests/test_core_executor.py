@@ -27,9 +27,11 @@ class TestConfigValidation:
 
     def test_unsigned_adc_bounds(self):
         config = PimLayerConfig(
-            adc_signed=False, weight_encoding=WeightEncoding.UNSIGNED,
+            adc_signed=False,
+            weight_encoding=WeightEncoding.UNSIGNED,
             weight_slicing=ISAAC_WEIGHT_SLICING,
-            speculation=SpeculationMode.BIT_SERIAL, adc_bits=8,
+            speculation=SpeculationMode.BIT_SERIAL,
+            adc_bits=8,
         )
         assert config.adc_min == 0 and config.adc_max == 255
 
@@ -59,35 +61,51 @@ class TestExactness:
     """With a wide ADC and no noise, every configuration must be exact."""
 
     def test_bit_serial_center_offset_is_exact(self, tiny_linear_layer, tiny_patches):
-        config = PimLayerConfig(adc_bits=WIDE_ADC, speculation=SpeculationMode.BIT_SERIAL)
+        config = PimLayerConfig(
+            adc_bits=WIDE_ADC, speculation=SpeculationMode.BIT_SERIAL
+        )
         executor = PimLayerExecutor(tiny_linear_layer, config)
-        assert np.allclose(executor.matmul(tiny_patches), exact(tiny_linear_layer, tiny_patches))
+        assert np.allclose(
+            executor.matmul(tiny_patches), exact(tiny_linear_layer, tiny_patches)
+        )
 
     def test_speculative_center_offset_is_exact(self, tiny_linear_layer, tiny_patches):
         config = PimLayerConfig(adc_bits=WIDE_ADC)
         executor = PimLayerExecutor(tiny_linear_layer, config)
-        assert np.allclose(executor.matmul(tiny_patches), exact(tiny_linear_layer, tiny_patches))
+        assert np.allclose(
+            executor.matmul(tiny_patches), exact(tiny_linear_layer, tiny_patches)
+        )
 
     def test_zero_offset_is_exact(self, tiny_linear_layer, tiny_patches):
-        config = PimLayerConfig(adc_bits=WIDE_ADC, weight_encoding=WeightEncoding.ZERO_OFFSET)
+        config = PimLayerConfig(
+            adc_bits=WIDE_ADC, weight_encoding=WeightEncoding.ZERO_OFFSET
+        )
         executor = PimLayerExecutor(tiny_linear_layer, config)
-        assert np.allclose(executor.matmul(tiny_patches), exact(tiny_linear_layer, tiny_patches))
+        assert np.allclose(
+            executor.matmul(tiny_patches), exact(tiny_linear_layer, tiny_patches)
+        )
 
     def test_unsigned_isaac_style_is_exact(self, tiny_linear_layer, tiny_patches):
         config = PimLayerConfig(
-            crossbar_rows=16, adc_bits=WIDE_ADC, adc_signed=False,
+            crossbar_rows=16,
+            adc_bits=WIDE_ADC,
+            adc_signed=False,
             weight_encoding=WeightEncoding.UNSIGNED,
             weight_slicing=ISAAC_WEIGHT_SLICING,
             speculation=SpeculationMode.BIT_SERIAL,
         )
         executor = PimLayerExecutor(tiny_linear_layer, config)
-        assert np.allclose(executor.matmul(tiny_patches), exact(tiny_linear_layer, tiny_patches))
+        assert np.allclose(
+            executor.matmul(tiny_patches), exact(tiny_linear_layer, tiny_patches)
+        )
 
     def test_multiple_row_chunks_are_exact(self, tiny_linear_layer, tiny_patches):
         config = PimLayerConfig(crossbar_rows=7, adc_bits=WIDE_ADC)
         executor = PimLayerExecutor(tiny_linear_layer, config)
         assert executor.n_row_chunks == 4
-        assert np.allclose(executor.matmul(tiny_patches), exact(tiny_linear_layer, tiny_patches))
+        assert np.allclose(
+            executor.matmul(tiny_patches), exact(tiny_linear_layer, tiny_patches)
+        )
 
     def test_every_weight_slicing_is_exact(self, tiny_linear_layer, tiny_patches):
         for widths in [(4, 4), (4, 2, 2), (2, 2, 2, 2), (1,) * 8, (3, 3, 2)]:
@@ -135,9 +153,7 @@ class TestSaturationBehaviour:
         patches = layer.input_quant.quantize(inputs)
 
         def failure_rate(encoding):
-            executor = PimLayerExecutor(
-                layer, PimLayerConfig(weight_encoding=encoding)
-            )
+            executor = PimLayerExecutor(layer, PimLayerConfig(weight_encoding=encoding))
             executor.matmul(patches)
             return executor.stats.speculation_failure_rate
 
@@ -162,18 +178,18 @@ class TestSaturationDetection:
     def test_beyond_rail_sums_are_saturated(self, tiny_linear_layer):
         executor = PimLayerExecutor(tiny_linear_layer, PimLayerConfig())
         config = executor.config
-        sums = np.array(
-            [config.adc_max + 1.0, config.adc_min - 1.0], dtype=np.float64
-        )
+        sums = np.array([config.adc_max + 1.0, config.adc_min - 1.0], dtype=np.float64)
         converted, saturated = executor._convert(sums)
         assert np.array_equal(converted, [config.adc_max, config.adc_min])
         assert saturated.all()
 
     def test_unsigned_adc_rails(self, tiny_linear_layer):
         config = PimLayerConfig(
-            adc_signed=False, weight_encoding=WeightEncoding.UNSIGNED,
+            adc_signed=False,
+            weight_encoding=WeightEncoding.UNSIGNED,
             weight_slicing=ISAAC_WEIGHT_SLICING,
-            speculation=SpeculationMode.BIT_SERIAL, adc_bits=8,
+            speculation=SpeculationMode.BIT_SERIAL,
+            adc_bits=8,
         )
         executor = PimLayerExecutor(tiny_linear_layer, config)
         # At-rail sums convert exactly; overflow and (noise-driven) underflow
@@ -186,8 +202,11 @@ class TestSaturationDetection:
 
 class TestStatistics:
     def test_converts_per_mac_bit_serial(self, tiny_linear_layer, tiny_patches):
-        config = PimLayerConfig(adc_bits=WIDE_ADC, speculation=SpeculationMode.BIT_SERIAL,
-                                weight_slicing=Slicing((4, 2, 2)))
+        config = PimLayerConfig(
+            adc_bits=WIDE_ADC,
+            speculation=SpeculationMode.BIT_SERIAL,
+            weight_slicing=Slicing((4, 2, 2)),
+        )
         executor = PimLayerExecutor(tiny_linear_layer, config)
         executor.matmul(tiny_patches)
         # 8 input slices x 3 weight slices per column / 24 rows.
@@ -302,7 +321,8 @@ class TestStatistics:
 class TestNoiseAndMisc:
     def test_noise_perturbs_results(self, tiny_linear_layer, tiny_patches):
         noisy = PimLayerExecutor(
-            tiny_linear_layer, PimLayerConfig(adc_bits=WIDE_ADC),
+            tiny_linear_layer,
+            PimLayerConfig(adc_bits=WIDE_ADC),
             noise=GaussianColumnNoise(level=0.1, seed=0),
         )
         clean = exact(tiny_linear_layer, tiny_patches)
@@ -311,7 +331,8 @@ class TestNoiseAndMisc:
     def test_noise_error_grows_with_level(self, tiny_linear_layer, tiny_patches):
         def mean_error(level):
             executor = PimLayerExecutor(
-                tiny_linear_layer, PimLayerConfig(adc_bits=WIDE_ADC),
+                tiny_linear_layer,
+                PimLayerConfig(adc_bits=WIDE_ADC),
                 noise=GaussianColumnNoise(level=level, seed=1),
             )
             return np.abs(

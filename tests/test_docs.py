@@ -35,9 +35,7 @@ def test_documents_exist_and_have_snippets():
     assert python_blocks(REPO_ROOT / "README.md"), "README lost its snippets"
 
 
-@pytest.mark.parametrize(
-    "document", DOCUMENTS, ids=[path.name for path in DOCUMENTS]
-)
+@pytest.mark.parametrize("document", DOCUMENTS, ids=[path.name for path in DOCUMENTS])
 def test_snippets_execute(document):
     blocks = python_blocks(document)
     if not blocks:
@@ -47,9 +45,7 @@ def test_snippets_execute(document):
         try:
             exec(compile(block, f"{document.name}[snippet {index}]", "exec"), namespace)
         except Exception as error:  # pragma: no cover - failure reporting
-            pytest.fail(
-                f"{document.name} snippet {index} failed: {error!r}\n{block}"
-            )
+            pytest.fail(f"{document.name} snippet {index} failed: {error!r}\n{block}")
 
 
 def test_readme_links_resolve():

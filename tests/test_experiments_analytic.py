@@ -49,9 +49,9 @@ class TestFig01:
         assert result.crossbar_energy_per_mac_fj < 150
 
     def test_format(self):
-        assert "ADC" in format_fig01(run_fig01("shufflenetv2")) or "adc" in format_fig01(
+        assert "ADC" in format_fig01(
             run_fig01("shufflenetv2")
-        )
+        ) or "adc" in format_fig01(run_fig01("shufflenetv2"))
 
 
 class TestTable1:
@@ -118,9 +118,9 @@ class TestFig13:
     def test_raella_beats_isaac_and_forms_efficiency(self, result):
         entries = {e.arch_name: e for e in result.entries}
         assert result.relative_efficiency(entries["raella"]) > 2.0
-        assert result.relative_efficiency(entries["raella"]) > result.relative_efficiency(
-            entries["forms8"]
-        )
+        assert result.relative_efficiency(
+            entries["raella"]
+        ) > result.relative_efficiency(entries["forms8"])
 
     def test_no_spec_wins_at_65nm(self, result):
         entries = {e.arch_name: e for e in result.entries}

@@ -19,7 +19,9 @@ class TestFig03:
     @pytest.fixture(scope="class")
     def result(self):
         return run_fig03(
-            model=mobilenetv2_like(seed=0), layer_index=2, n_inputs=1,
+            model=mobilenetv2_like(seed=0),
+            layer_index=2,
+            n_inputs=1,
             max_samples=50_000,
         )
 
@@ -65,11 +67,15 @@ class TestFig05:
 
     def test_center_offset_reduces_saturation(self, comparisons):
         by_name = {c.encoding: c for c in comparisons}
-        assert by_name["center_offset"].saturation_rate < by_name["zero_offset"].saturation_rate
+        assert by_name["center_offset"].saturation_rate < by_name[
+            "zero_offset"
+        ].saturation_rate
 
     def test_zero_offset_column_sums_biased_negative(self, comparisons):
         by_name = {c.encoding: c for c in comparisons}
-        assert by_name["zero_offset"].mean_column_sum < by_name["center_offset"].mean_column_sum
+        assert by_name["zero_offset"].mean_column_sum < by_name[
+            "center_offset"
+        ].mean_column_sum
 
     def test_format(self, comparisons):
         assert "saturation" in format_fig05(comparisons)
@@ -109,8 +115,11 @@ class TestFig08:
         return run_fig08(n_inputs=1)
 
     def test_density_arrays_are_probability_vectors(self, result):
-        for density in (result.input_bit_density, result.weight_code_bit_density,
-                        result.offset_bit_density):
+        for density in (
+            result.input_bit_density,
+            result.weight_code_bit_density,
+            result.offset_bit_density,
+        ):
             assert density.shape == (8,)
             assert np.all((density >= 0) & (density <= 1))
 

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.hw.actions import count_layer_actions, count_model_actions
-from repro.hw.architecture import FORMS_ARCH, ISAAC_ARCH, RAELLA_ARCH, RAELLA_NO_SPEC_ARCH
+from repro.hw.architecture import (
+    FORMS_ARCH,
+    ISAAC_ARCH,
+    RAELLA_ARCH,
+    RAELLA_NO_SPEC_ARCH,
+)
 from repro.hw.energy import EnergyBreakdown, EnergyModel
 from repro.hw.titanium import titanium_law
 from repro.nn.zoo import LayerShape, model_shapes
@@ -11,14 +16,28 @@ from repro.nn.zoo import LayerShape, model_shapes
 
 @pytest.fixture
 def conv_layer() -> LayerShape:
-    return LayerShape("conv", "conv", in_channels=64, out_channels=128,
-                      kernel_h=3, kernel_w=3, stride=1, input_size=28)
+    return LayerShape(
+        "conv",
+        "conv",
+        in_channels=64,
+        out_channels=128,
+        kernel_h=3,
+        kernel_w=3,
+        stride=1,
+        input_size=28,
+    )
 
 
 @pytest.fixture
 def bert_layer() -> LayerShape:
-    return LayerShape("ffn", "linear", in_channels=1024, out_channels=4096,
-                      input_size=384, signed_input=True)
+    return LayerShape(
+        "ffn",
+        "linear",
+        in_channels=1024,
+        out_channels=4096,
+        input_size=384,
+        signed_input=True,
+    )
 
 
 class TestActionCounts:
@@ -77,7 +96,9 @@ class TestActionCounts:
 
 class TestEnergyModel:
     def test_breakdown_totals(self):
-        breakdown = EnergyBreakdown(name="x", components_pj={"adc": 2e6, "crossbar": 1e6})
+        breakdown = EnergyBreakdown(
+            name="x", components_pj={"adc": 2e6, "crossbar": 1e6}
+        )
         assert breakdown.total_uj == pytest.approx(3.0)
         assert breakdown.fraction("adc") == pytest.approx(2 / 3)
 
@@ -112,7 +133,9 @@ class TestEnergyModel:
     def test_crossbar_energy_per_mac_under_100fj_for_isaac(self):
         shapes = model_shapes("resnet18")
         breakdown = EnergyModel(ISAAC_ARCH).model_energy(shapes)
-        crossbar_fj_per_mac = breakdown.components_pj["crossbar"] / shapes.total_macs * 1e3
+        crossbar_fj_per_mac = breakdown.components_pj[
+            "crossbar"
+        ] / shapes.total_macs * 1e3
         assert crossbar_fj_per_mac < 150
 
     def test_programming_energy_positive(self):
@@ -154,6 +177,9 @@ class TestTitaniumLaw:
     def test_as_dict_keys(self):
         terms = titanium_law(model_shapes("shufflenetv2"), RAELLA_ARCH)
         assert set(terms.as_dict()) == {
-            "energy_per_convert_pj", "converts_per_mac", "macs_per_dnn",
-            "utilization", "adc_energy_uj",
+            "energy_per_convert_pj",
+            "converts_per_mac",
+            "macs_per_dnn",
+            "utilization",
+            "adc_energy_uj",
         }

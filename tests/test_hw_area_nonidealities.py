@@ -29,7 +29,9 @@ class TestAreaModel:
 
     def test_chip_area_scales_with_tiles(self):
         model = AreaModel(RAELLA_ARCH)
-        assert model.chip_area_mm2(10) == pytest.approx(10 * model.tile_area().total_mm2)
+        assert model.chip_area_mm2(10) == pytest.approx(
+            10 * model.tile_area().total_mm2
+        )
 
     def test_budget_validation(self):
         with pytest.raises(ValueError):

@@ -35,7 +35,9 @@ class TestComponentLibrary:
 
     def test_scaled_library(self):
         lib = ComponentLibrary().scaled(2.0)
-        assert lib.adc_energy_8b_pj == pytest.approx(2 * ComponentLibrary().adc_energy_8b_pj)
+        assert lib.adc_energy_8b_pj == pytest.approx(
+            2 * ComponentLibrary().adc_energy_8b_pj
+        )
         assert lib.sram_energy_per_byte_pj == pytest.approx(
             2 * ComponentLibrary().sram_energy_per_byte_pj
         )
@@ -122,7 +124,9 @@ class TestArchitectureSpecs:
 
     def test_converts_per_column_with_speculation(self):
         expected = 3.0 + RAELLA_ARCH.operand_stats.speculation_failure_rate * 8
-        assert RAELLA_ARCH.converts_per_column_per_presentation() == pytest.approx(expected)
+        assert RAELLA_ARCH.converts_per_column_per_presentation() == pytest.approx(
+            expected
+        )
 
     def test_converts_per_column_without_speculation(self):
         assert ISAAC_ARCH.converts_per_column_per_presentation() == pytest.approx(8.0)

@@ -72,7 +72,9 @@ class TestThroughputModel:
     def test_no_speculation_is_faster(self):
         shapes = model_shapes("resnet18")
         spec = ThroughputModel(RAELLA_ARCH).evaluate(shapes).throughput_samples_per_s
-        no_spec = ThroughputModel(RAELLA_NO_SPEC_ARCH).evaluate(shapes).throughput_samples_per_s
+        no_spec = ThroughputModel(RAELLA_NO_SPEC_ARCH).evaluate(
+            shapes
+        ).throughput_samples_per_s
         assert no_spec > spec
 
     def test_bert_signed_inputs_halve_throughput(self):

@@ -8,8 +8,6 @@ from repro.core.accelerator import RaellaAccelerator
 from repro.core.adaptive_slicing import AdaptiveSlicingConfig
 from repro.core.center_offset import WeightEncoding
 from repro.core.compiler import RaellaCompiler, RaellaCompilerConfig
-from repro.core.dynamic_input import SpeculationMode
-from repro.core.executor import PimLayerConfig
 from repro.experiments.table4_accuracy import clone_program_with_encoding
 from repro.hw.architecture import ISAAC_ARCH, RAELLA_ARCH
 from repro.nn.datasets import gaussian_clusters
@@ -20,8 +18,13 @@ from repro.nn.zoo import build_runnable, model_shapes
 @pytest.fixture(scope="module")
 def small_training():
     dataset = gaussian_clusters(
-        n_classes=5, n_features=48, n_train=250, n_test=120,
-        separation=1.6, noise=0.9, seed=7,
+        n_classes=5,
+        n_features=48,
+        n_train=250,
+        n_test=120,
+        separation=1.6,
+        noise=0.9,
+        seed=7,
     )
     result = train_mlp(dataset, hidden_sizes=[64], epochs=15, seed=7)
     return dataset, result
@@ -68,7 +71,8 @@ class TestEndToEndAccuracy:
             adaptive=AdaptiveSlicingConfig(max_test_patches=64), n_test_inputs=2
         )
         isaac_cfg = RaellaCompilerConfig(
-            pim=IsaacBaseline().pim_config(), adaptive_slicing_enabled=False,
+            pim=IsaacBaseline().pim_config(),
+            adaptive_slicing_enabled=False,
             n_test_inputs=2,
         )
         raella_prog = RaellaCompiler(

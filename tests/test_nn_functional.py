@@ -68,8 +68,9 @@ class TestConv2d:
             F.conv2d(np.zeros((1, 3, 4, 4)), np.zeros((2, 2, 3, 3)))
 
     def test_output_shape_with_stride(self):
-        out = F.conv2d(np.zeros((2, 3, 8, 8)), np.zeros((4, 3, 3, 3)),
-                       stride=2, padding=1)
+        out = F.conv2d(
+            np.zeros((2, 3, 8, 8)), np.zeros((4, 3, 3, 3)), stride=2, padding=1
+        )
         assert out.shape == (2, 4, 4, 4)
 
 
@@ -126,4 +127,6 @@ class TestActivationsAndLoss:
 
     def test_cross_entropy_of_uniform_prediction(self):
         logits = np.zeros((4, 8))
-        assert F.cross_entropy(logits, np.zeros(4, dtype=int)) == pytest.approx(np.log(8))
+        assert F.cross_entropy(logits, np.zeros(4, dtype=int)) == pytest.approx(
+            np.log(8)
+        )

@@ -49,8 +49,10 @@ class TestTensorQuant:
 class TestLinearLayer:
     def _layer(self, rng, fuse_relu=True):
         layer = Linear(
-            "fc", synthetic_linear_weights(6, 20, rng, std=0.2),
-            bias=rng.normal(0, 0.05, 6), fuse_relu=fuse_relu,
+            "fc",
+            synthetic_linear_weights(6, 20, rng, std=0.2),
+            bias=rng.normal(0, 0.05, 6),
+            fuse_relu=fuse_relu,
         )
         inputs = np.abs(rng.normal(0, 1, size=(64, 20)))
         layer.calibrate(inputs, layer.forward_float(inputs))
@@ -94,8 +96,10 @@ class TestLinearLayer:
         codes = layer.input_quant.quantize(inputs)
         ref, _ = layer.forward_quantized(codes, layer.input_quant)
         hooked, _ = layer.forward_quantized(
-            codes, layer.input_quant,
-            pim_matmul=lambda x, l: x @ l.weight_codes,
+            codes,
+            layer.input_quant,
+            pim_matmul=lambda x,
+            l: x @ l.weight_codes,
         )
         assert np.array_equal(ref, hooked)
 
@@ -127,8 +131,11 @@ class TestLinearLayer:
 class TestConv2dLayer:
     def _layer(self, rng):
         layer = Conv2d(
-            "conv", synthetic_conv_weights(4, 3, 3, rng, std=0.3),
-            stride=1, padding=1, fuse_relu=True,
+            "conv",
+            synthetic_conv_weights(4, 3, 3, rng, std=0.3),
+            stride=1,
+            padding=1,
+            fuse_relu=True,
         )
         inputs = np.abs(rng.normal(0, 1, size=(2, 3, 6, 6)))
         layer.calibrate(inputs, layer.forward_float(inputs))

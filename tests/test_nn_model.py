@@ -120,7 +120,9 @@ class TestCaptureLayerInputs:
 class TestSignedInputModel:
     def test_signed_input_quantization(self, rng):
         layer = Linear(
-            "fc", synthetic_linear_weights(4, 8, rng), fuse_relu=False,
+            "fc",
+            synthetic_linear_weights(4, 8, rng),
+            fuse_relu=False,
             signed_input=True,
         )
         model = QuantizedModel("signed", [layer], input_shape=(8,), signed_input=True)

@@ -70,7 +70,9 @@ class TestDatasets:
         assert ds.x_train.min() >= 0
 
     def test_procedural_images_shapes(self):
-        ds = procedural_images(n_classes=3, image_shape=(3, 8, 8), n_train=30, n_test=12)
+        ds = procedural_images(
+            n_classes=3, image_shape=(3, 8, 8), n_train=30, n_test=12
+        )
         assert ds.x_train.shape == (30, 3, 8, 8)
         assert ds.input_shape == (3, 8, 8)
 
@@ -83,8 +85,13 @@ class TestDatasets:
     def test_mismatched_lengths_rejected(self):
         ds = gaussian_clusters(n_classes=3, n_features=4, n_train=10, n_test=5)
         with pytest.raises(ValueError):
-            type(ds)(name="bad", x_train=ds.x_train, y_train=ds.y_train[:-1],
-                     x_test=ds.x_test, y_test=ds.y_test)
+            type(ds)(
+                name="bad",
+                x_train=ds.x_train,
+                y_train=ds.y_train[:-1],
+                x_test=ds.x_test,
+                y_test=ds.y_test,
+            )
 
     def test_seed_reproducibility(self):
         a = gaussian_clusters(seed=3, n_train=20, n_test=10)
@@ -95,8 +102,13 @@ class TestDatasets:
 class TestTraining:
     def test_mlp_learns_separable_task(self):
         dataset = gaussian_clusters(
-            n_classes=4, n_features=24, n_train=300, n_test=100,
-            separation=2.5, noise=0.6, seed=1,
+            n_classes=4,
+            n_features=24,
+            n_train=300,
+            n_test=100,
+            separation=2.5,
+            noise=0.6,
+            seed=1,
         )
         result = train_mlp(dataset, hidden_sizes=[32], epochs=15, seed=1)
         assert result.float_accuracy > 0.8

@@ -14,21 +14,39 @@ from repro.nn.zoo import (
 
 class TestLayerShape:
     def test_conv_derived_quantities(self):
-        layer = LayerShape("conv", "conv", in_channels=64, out_channels=128,
-                           kernel_h=3, kernel_w=3, stride=2, input_size=56)
+        layer = LayerShape(
+            "conv",
+            "conv",
+            in_channels=64,
+            out_channels=128,
+            kernel_h=3,
+            kernel_w=3,
+            stride=2,
+            input_size=56,
+        )
         assert layer.reduction_dim == 64 * 9
         assert layer.output_size == 28
         assert layer.weights == 64 * 9 * 128
         assert layer.macs == layer.weights * 28 * 28
 
     def test_depthwise_reduction_dim(self):
-        layer = LayerShape("dw", "dwconv", in_channels=64, out_channels=64,
-                           kernel_h=3, kernel_w=3, stride=1, input_size=28, groups=64)
+        layer = LayerShape(
+            "dw",
+            "dwconv",
+            in_channels=64,
+            out_channels=64,
+            kernel_h=3,
+            kernel_w=3,
+            stride=1,
+            input_size=28,
+            groups=64,
+        )
         assert layer.reduction_dim == 9
 
     def test_linear_positions(self):
-        layer = LayerShape("fc", "linear", in_channels=1024, out_channels=4096,
-                           input_size=384)
+        layer = LayerShape(
+            "fc", "linear", in_channels=1024, out_channels=4096, input_size=384
+        )
         assert layer.output_positions == 384
         assert layer.macs == 1024 * 4096 * 384
 

@@ -5,8 +5,16 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.arithmetic.slicing import Slicing, enumerate_slicings
-from repro.core.center_offset import CenterOffsetEncoder, WeightEncoding, optimal_center
-from repro.core.dynamic_input import InputSlicePlan, SpeculationMode, extract_input_slice
+from repro.core.center_offset import (
+    CenterOffsetEncoder,
+    WeightEncoding,
+    optimal_center,
+)
+from repro.core.dynamic_input import (
+    InputSlicePlan,
+    SpeculationMode,
+    extract_input_slice,
+)
 from repro.core.executor import PimLayerConfig, PimLayerExecutor
 from repro.nn.layers import Linear, TensorQuant
 
@@ -57,7 +65,9 @@ class TestEncodingProperties:
 
 
 class TestInputPlanProperties:
-    @given(st.sampled_from([Slicing((4, 2, 2)), Slicing((2, 2, 2, 2)), Slicing((4, 4))]))
+    @given(
+        st.sampled_from([Slicing((4, 2, 2)), Slicing((2, 2, 2, 2)), Slicing((4, 4))])
+    )
     @settings(max_examples=20, deadline=None)
     def test_speculative_plans_cover_all_bits_once(self, spec_slicing):
         plan = InputSlicePlan.build(speculative_slicing=spec_slicing)
@@ -117,8 +127,10 @@ class TestExecutorProperties:
 
 
 class TestTensorQuantProperties:
-    @given(st.floats(min_value=0.001, max_value=5.0),
-           st.integers(min_value=0, max_value=255))
+    @given(
+        st.floats(min_value=0.001, max_value=5.0),
+        st.integers(min_value=0, max_value=255),
+    )
     @settings(max_examples=40, deadline=None)
     def test_quantize_is_idempotent_on_grid(self, scale, zero_point):
         quant = TensorQuant(scale=scale, zero_point=zero_point)

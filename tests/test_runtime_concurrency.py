@@ -108,9 +108,7 @@ class TestExecutorPoolConcurrency:
 
         def worker(index):
             slicing = slicings[index % len(slicings)]
-            return pool.get(
-                tiny_linear_layer, PimLayerConfig(weight_slicing=slicing)
-            )
+            return pool.get(tiny_linear_layer, PimLayerConfig(weight_slicing=slicing))
 
         executors = run_in_threads(worker)
         assert len(pool) == len(slicings)
@@ -135,16 +133,12 @@ class TestRegistryConcurrency:
         for index in range(N_THREADS):
             from repro.nn.model import QuantizedModel
 
-            layer = Linear(
-                f"fc_{index}", synthetic_linear_weights(4, 8, rng)
-            )
+            layer = Linear(f"fc_{index}", synthetic_linear_weights(4, 8, rng))
             model = QuantizedModel(f"model_{index}", [layer], input_shape=(8,))
             model.calibrate(np.abs(rng.normal(0, 1, size=(16, 8))))
             models.append(model)
 
-        run_in_threads(
-            lambda i: registry.register(f"tenant_{i}", models[i])
-        )
+        run_in_threads(lambda i: registry.register(f"tenant_{i}", models[i]))
         assert len(registry) == N_THREADS
         assert len(registry.pool) == N_THREADS
         # Every tenant still serves correct results after the stampede.

@@ -15,9 +15,9 @@ from repro.arithmetic.slicing import (
     ISAAC_WEIGHT_SLICING,
     Slicing,
 )
+from repro.core.adaptive_slicing import AdaptiveSlicingConfig
 from repro.core.center_offset import WeightEncoding
 from repro.core.compiler import RaellaCompiler, RaellaCompilerConfig
-from repro.core.adaptive_slicing import AdaptiveSlicingConfig
 from repro.core.dynamic_input import (
     InputSlicePlan,
     SpeculationMode,
@@ -36,11 +36,21 @@ from repro.runtime import (
 
 #: Statistic counters that must match exactly between the two executor paths.
 STAT_FIELDS = (
-    "n_inputs", "macs", "n_crossbars", "n_columns", "cycles",
-    "adc_converts_speculative", "adc_converts_recovery", "adc_converts_serial",
-    "speculation_slots", "speculation_failures",
-    "fidelity_loss_events", "fidelity_loss_opportunities",
-    "crossbar_activity", "input_pulses", "psums_produced",
+    "n_inputs",
+    "macs",
+    "n_crossbars",
+    "n_columns",
+    "cycles",
+    "adc_converts_speculative",
+    "adc_converts_recovery",
+    "adc_converts_serial",
+    "speculation_slots",
+    "speculation_failures",
+    "fidelity_loss_events",
+    "fidelity_loss_opportunities",
+    "crossbar_activity",
+    "input_pulses",
+    "psums_produced",
 )
 
 RAELLA_CONFIG = PimLayerConfig(collect_column_sums=True)
@@ -72,9 +82,7 @@ def assert_stats_equal(a, b):
 @pytest.fixture
 def signed_layer_and_patches(rng):
     """A BERT-style signed-input layer with its quantized patches."""
-    layer = Linear(
-        "signed_fc", synthetic_linear_weights(5, 16, rng), signed_input=True
-    )
+    layer = Linear("signed_fc", synthetic_linear_weights(5, 16, rng), signed_input=True)
     inputs = rng.normal(0, 1, size=(32, 16))
     layer.calibrate(inputs, layer.forward_float(inputs))
     patches = layer.input_quant.quantize(inputs)
@@ -133,8 +141,10 @@ class TestExecutorParity:
             tiny_linear_layer, config, noise=GaussianColumnNoise(level=level, seed=11)
         )
         vectorized = VectorizedLayerExecutor(
-            tiny_linear_layer, config,
-            noise=GaussianColumnNoise(level=level, seed=11), weight_cache=None,
+            tiny_linear_layer,
+            config,
+            noise=GaussianColumnNoise(level=level, seed=11),
+            weight_cache=None,
         )
         assert np.array_equal(
             reference.matmul(tiny_patches), vectorized.matmul(tiny_patches)
@@ -180,9 +190,7 @@ class TestEncodedWeightCache:
 
     def test_different_slicing_is_a_different_entry(self, tiny_linear_layer):
         cache = EncodedWeightCache()
-        VectorizedLayerExecutor(
-            tiny_linear_layer, PimLayerConfig(), weight_cache=cache
-        )
+        VectorizedLayerExecutor(tiny_linear_layer, PimLayerConfig(), weight_cache=cache)
         VectorizedLayerExecutor(
             tiny_linear_layer,
             PimLayerConfig(weight_slicing=Slicing((2, 2, 2, 2))),
@@ -206,18 +214,14 @@ class TestEncodedWeightCache:
 
     def test_lru_eviction(self, tiny_linear_layer):
         cache = EncodedWeightCache(max_entries=1)
-        VectorizedLayerExecutor(
-            tiny_linear_layer, PimLayerConfig(), weight_cache=cache
-        )
+        VectorizedLayerExecutor(tiny_linear_layer, PimLayerConfig(), weight_cache=cache)
         VectorizedLayerExecutor(
             tiny_linear_layer,
             PimLayerConfig(weight_slicing=Slicing((2, 2, 2, 2))),
             weight_cache=cache,
         )
         assert len(cache) == 1
-        VectorizedLayerExecutor(
-            tiny_linear_layer, PimLayerConfig(), weight_cache=cache
-        )
+        VectorizedLayerExecutor(tiny_linear_layer, PimLayerConfig(), weight_cache=cache)
         assert cache.misses == 3  # the first entry was evicted
 
     def test_cached_executor_results_identical(self, tiny_linear_layer, tiny_patches):
@@ -225,9 +229,7 @@ class TestEncodedWeightCache:
         uncached = VectorizedLayerExecutor(
             tiny_linear_layer, PimLayerConfig(), weight_cache=None
         )
-        VectorizedLayerExecutor(
-            tiny_linear_layer, PimLayerConfig(), weight_cache=cache
-        )
+        VectorizedLayerExecutor(tiny_linear_layer, PimLayerConfig(), weight_cache=cache)
         cached = VectorizedLayerExecutor(
             tiny_linear_layer, PimLayerConfig(), weight_cache=cache
         )
@@ -298,21 +300,23 @@ class TestNetworkEngine:
         vec_pool = ExecutorPool(weight_cache=None)
         ref_pool = ExecutorPool(executor_factory=PimLayerExecutor, weight_cache=None)
         vectorized = NetworkEngine.build(
-            tiny_mlp_model, PimLayerConfig(),
-            noise=GaussianColumnNoise(level=0.08, seed=5), pool=vec_pool,
+            tiny_mlp_model,
+            PimLayerConfig(),
+            noise=GaussianColumnNoise(level=0.08, seed=5),
+            pool=vec_pool,
         )
         reference = NetworkEngine.build(
-            tiny_mlp_model, PimLayerConfig(),
-            noise=GaussianColumnNoise(level=0.08, seed=5), pool=ref_pool,
+            tiny_mlp_model,
+            PimLayerConfig(),
+            noise=GaussianColumnNoise(level=0.08, seed=5),
+            pool=ref_pool,
         )
         assert np.array_equal(vectorized.run(inputs), reference.run(inputs))
         assert_stats_equal(
             vectorized.network_statistics(), reference.network_statistics()
         )
 
-    def test_network_statistics_sum_crossbars_across_layers(
-        self, tiny_mlp_model, rng
-    ):
+    def test_network_statistics_sum_crossbars_across_layers(self, tiny_mlp_model, rng):
         engine = NetworkEngine.build(tiny_mlp_model, PimLayerConfig())
         engine.run(np.abs(rng.normal(0, 1, size=(2, 16))))
         per_layer = engine.layer_statistics()

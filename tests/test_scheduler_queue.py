@@ -19,12 +19,20 @@ from repro.serve.scheduler import (
 )
 
 
-def make_request(name: str, samples: int = 1, enqueued_at: float | None = None):
+def make_request(
+    name: str,
+    samples: int = 1,
+    enqueued_at: float | None = None,
+    priority: int = 0,
+    deadline_s: float | None = None,
+):
     return InferenceRequest(
         model_name=name,
         inputs=np.zeros((samples, 3)),
         future=InferenceFuture(),
         enqueued_at=time.monotonic() if enqueued_at is None else enqueued_at,
+        priority=priority,
+        deadline_s=deadline_s,
     )
 
 
@@ -34,6 +42,8 @@ class TestBatchingPolicyValidation:
             BatchingPolicy(max_batch_size=0)
         with pytest.raises(ValueError, match="max_delay_s"):
             BatchingPolicy(max_delay_s=-0.1)
+        with pytest.raises(ValueError, match="starvation_limit_s"):
+            BatchingPolicy(starvation_limit_s=0.0)
 
     def test_effective_delay_constant_without_adaptive(self):
         policy = BatchingPolicy(max_batch_size=8, max_delay_s=0.4)
@@ -41,9 +51,7 @@ class TestBatchingPolicyValidation:
             assert policy.effective_delay_s(queued) == 0.4
 
     def test_effective_delay_shrinks_with_fill(self):
-        policy = BatchingPolicy(
-            max_batch_size=8, max_delay_s=0.4, adaptive_delay=True
-        )
+        policy = BatchingPolicy(max_batch_size=8, max_delay_s=0.4, adaptive_delay=True)
         assert policy.effective_delay_s(0) == pytest.approx(0.4)
         assert policy.effective_delay_s(4) == pytest.approx(0.2)
         assert policy.effective_delay_s(6) == pytest.approx(0.1)
@@ -121,13 +129,80 @@ class TestRequestQueueEdgeCases:
         assert queue.next_batch(policy) is None
 
 
+class TestStarvationAging:
+    """The aging rule: a saturated high-priority stream cannot starve
+    best-effort work forever (``BatchingPolicy.starvation_limit_s``).
+
+    A model whose head request has waited longer than the starvation limit
+    is promoted into the top pending priority class, where its long-exhausted
+    delay budget (the slack of a deadline-free request) undercuts any stream
+    of fresh arrivals -- so a deadline-free best-effort request dispatches
+    even while a high-priority model stays permanently full.
+    """
+
+    def fill_busy(self, queue, base, priority=5, count=8):
+        for i in range(count):
+            queue.submit(
+                make_request(
+                    "busy",
+                    enqueued_at=base + 0.001 * i,
+                    priority=priority,
+                    deadline_s=base + 60.0,
+                )
+            )
+
+    def test_fresh_best_effort_yields_to_priority(self):
+        queue = RequestQueue()
+        now = time.monotonic()
+        queue.submit(make_request("quiet", enqueued_at=now - 0.1))
+        self.fill_busy(queue, now)
+        policy = BatchingPolicy(
+            max_batch_size=4, max_delay_s=0.0, starvation_limit_s=10.0
+        )
+        # Under the limit, the priority class wins as before.
+        assert queue.next_batch(policy)[0].model_name == "busy"
+
+    def test_starved_best_effort_jumps_priority_classes(self):
+        queue = RequestQueue()
+        now = time.monotonic()
+        queue.submit(make_request("quiet", enqueued_at=now - 1.0))
+        self.fill_busy(queue, now)
+        policy = BatchingPolicy(
+            max_batch_size=4, max_delay_s=0.0, starvation_limit_s=0.5
+        )
+        # Past the limit, the aging rule promotes the best-effort model.
+        assert queue.next_batch(policy)[0].model_name == "quiet"
+
+    def test_always_full_stream_starves_only_up_to_the_limit(self):
+        queue = RequestQueue()
+        base = time.monotonic()
+        limit = 0.2
+        policy = BatchingPolicy(
+            max_batch_size=4, max_delay_s=0.0, starvation_limit_s=limit
+        )
+        queue.submit(make_request("quiet", enqueued_at=base))
+        self.fill_busy(queue, base, count=4)
+        dispatched = []
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            batch = queue.next_batch(policy)
+            dispatched.append(batch[0].model_name)
+            if batch[0].model_name == "quiet":
+                break
+            # Keep the high-priority model always full, as fast as it drains.
+            self.fill_busy(queue, time.monotonic(), count=len(batch))
+        waited = time.monotonic() - base
+        assert "quiet" in dispatched, "best-effort request starved"
+        # The wait is bounded by the starvation limit (plus scheduling time,
+        # bounded loosely for slow CI machines).
+        assert waited < limit + 3.0
+
+
 class TestAdaptiveDelay:
     def test_near_full_queue_dispatches_early(self):
         queue = RequestQueue()
         queue.submit(make_request("m", samples=3))
-        policy = BatchingPolicy(
-            max_batch_size=4, max_delay_s=2.0, adaptive_delay=True
-        )
+        policy = BatchingPolicy(max_batch_size=4, max_delay_s=2.0, adaptive_delay=True)
         start = time.monotonic()
         batch = queue.next_batch(policy)  # 3/4 full: budget shrinks to 0.5s
         elapsed = time.monotonic() - start

@@ -61,37 +61,33 @@ class TestFloat32FastPath:
             tiny_linear_layer, config, weight_cache=None, float32=True
         )
         assert np.float32 in fast.gemm_dtypes
-        assert np.array_equal(
-            reference.matmul(tiny_patches), fast.matmul(tiny_patches)
-        )
+        assert np.array_equal(reference.matmul(tiny_patches), fast.matmul(tiny_patches))
         assert_stats_equal(reference.stats, fast.stats)
 
     def test_seeded_noise_bit_identical(self, tiny_linear_layer, tiny_patches):
         config = PimLayerConfig()
         reference = VectorizedLayerExecutor(
-            tiny_linear_layer, config,
-            noise=GaussianColumnNoise(level=0.08, seed=3), weight_cache=None,
+            tiny_linear_layer,
+            config,
+            noise=GaussianColumnNoise(level=0.08, seed=3),
+            weight_cache=None,
         )
         fast = VectorizedLayerExecutor(
-            tiny_linear_layer, config,
+            tiny_linear_layer,
+            config,
             noise=GaussianColumnNoise(level=0.08, seed=3),
-            weight_cache=None, float32=True,
+            weight_cache=None,
+            float32=True,
         )
-        assert np.array_equal(
-            reference.matmul(tiny_patches), fast.matmul(tiny_patches)
-        )
+        assert np.array_equal(reference.matmul(tiny_patches), fast.matmul(tiny_patches))
         assert_stats_equal(reference.stats, fast.stats)
 
     def test_engine_level_parity(self, tiny_mlp_model, rng):
         inputs = np.abs(rng.normal(0, 1, size=(6, 16)))
         reference = NetworkEngine.build(tiny_mlp_model, pool=private_pool())
-        fast = NetworkEngine.build(
-            tiny_mlp_model, pool=private_pool(), float32=True
-        )
+        fast = NetworkEngine.build(tiny_mlp_model, pool=private_pool(), float32=True)
         assert np.array_equal(reference.run(inputs), fast.run(inputs))
-        assert_stats_equal(
-            reference.network_statistics(), fast.network_statistics()
-        )
+        assert_stats_equal(reference.network_statistics(), fast.network_statistics())
 
     def test_pool_keys_float32_separately(self, tiny_linear_layer):
         pool = private_pool()
@@ -136,11 +132,15 @@ class TestShardedEngine:
         # reproduce -- ShardedEngine must detect this and stay sequential.
         inputs = np.abs(rng.normal(0, 1, size=(9, 16)))
         sequential = NetworkEngine.build(
-            tiny_mlp_model, pool=private_pool(), micro_batch=4,
+            tiny_mlp_model,
+            pool=private_pool(),
+            micro_batch=4,
             noise=GaussianColumnNoise(level=0.08, seed=5),
         )
         sharded = ShardedEngine.build(
-            tiny_mlp_model, pool=private_pool(), micro_batch=4,
+            tiny_mlp_model,
+            pool=private_pool(),
+            micro_batch=4,
             noise=GaussianColumnNoise(level=0.08, seed=5),
         )
         assert sharded._shares_stateful_noise()
@@ -202,9 +202,7 @@ class TestShardedEngine:
         ]
 
     def test_n_stages_merges_groups(self, tiny_conv_model):
-        engine = ShardedEngine.build(
-            tiny_conv_model, pool=private_pool(), n_stages=2
-        )
+        engine = ShardedEngine.build(tiny_conv_model, pool=private_pool(), n_stages=2)
         assert len(engine.stage_groups()) == 2
         oversubscribed = ShardedEngine.build(
             tiny_conv_model, pool=private_pool(), n_stages=99
@@ -216,9 +214,7 @@ class TestShardedEngine:
             ShardedEngine.build(tiny_mlp_model, pool=private_pool(), n_stages=0)
 
     def test_stage_errors_propagate(self, tiny_mlp_model, rng):
-        engine = ShardedEngine.build(
-            tiny_mlp_model, pool=private_pool(), micro_batch=2
-        )
+        engine = ShardedEngine.build(tiny_mlp_model, pool=private_pool(), micro_batch=2)
 
         def explode(codes):
             raise RuntimeError("crossbar fault")
@@ -395,9 +391,7 @@ class TestInferenceServer:
         stacked = np.concatenate([results[i] for i in range(12)], axis=0)
         assert np.array_equal(stacked, direct)
 
-    def test_shared_noise_model_locks_overlap(
-        self, tiny_mlp_model, tiny_conv_model
-    ):
+    def test_shared_noise_model_locks_overlap(self, tiny_mlp_model, tiny_conv_model):
         # Engines with disjoint executors but one shared seeded noise RNG
         # must serialise through a common lock (Generator is not thread-safe).
         noise = GaussianColumnNoise(level=0.05, seed=1)

@@ -126,9 +126,7 @@ class TestCostModel:
         # padding=0 breaks the same-padding assumption the analytical
         # LayerShape encodes: the tables would silently overcount output
         # positions, so conversion must refuse.
-        conv = Conv2d(
-            "valid_conv", synthetic_conv_weights(4, 3, 3, rng), padding=0
-        )
+        conv = Conv2d("valid_conv", synthetic_conv_weights(4, 3, 3, rng), padding=0)
         head = Linear("fc", synthetic_linear_weights(5, 4, rng))
         model = QuantizedModel(
             "valid_pad", [conv, GlobalAvgPool(), head], input_shape=(3, 8, 8)
@@ -149,11 +147,14 @@ class TestCostModel:
         with pytest.raises(ValueError, match="same-padding"):
             shapes_from_model(even_model)
 
-        square = Conv2d(
-            "conv", synthetic_conv_weights(4, 3, 3, rng), padding=1
-        )
+        square = Conv2d("conv", synthetic_conv_weights(4, 3, 3, rng), padding=1)
         rect = QuantizedModel(
-            "rect", [square, GlobalAvgPool(), Linear("fc", synthetic_linear_weights(5, 4, rng))],
+            "rect",
+            [
+                square,
+                GlobalAvgPool(),
+                Linear("fc", synthetic_linear_weights(5, 4, rng)),
+            ],
             input_shape=(3, 8, 12),
         )
         rect.calibrate(np.abs(rng.normal(0, 1, size=(4, 3, 8, 12))))
@@ -163,16 +164,12 @@ class TestCostModel:
     def test_attribution_scales_linearly(self, tiny_mlp_model):
         cost = CostModel.from_model(tiny_mlp_model, RAELLA_ARCH)
         assert cost.energy_pj(7) == pytest.approx(7 * cost.energy_per_sample_pj)
-        assert cost.batch_latency_us(1) == pytest.approx(
-            cost.single_sample_latency_us
-        )
+        assert cost.batch_latency_us(1) == pytest.approx(cost.single_sample_latency_us)
         assert cost.batch_latency_us(5) == pytest.approx(
             cost.single_sample_latency_us + 4 * cost.steady_state_latency_us
         )
         assert cost.batch_latency_us(0) == 0.0
-        assert cost.batch_latency_s(5) == pytest.approx(
-            cost.batch_latency_us(5) / 1e6
-        )
+        assert cost.batch_latency_s(5) == pytest.approx(cost.batch_latency_us(5) / 1e6)
 
     def test_summary_lists_layers(self, tiny_mlp_model):
         cost = CostModel.from_model(tiny_mlp_model, RAELLA_ARCH)
@@ -228,14 +225,10 @@ class TestTelemetryCollector:
 
         def worker(thread_id: int) -> None:
             for i in range(per_thread):
-                collector.record(
-                    make_trace(request_id=thread_id * per_thread + i)
-                )
+                collector.record(make_trace(request_id=thread_id * per_thread + i))
                 collector.record_engine_run("m", 2, 0.001)
 
-        threads = [
-            threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
-        ]
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
         for thread in threads:
             thread.start()
         for thread in threads:
@@ -262,8 +255,8 @@ class TestTelemetryCollector:
         collector.record(make_trace(model_name="a"))
         collector.record_engine_run("a", 4, 0.002)
         text = collector.to_prometheus()
-        assert '# HELP repro_requests_total' in text
-        assert '# TYPE repro_requests_total counter' in text
+        assert "# HELP repro_requests_total" in text
+        assert "# TYPE repro_requests_total counter" in text
         assert 'repro_requests_total{model="a"} 1' in text
         assert 'repro_samples_total{model="a"} 2' in text
         assert 'repro_engine_runs_total{model="a"} 1' in text
@@ -274,7 +267,7 @@ class TestTelemetryCollector:
         collector.record(make_trace(model_name='weird"name\\with\nstuff'))
         text = collector.to_prometheus()
         assert 'model="weird\\"name\\\\with\\nstuff"' in text
-        assert '\n{' not in text  # no raw newline leaked into a label
+        assert "\n{" not in text  # no raw newline leaked into a label
 
     def test_engine_probe(self, tiny_mlp_model, rng):
         collector = TelemetryCollector()
@@ -329,14 +322,20 @@ class TestSloServing:
         assert queue.next_batch(policy) is None
 
     def test_priority_classes_beat_age(self):
+        # Within the starvation limit, priority outranks age; beyond it the
+        # aging rule promotes the old request (see TestStarvationAging in
+        # tests/test_scheduler_queue.py), so the limit is raised here to keep
+        # the 5-second-old request un-starved.
         queue = RequestQueue()
         now = time.monotonic()
-        queue.submit(self._request("old_low", now - 5.0, priority=0,
-                                   deadline_s=now + 1.0))
-        queue.submit(self._request("new_high", now, priority=1,
-                                   deadline_s=now + 1.0))
+        queue.submit(
+            self._request("old_low", now - 5.0, priority=0, deadline_s=now + 1.0)
+        )
+        queue.submit(self._request("new_high", now, priority=1, deadline_s=now + 1.0))
         queue.close()
-        policy = BatchingPolicy(max_batch_size=8, max_delay_s=10.0)
+        policy = BatchingPolicy(
+            max_batch_size=8, max_delay_s=10.0, starvation_limit_s=30.0
+        )
         assert queue.next_batch(policy)[0].model_name == "new_high"
         assert queue.next_batch(policy)[0].model_name == "old_low"
 
@@ -375,9 +374,7 @@ class TestSloServing:
         # Two models, same deadline; the one predicted to run longer has
         # less slack and must dispatch first.
         estimates = {"slow": 5.0, "fast": 0.001}
-        queue = RequestQueue(
-            latency_estimator=lambda name, n: estimates[name]
-        )
+        queue = RequestQueue(latency_estimator=lambda name, n: estimates[name])
         now = time.monotonic()
         queue.submit(self._request("fast", now - 1.0, deadline_s=now + 10.0))
         queue.submit(self._request("slow", now, deadline_s=now + 10.0))
@@ -430,9 +427,7 @@ class TestSloServing:
         policy = BatchingPolicy(max_batch_size=8, max_delay_s=0.002)
         server = InferenceServer(registry, policy, telemetry=telemetry)
         futures = [
-            server.submit(
-                "mlp", r, priority=i % 3, deadline_s=30.0
-            )
+            server.submit("mlp", r, priority=i % 3, deadline_s=30.0)
             for i, r in enumerate(requests)
         ]
         with server:
@@ -490,8 +485,9 @@ class TestSloServing:
             server.infer("mlp", inputs, timeout=30)
         assert telemetry.traces("mlp")[-1].modeled_energy_pj > 0
 
-    def test_reregistered_name_uses_fresh_cost_tables(self, tiny_mlp_model,
-                                                      tiny_conv_model, rng):
+    def test_reregistered_name_uses_fresh_cost_tables(
+        self, tiny_mlp_model, tiny_conv_model, rng
+    ):
         # Re-registering a different model under the same name must re-wire
         # the collector with the new tables, not bill against the old ones.
         registry = ModelRegistry()
@@ -507,12 +503,8 @@ class TestSloServing:
             registry.register("m", tiny_conv_model, arch=RAELLA_ARCH)
             new_energy = registry.cost_model("m").energy_pj(1)
             assert new_energy != pytest.approx(old_energy)
-            server.infer(
-                "m", np.abs(rng.normal(0, 1, size=(1, 3, 8, 8))), timeout=30
-            )
-        assert telemetry.traces("m")[-1].modeled_energy_pj == pytest.approx(
-            new_energy
-        )
+            server.infer("m", np.abs(rng.normal(0, 1, size=(1, 3, 8, 8))), timeout=30)
+        assert telemetry.traces("m")[-1].modeled_energy_pj == pytest.approx(new_energy)
 
     def test_submit_rejects_nonpositive_deadline(self, tiny_mlp_model):
         registry = ModelRegistry()
