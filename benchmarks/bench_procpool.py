@@ -1,0 +1,176 @@
+"""Throughput benchmark of process-based engine workers vs. the thread backend.
+
+Not a paper artifact: this tracks the ROADMAP follow-up that motivated
+:mod:`repro.runtime.procpool`.  The simulator's digital stages (quantize,
+phase extraction, statistics) are GIL-bound Python/NumPy code, so the
+thread-based server overlaps two models' batches without ever running them in
+parallel.  Hosting each model in its own worker process
+(``ModelRegistry.register(..., backend="process")``) runs them on separate
+cores, with request/response arrays crossing over shared-memory blocks
+instead of the pickler.
+
+The headline regression test drives the same CPU-bound two-model request
+stream through both backends and asserts the process backend sustains at
+least ``MIN_PROCPOOL_SPEEDUP``x the aggregate throughput (1.5x by default --
+the CI ``kernels`` job enforces the same bar) while staying bit-identical.
+The comparison needs real parallelism, so it is skipped on single-CPU hosts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.model import QuantizedModel
+from repro.nn.synthetic import synthetic_linear_weights
+from repro.serve import BatchingPolicy, InferenceServer, ModelRegistry
+
+MODEL_NAMES = ("mlp_a", "mlp_b")
+REQUESTS_PER_MODEL = 24
+SAMPLES_PER_REQUEST = 4
+BATCH_POLICY = BatchingPolicy(max_batch_size=16, max_delay_s=0.005)
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def build_model(name: str, seed: int) -> QuantizedModel:
+    """A CPU-bound three-layer MLP with model-specific weights."""
+    rng = np.random.default_rng(seed)
+    layers = [
+        Linear(
+            f"{name}_fc1",
+            synthetic_linear_weights(96, 128, rng, std=0.15),
+            fuse_relu=True,
+        ),
+        Linear(
+            f"{name}_fc2",
+            synthetic_linear_weights(48, 96, rng, std=0.15),
+            fuse_relu=True,
+        ),
+        Linear(f"{name}_fc3", synthetic_linear_weights(10, 48, rng, std=0.15)),
+    ]
+    model = QuantizedModel(name, layers, input_shape=(128,))
+    model.calibrate(np.abs(rng.normal(0, 1, size=(64, 128))))
+    return model
+
+
+@pytest.fixture(scope="module")
+def procpool_setup():
+    """Two models hosted twice (thread and process backends) + requests."""
+    models = {
+        name: build_model(name, seed=11 + i) for i, name in enumerate(MODEL_NAMES)
+    }
+    rng = np.random.default_rng(7)
+    requests = {
+        name: [
+            np.abs(rng.normal(0, 1, size=(SAMPLES_PER_REQUEST, 128)))
+            for _ in range(REQUESTS_PER_MODEL)
+        ]
+        for name in MODEL_NAMES
+    }
+    thread_registry = ModelRegistry()
+    process_registry = ModelRegistry()
+    for name, model in models.items():
+        thread_registry.register(name, model)
+        process_registry.register(name, model, backend="process")
+        # Warm executors/workers outside every timed region.
+        thread_registry.engine(name).run(requests[name][0])
+        process_registry.engine(name).run(requests[name][0])
+    yield thread_registry, process_registry, requests
+    process_registry.close()
+
+
+def run_backend(
+    registry: ModelRegistry, requests: dict[str, list[np.ndarray]]
+) -> dict[str, np.ndarray]:
+    """Drain the interleaved two-model stream -> per-model stacked outputs."""
+    server = InferenceServer(registry, BATCH_POLICY, max_workers=len(MODEL_NAMES))
+    futures = {name: [] for name in MODEL_NAMES}
+    for i in range(REQUESTS_PER_MODEL):
+        for name in MODEL_NAMES:
+            futures[name].append(server.submit(name, requests[name][i]))
+    with server:  # starting after submit makes batch formation deterministic
+        results = {
+            name: np.concatenate([f.result(timeout=60) for f in futures[name]], axis=0)
+            for name in MODEL_NAMES
+        }
+    return results
+
+
+def best_of(func, rounds: int = 3):
+    """Best wall time over a few rounds (plus the last result)."""
+    func()  # warm-up
+    timings, result = [], None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = func()
+        timings.append(time.perf_counter() - start)
+    return min(timings), result
+
+
+def test_bench_thread_backend(benchmark, procpool_setup):
+    thread_registry, _process_registry, requests = procpool_setup
+    outputs = benchmark.pedantic(
+        run_backend, args=(thread_registry, requests), rounds=1, iterations=1
+    )
+    assert outputs["mlp_a"].shape == (REQUESTS_PER_MODEL * SAMPLES_PER_REQUEST, 10)
+
+
+def test_bench_process_backend(benchmark, procpool_setup):
+    _thread_registry, process_registry, requests = procpool_setup
+    outputs = benchmark.pedantic(
+        run_backend, args=(process_registry, requests), rounds=1, iterations=1
+    )
+    assert outputs["mlp_b"].shape == (REQUESTS_PER_MODEL * SAMPLES_PER_REQUEST, 10)
+
+
+def test_process_backend_bit_identical(procpool_setup):
+    """Backends are pure scheduling changes: outputs match bit for bit."""
+    thread_registry, process_registry, requests = procpool_setup
+    thread_outputs = run_backend(thread_registry, requests)
+    process_outputs = run_backend(process_registry, requests)
+    for name in MODEL_NAMES:
+        direct = thread_registry.engine(name).run(
+            np.concatenate(requests[name], axis=0)
+        )
+        assert np.array_equal(thread_outputs[name], direct)
+        assert np.array_equal(process_outputs[name], direct)
+
+
+def test_procpool_throughput_speedup(procpool_setup):
+    """Process workers must beat the thread backend >= 1.5x on >= 2 cores.
+
+    MIN_PROCPOOL_SPEEDUP keeps the bar configurable per environment; the CI
+    ``kernels`` job enforces the default 1.5x on its multi-core runners.
+    """
+    if available_cpus() < 2:
+        pytest.skip("process parallelism needs at least 2 CPUs")
+    minimum = float(os.environ.get("MIN_PROCPOOL_SPEEDUP", "1.5"))
+    thread_registry, process_registry, requests = procpool_setup
+
+    thread_time, thread_outputs = best_of(
+        lambda: run_backend(thread_registry, requests)
+    )
+    process_time, process_outputs = best_of(
+        lambda: run_backend(process_registry, requests)
+    )
+    for name in MODEL_NAMES:
+        assert np.array_equal(thread_outputs[name], process_outputs[name])
+
+    total_requests = len(MODEL_NAMES) * REQUESTS_PER_MODEL
+    speedup = thread_time / process_time
+    assert speedup >= minimum, (
+        f"process backend only {speedup:.2f}x thread throughput "
+        f"({total_requests / process_time:.0f} vs "
+        f"{total_requests / thread_time:.0f} req/s)"
+    )

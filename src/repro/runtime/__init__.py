@@ -21,6 +21,11 @@ batched engine while staying bit-identical to the per-phase reference:
 * :mod:`repro.runtime.engine` runs a calibrated
   :class:`~repro.nn.model.QuantizedModel` end-to-end with configurable
   micro-batching (:class:`NetworkEngine`).
+* :mod:`repro.runtime.procpool` hosts an engine in its own *process*
+  (:class:`ProcessEngine` over an :class:`EngineWorker`), sidestepping the
+  GIL for the digital stages; request/response arrays travel through
+  shared-memory blocks with a framed header instead of the pickler, and
+  results stay bit-identical to the in-process engine.
 
 Quickstart::
 
@@ -40,13 +45,23 @@ from repro.runtime.cache import (
 )
 from repro.runtime.engine import NetworkEngine
 from repro.runtime.phases import extract_phase_tensor, plan_shift_masks
+from repro.runtime.procpool import (
+    EngineSpec,
+    EngineWorker,
+    ProcessEngine,
+    RemoteEngineError,
+)
 from repro.runtime.vectorized import VectorizedLayerExecutor, float32_gemm_is_exact
 
 __all__ = [
     "EncodedWeightCache",
+    "EngineSpec",
+    "EngineWorker",
     "ExecutorPool",
     "GLOBAL_WEIGHT_CACHE",
     "NetworkEngine",
+    "ProcessEngine",
+    "RemoteEngineError",
     "VectorizedLayerExecutor",
     "extract_phase_tensor",
     "float32_gemm_is_exact",

@@ -1,0 +1,603 @@
+"""Process-based engine workers with a zero-copy shared-memory request path.
+
+The thread-based serving stack (:mod:`repro.serve`) overlaps engine calls of
+different models, but the simulator's digital stages -- quantize/dequantize,
+phase extraction, statistics -- are Python/NumPy code that holds the GIL for
+most of its runtime, so threads only buy concurrency, not parallelism.  This
+module moves each engine into its own *process*:
+
+* :class:`EngineWorker` is the transport: it forks/spawns a child process
+  that unpickles a model spec, builds a :class:`~repro.runtime.NetworkEngine`
+  (its own executor pool, its own weight cache) and serves requests from a
+  pipe until told to close.
+* Input and output arrays never travel through the pipe or the pickler.
+  Each direction has a dedicated :class:`multiprocessing.shared_memory`
+  block; a small framed header at the start of the block carries the
+  array's shape/dtype and the request sequence number, and the pipe only
+  moves tiny control tuples (block name, flags, timings).  The worker runs
+  the engine directly on a mapped view of the input payload (zero consume
+  copies); the parent materialises each output out of the shared block
+  once, because the block is reused by the very next request.  Blocks grow
+  on demand and the stale block is unlinked once the peer has switched to
+  the new name.
+* :class:`ProcessEngine` is the :class:`~repro.runtime.NetworkEngine`-shaped
+  facade over one worker: ``run()`` / ``layer_statistics()`` /
+  ``add_run_probe()`` behave like the in-process engine, outputs are
+  bit-identical (same pickled weights, same seeded noise state, same
+  micro-batching), and run probes fire with *worker-side* engine timings so
+  telemetry calibration never charges IPC overhead to the model.
+
+The serving layer hosts one worker per process-backed model
+(``ModelRegistry.register(..., backend="process")``); because the worker owns
+all mutable engine state, the server dispatches to it without any executor
+locks, and two process-backed models execute truly in parallel on separate
+cores.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import struct
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing import get_all_start_methods, get_context, shared_memory
+from typing import Callable
+
+import numpy as np
+
+from repro.analog.noise import NoiseModel
+from repro.core.executor import LayerStatistics, PimLayerConfig
+from repro.nn.model import QuantizedModel
+
+__all__ = ["EngineSpec", "EngineWorker", "ProcessEngine", "RemoteEngineError"]
+
+#: Sentinel mirroring :data:`repro.runtime.engine._USE_DEFAULT` (imported
+#: lazily in methods to keep module import light for spawned workers).
+_USE_DEFAULT = object()
+
+#: Frame header layout at offset 0 of every shared-memory block:
+#: magic u32, sequence u64, flags u8, dtype string (16 bytes, NUL padded),
+#: ndim u8, then a fixed 8-slot u64 shape.  The payload starts at a fixed
+#: 128-byte offset so the header never aliases array data.
+_FRAME = struct.Struct("<IQB16sB8Q")
+_FRAME_MAGIC = 0x52504631  # "RPF1"
+_MAX_DIMS = 8
+_PAYLOAD_OFFSET = 128
+_MIN_BLOCK_BYTES = 1 << 16
+
+#: How long :meth:`EngineWorker.start` waits for the child to build its
+#: engine before declaring the launch failed.
+_BOOT_TIMEOUT_S = 120.0
+
+
+class RemoteEngineError(RuntimeError):
+    """An engine failure inside a worker that could not be re-raised as-is.
+
+    Raised when the worker-side exception does not survive pickling; the
+    message carries the original type, message and remote traceback text.
+    """
+
+
+def _write_frame(shm: shared_memory.SharedMemory, seq: int, array: np.ndarray) -> None:
+    """Write ``array`` into the block behind a framed header."""
+    if array.ndim > _MAX_DIMS:
+        raise ValueError(f"arrays beyond {_MAX_DIMS} dimensions are unsupported")
+    shape = array.shape + (0,) * (_MAX_DIMS - array.ndim)
+    _FRAME.pack_into(
+        shm.buf,
+        0,
+        _FRAME_MAGIC,
+        seq,
+        0,
+        array.dtype.str.encode("ascii"),
+        array.ndim,
+        *shape,
+    )
+    destination = np.ndarray(
+        array.shape, dtype=array.dtype, buffer=shm.buf, offset=_PAYLOAD_OFFSET
+    )
+    np.copyto(destination, array)
+
+
+def _read_frame(shm: shared_memory.SharedMemory, seq: int) -> np.ndarray:
+    """A zero-copy array view over the block's framed payload."""
+    magic, frame_seq, _flags, dtype_tag, ndim, *shape = _FRAME.unpack_from(shm.buf, 0)
+    if magic != _FRAME_MAGIC:
+        raise RuntimeError("shared-memory frame is corrupt (bad magic)")
+    if frame_seq != seq:
+        raise RuntimeError(
+            f"shared-memory frame out of sync: expected seq {seq}, found {frame_seq}"
+        )
+    dtype = np.dtype(dtype_tag.rstrip(b"\x00").decode("ascii"))
+    return np.ndarray(
+        tuple(shape[:ndim]), dtype=dtype, buffer=shm.buf, offset=_PAYLOAD_OFFSET
+    )
+
+
+class _ArraySender:
+    """The owning side of one transport direction: create, grow, unlink."""
+
+    def __init__(self) -> None:
+        self._shm: shared_memory.SharedMemory | None = None
+
+    def send(self, seq: int, array: np.ndarray) -> str:
+        """Frame ``array`` into the current block (growing it) -> block name."""
+        array = np.ascontiguousarray(array)
+        needed = _PAYLOAD_OFFSET + array.nbytes
+        if self._shm is None or self._shm.size < needed:
+            # Grow by replacement: the old block stays mapped (and thus
+            # valid) wherever the peer still holds it; unlinking here only
+            # removes the name.  The peer drops its stale attachment when
+            # the next control message names the new block.
+            self.close()
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=max(needed, _MIN_BLOCK_BYTES)
+            )
+        _write_frame(self._shm, seq, array)
+        return self._shm.name
+
+    def close(self) -> None:
+        """Unmap and unlink the owned block (idempotent)."""
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._shm = None
+
+
+class _ArrayReceiver:
+    """The attaching side: map blocks by name, never unlink them."""
+
+    def __init__(self) -> None:
+        self._attached: dict[str, shared_memory.SharedMemory] = {}
+
+    def view(self, name: str, seq: int) -> np.ndarray:
+        """A zero-copy view of the named block's framed payload."""
+        shm = self._attached.get(name)
+        if shm is None:
+            # The sender replaced its block: every previous attachment is
+            # stale (one live block per direction), so unmap them first.
+            # Attaching re-registers the name with the resource tracker,
+            # which parent and workers share (its fd travels with both fork
+            # and spawn), so the tracker's name set stays deduplicated and
+            # only the owner's unlink unregisters it.
+            self.close()
+            shm = shared_memory.SharedMemory(name=name)
+            self._attached[name] = shm
+        return _read_frame(shm, seq)
+
+    def close(self) -> None:
+        """Unmap every attachment (the owner unlinks)."""
+        for shm in self._attached.values():
+            shm.close()
+        self._attached.clear()
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything a worker needs to rebuild a :class:`NetworkEngine`.
+
+    The spec is pickled once at launch; the worker builds its own executor
+    pool and weight cache from it, so no parent-side state (and none of the
+    parent's locks) is shared.  ``sys_path`` replays the parent's import
+    path so spawned workers resolve ``repro`` exactly like the parent did.
+    """
+
+    model: QuantizedModel
+    config: PimLayerConfig | None = None
+    noise: NoiseModel | None = None
+    micro_batch: int | None = None
+    float32: bool = False
+    sys_path: tuple[str, ...] = field(default_factory=tuple)
+
+
+def _build_engine_from_spec(spec: EngineSpec):
+    """Worker-side: compile the spec into a private in-process engine."""
+    from repro.runtime.cache import EncodedWeightCache, ExecutorPool
+    from repro.runtime.engine import NetworkEngine
+
+    pool = ExecutorPool(weight_cache=EncodedWeightCache(), float32=spec.float32)
+    return NetworkEngine.build(
+        spec.model,
+        spec.config,
+        noise=spec.noise,
+        micro_batch=spec.micro_batch,
+        pool=pool,
+        float32=spec.float32,
+    )
+
+
+def _error_message(seq: int, error: BaseException) -> tuple:
+    """An ``("err", ...)`` reply: pickled exception plus plain-text fallback."""
+    import traceback
+
+    tb_text = "".join(traceback.format_exception(error))
+    try:
+        payload = pickle.dumps(error)
+        pickle.loads(payload)  # some exceptions pickle but refuse to rebuild
+    except Exception:
+        payload = None
+    return ("err", seq, payload, type(error).__name__, str(error), tb_text)
+
+
+def _raise_remote(message: tuple) -> None:
+    """Re-raise a worker-side failure in the caller."""
+    _kind, _seq, payload, type_name, text, tb_text = message
+    if payload is not None:
+        try:
+            error = pickle.loads(payload)
+        except Exception:
+            error = None
+        if isinstance(error, BaseException):
+            error.remote_traceback = tb_text
+            raise error
+    raise RemoteEngineError(
+        f"{type_name} in engine worker: {text}\n--- worker traceback ---\n{tb_text}"
+    )
+
+
+def _engine_worker_main(spec_bytes: bytes, requests, results) -> None:
+    """The worker process: build the engine, then serve the request pipe.
+
+    Replies are ``("ok", seq, block_name_or_None, meta_dict)`` or the
+    ``("err", ...)`` tuple of :func:`_error_message`.  A ``run`` reply's meta
+    carries the worker-side engine wall time and the engine-run records
+    ``[(n_samples, elapsed_s)]`` the parent merges into its telemetry.
+    """
+    receiver = _ArrayReceiver()
+    sender = _ArraySender()
+    try:
+        try:
+            spec: EngineSpec = pickle.loads(spec_bytes)
+            for path in reversed(spec.sys_path):
+                if path not in sys.path:
+                    sys.path.insert(0, path)
+            engine = _build_engine_from_spec(spec)
+        except BaseException as error:
+            results.send(_error_message(0, error))
+            return
+        results.send(("ok", 0, None, {}))
+        while True:
+            try:
+                message = requests.recv()
+            except (EOFError, OSError):  # parent died or closed the pipe
+                return
+            kind, seq = message[0], message[1]
+            if kind == "close":
+                return
+            try:
+                if kind == "run":
+                    _, _, block, return_codes, has_override, micro_batch = message
+                    inputs = receiver.view(block, seq)
+                    start = time.perf_counter()
+                    if has_override:
+                        outputs = engine.run(
+                            inputs, return_codes=return_codes, micro_batch=micro_batch
+                        )
+                    else:
+                        outputs = engine.run(inputs, return_codes=return_codes)
+                    elapsed = time.perf_counter() - start
+                    out_block = sender.send(seq, outputs)
+                    meta = {
+                        "engine_time_s": elapsed,
+                        "records": [(int(inputs.shape[0]), elapsed)],
+                    }
+                    results.send(("ok", seq, out_block, meta))
+                elif kind == "layer_stats":
+                    stats = engine.layer_statistics()
+                    results.send(("ok", seq, None, {"stats": stats}))
+                elif kind == "reset_stats":
+                    engine.reset_statistics()
+                    results.send(("ok", seq, None, {}))
+                else:
+                    raise ValueError(f"unknown worker request kind {kind!r}")
+            except BaseException as error:
+                results.send(_error_message(seq, error))
+    finally:
+        sender.close()
+        receiver.close()
+        requests.close()
+        results.close()
+
+
+def _default_start_method() -> str:
+    """``fork`` where available *and* the parent is single-threaded.
+
+    Worker-side state is fork-safe (the worker builds its own pool, cache
+    and locks), but forking a multi-threaded parent can duplicate a lock
+    some other thread held mid-operation -- e.g. registering a process
+    backend while an :class:`~repro.serve.InferenceServer` is already
+    running its scheduler/worker threads.  In that case fall back to
+    ``spawn``, which starts the worker from a clean interpreter.
+    """
+    if "fork" in get_all_start_methods() and threading.active_count() == 1:
+        return "fork"
+    return "spawn"
+
+
+class EngineWorker:
+    """Parent-side handle to one engine worker process.
+
+    Owns the request/result pipes and the input shared-memory block (the
+    worker owns the output block); serialises callers with an internal lock,
+    so one worker serves one request at a time -- exactly the per-model
+    serialisation the server guarantees anyway.
+    """
+
+    def __init__(
+        self,
+        spec: EngineSpec,
+        start_method: str | None = None,
+        name: str | None = None,
+    ):
+        try:
+            spec_bytes = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as error:
+            raise ValueError(
+                "engine spec is not picklable (model, config and noise must "
+                f"survive a process boundary): {error!r}"
+            ) from error
+        # Start the shared-memory resource tracker *before* forking so the
+        # worker inherits it instead of lazily starting its own: with one
+        # shared tracker, create/attach registrations of the same block
+        # deduplicate and exactly the owner's unlink unregisters it.  (Spawn
+        # always ships the tracker fd in its preparation data.)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+        context = get_context(start_method or _default_start_method())
+        request_read, request_write = context.Pipe(duplex=False)
+        result_read, result_write = context.Pipe(duplex=False)
+        self._process = context.Process(
+            target=_engine_worker_main,
+            args=(spec_bytes, request_read, result_write),
+            name=f"engine-worker-{name or spec.model.name}",
+            daemon=True,
+        )
+        self._process.start()
+        # Close the child's pipe ends in the parent so EOF propagates when
+        # either side goes away.
+        request_read.close()
+        result_write.close()
+        self._requests = request_write
+        self._results = result_read
+        self._sender = _ArraySender()
+        self._receiver = _ArrayReceiver()
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+        self._closed = False
+        try:
+            self._wait_reply(0, timeout=_BOOT_TIMEOUT_S)
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (or the launch failed)."""
+        return self._closed
+
+    @property
+    def pid(self) -> int | None:
+        """The worker process id (``None`` once closed)."""
+        return None if self._closed else self._process.pid
+
+    def _wait_reply(self, seq: int, timeout: float | None = None) -> tuple:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._results.poll(0.05):
+            if not self._process.is_alive():
+                raise RemoteEngineError(
+                    "engine worker died without replying "
+                    f"(exit code {self._process.exitcode})"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError("engine worker did not reply in time")
+        message = self._results.recv()
+        if message[0] == "err":
+            _raise_remote(message)
+        if message[1] != seq:
+            raise RemoteEngineError(
+                f"engine worker replied out of sync: expected {seq}, got {message[1]}"
+            )
+        return message
+
+    def request(
+        self, kind: str, array: np.ndarray | None = None, extra: tuple = ()
+    ) -> tuple[np.ndarray | None, dict]:
+        """One request/reply round trip -> ``(output array or None, meta)``.
+
+        The output array is copied out of the worker's shared block before
+        the lock is released: the block is reused by the very next request,
+        so views must never escape this method.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("engine worker is closed")
+            seq = next(self._seq)
+            block = None if array is None else self._sender.send(seq, array)
+            try:
+                self._requests.send((kind, seq, block, *extra))
+            except (BrokenPipeError, OSError) as error:
+                raise RemoteEngineError(
+                    "engine worker died before the request could be sent "
+                    f"(exit code {self._process.exitcode})"
+                ) from error
+            message = self._wait_reply(seq)
+            out_block, meta = message[2], message[3]
+            if out_block is None:
+                return None, meta
+            return np.array(self._receiver.view(out_block, seq), copy=True), meta
+
+    def close(self, join_timeout: float = 10.0) -> None:
+        """Shut the worker down (idempotent): close request pipe, join, reap."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._requests.send(("close", next(self._seq), None))
+            except (BrokenPipeError, OSError):  # worker already gone
+                pass
+            self._requests.close()
+            self._results.close()
+            self._process.join(timeout=join_timeout)
+            if self._process.is_alive():  # pragma: no cover - stuck worker
+                self._process.terminate()
+                self._process.join(timeout=join_timeout)
+            self._process.close()
+            self._sender.close()
+            self._receiver.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"pid={self._process.pid}"
+        return f"EngineWorker({state})"
+
+
+class ProcessEngine:
+    """A :class:`NetworkEngine`-shaped facade over one :class:`EngineWorker`.
+
+    Built via :meth:`launch`; bit-identical to the in-process engine the
+    worker hosts (same pickled weights and calibration, same seeded noise
+    state, same micro-batching).  ``worker_owns_state`` tells the serving
+    layer that all mutable engine state lives worker-side, so no executor
+    locks are needed -- per-model request serialisation happens on the
+    worker's pipe instead.
+    """
+
+    #: Serving-layer contract: every executor/noise object lives in the
+    #: worker process, so dispatch must not (and cannot) take executor locks.
+    worker_owns_state = True
+
+    def __init__(self, model: QuantizedModel, worker: EngineWorker):
+        self.model = model
+        self.worker = worker
+        self._run_probes: list[Callable[[int, float], None]] = []
+
+    @classmethod
+    def launch(
+        cls,
+        model: QuantizedModel,
+        config: PimLayerConfig | None = None,
+        noise: NoiseModel | None = None,
+        micro_batch: int | None = None,
+        float32: bool = False,
+        start_method: str | None = None,
+    ) -> "ProcessEngine":
+        """Start a worker process hosting this model and wait until ready.
+
+        Raises :class:`ValueError` when the spec does not pickle, and
+        re-raises worker-side build failures (e.g. an uncalibrated model)
+        in the caller.
+        """
+        if not model.is_calibrated:
+            raise ValueError(f"model {model.name!r} must be calibrated first")
+        spec = EngineSpec(
+            model=model,
+            config=config,
+            noise=noise,
+            micro_batch=micro_batch,
+            float32=float32,
+            sys_path=tuple(sys.path),
+        )
+        return cls(model, EngineWorker(spec, start_method=start_method))
+
+    @property
+    def closed(self) -> bool:
+        """Whether the worker has been shut down."""
+        return self.worker.closed
+
+    # -- execution ------------------------------------------------------------
+
+    def run_timed(
+        self,
+        inputs: np.ndarray,
+        return_codes: bool = False,
+        micro_batch: int | None = _USE_DEFAULT,
+    ) -> tuple[np.ndarray, float, list[tuple[int, float]]]:
+        """Run remotely -> ``(outputs, worker engine seconds, run records)``.
+
+        The timing and the ``(n_samples, elapsed_s)`` records are measured
+        *inside* the worker around the engine call, so telemetry calibration
+        sees pure engine time, never pipe/shared-memory overhead.
+        """
+        batch = np.asarray(inputs, dtype=np.float64)
+        has_override = micro_batch is not _USE_DEFAULT
+        outputs, meta = self.worker.request(
+            "run",
+            array=batch,
+            extra=(return_codes, has_override, micro_batch if has_override else None),
+        )
+        for n_samples, elapsed_s in meta["records"]:
+            for probe in list(self._run_probes):
+                probe(n_samples, elapsed_s)
+        return outputs, meta["engine_time_s"], list(meta["records"])
+
+    def run(
+        self,
+        inputs: np.ndarray,
+        return_codes: bool = False,
+        micro_batch: int | None = _USE_DEFAULT,
+    ) -> np.ndarray:
+        """Run the integer path end-to-end in the worker process."""
+        outputs, _elapsed, _records = self.run_timed(
+            inputs, return_codes=return_codes, micro_batch=micro_batch
+        )
+        return outputs
+
+    def predict(
+        self, inputs: np.ndarray, micro_batch: int | None = _USE_DEFAULT
+    ) -> np.ndarray:
+        """Class predictions from the worker-hosted integer path."""
+        return np.argmax(self.run(inputs, micro_batch=micro_batch), axis=-1)
+
+    # -- probes / statistics ---------------------------------------------------
+
+    def add_run_probe(
+        self, probe: Callable[[int, float], None]
+    ) -> Callable[[int, float], None]:
+        """Attach a ``probe(n_samples, worker_elapsed_s)`` run callback."""
+        self._run_probes.append(probe)
+        return probe
+
+    def remove_run_probe(self, probe: Callable[[int, float], None]) -> None:
+        """Detach a probe previously added with :meth:`add_run_probe`."""
+        self._run_probes.remove(probe)
+
+    def layer_statistics(self) -> dict[str, LayerStatistics]:
+        """Per-layer statistics accumulated by the worker-side executors."""
+        _none, meta = self.worker.request("layer_stats")
+        return meta["stats"]
+
+    def network_statistics(self) -> LayerStatistics:
+        """Network-wide totals (crossbar/column counts sum across layers)."""
+        total = LayerStatistics(layer_name=self.model.name)
+        for stats in self.layer_statistics().values():
+            total.merge_layers(stats)
+        return total
+
+    def reset_statistics(self) -> None:
+        """Clear accumulated statistics on every worker-side executor."""
+        self.worker.request("reset_stats")
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker process down (idempotent)."""
+        self.worker.close()
+
+    def __enter__(self) -> "ProcessEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessEngine(model={self.model.name!r}, worker={self.worker!r})"

@@ -9,6 +9,10 @@ layer:
   :class:`~repro.runtime.ExecutorPool` / :class:`~repro.runtime.EncodedWeightCache`
   (identical weights share encoded crossbars across tenants), with the
   runtime's float32 GEMM fast path enabled by default.
+  ``register(..., backend="process")`` hosts a model in its own worker
+  process (:class:`~repro.runtime.ProcessEngine`) with a zero-copy
+  shared-memory request path, sidestepping the GIL for the digital stages;
+  ``unregister`` shuts the worker down cleanly.
 * :mod:`repro.serve.scheduler` -- the dynamic micro-batching substrate:
   :class:`BatchingPolicy` (batch-size target + latency budget),
   :class:`InferenceFuture` result handles and the per-model
@@ -59,7 +63,11 @@ from repro.serve.scheduler import (
     InferenceRequest,
     RequestQueue,
 )
-from repro.serve.server import InferenceServer, ServerStatistics
+from repro.serve.server import (
+    InferenceServer,
+    ServerStatistics,
+    ServerStoppedError,
+)
 from repro.serve.sharded import ShardedEngine
 
 __all__ = [
@@ -76,5 +84,6 @@ __all__ = [
     "RequestQueue",
     "RequestShedError",
     "ServerStatistics",
+    "ServerStoppedError",
     "ShardedEngine",
 ]

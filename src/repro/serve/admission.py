@@ -544,6 +544,23 @@ class AdmissionController:
             else:
                 self._counters.shed += 1
 
+    def retract(self, decision: AdmissionDecision) -> None:
+        """Undo one decision's counter after its request failed to enqueue.
+
+        The server calls this when ``stop()`` closes the queue between the
+        admission decision and the enqueue: the request never entered the
+        system, so it must not appear in the decision counters.  The
+        overload state is left alone -- it is recomputed from the live
+        backlog on the next decision.
+        """
+        with self._lock:
+            if decision.status == ACCEPTED:
+                self._counters.accepted -= 1
+            elif decision.status == DOWNGRADED:
+                self._counters.downgraded -= 1
+            else:
+                self._counters.shed -= 1
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         counters = self.counters()
         return (

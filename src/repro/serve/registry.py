@@ -24,6 +24,7 @@ from repro.hw.architecture import ArchitectureSpec
 from repro.nn.model import QuantizedModel
 from repro.runtime.cache import EncodedWeightCache, ExecutorPool
 from repro.runtime.engine import NetworkEngine
+from repro.runtime.procpool import ProcessEngine
 from repro.serve.sharded import ShardedEngine
 from repro.telemetry.cost import CostModel
 
@@ -73,12 +74,26 @@ class ModelRegistry:
         float32: bool | None = None,
         arch: ArchitectureSpec | None = None,
         tenant: str | None = None,
+        backend: str = "thread",
     ) -> NetworkEngine:
         """Host a calibrated model under ``name`` and return its engine.
 
         ``sharded=True`` (or any explicit ``n_stages``) builds a pipelined
         :class:`ShardedEngine`; both engine kinds are bit-identical, sharding
         only changes how micro-batches overlap in time.
+
+        ``backend="process"`` hosts the model in its own worker process
+        (:class:`~repro.runtime.ProcessEngine`): the worker builds a private
+        in-process engine from the pickled model spec and serves ``run()``
+        calls over a shared-memory request path, bit-identical to the
+        default in-process (``"thread"``) backend.  Process-backed engines
+        own all their mutable state, so the server dispatches to them
+        without executor locks and different models execute truly in
+        parallel.  The worker is shut down cleanly by :meth:`unregister`
+        (or :meth:`close`).  Process backends build their pool and weight
+        cache worker-side, so they do not share encodings with this
+        registry's pool, and they do not combine with ``sharded``/
+        ``n_stages`` (process parallelism replaces thread pipelining).
 
         ``arch`` opts the tenant into hardware-grounded telemetry: the
         registry precomputes a :class:`~repro.telemetry.CostModel` (per-layer
@@ -96,6 +111,10 @@ class ModelRegistry:
         """
         if not model.is_calibrated:
             raise ValueError(f"model {model.name!r} must be calibrated first")
+        if backend not in ("thread", "process"):
+            raise ValueError(f"unknown backend {backend!r} (thread or process)")
+        if backend == "process" and (sharded or n_stages is not None):
+            raise ValueError("backend='process' does not combine with sharding")
         use_float32 = self.float32 if float32 is None else float32
         # Reserve the name, then build outside the registry lock so
         # concurrent tenant registrations overlap their compilation work
@@ -106,7 +125,15 @@ class ModelRegistry:
             self._reserved.add(name)
         try:
             cost_model = None if arch is None else CostModel.from_model(model, arch)
-            if sharded or n_stages is not None:
+            if backend == "process":
+                engine = ProcessEngine.launch(
+                    model,
+                    config,
+                    noise=noise,
+                    micro_batch=micro_batch,
+                    float32=use_float32,
+                )
+            elif sharded or n_stages is not None:
                 engine: NetworkEngine = ShardedEngine.build(
                     model,
                     config,
@@ -171,13 +198,36 @@ class ModelRegistry:
             return {name: self._tenants.get(name, name) for name in self._engines}
 
     def unregister(self, name: str) -> None:
-        """Drop a hosted model (its pooled executors stay cached for reuse)."""
+        """Drop a hosted model (its pooled executors stay cached for reuse).
+
+        A process-backed engine's worker is shut down cleanly: the drop
+        happens under the lock, the (potentially slow) worker join outside
+        it, so other tenants are not blocked on process teardown.
+        """
         with self._lock:
-            if self._engines.pop(name, None) is None:
+            engine = self._engines.pop(name, None)
+            if engine is None:
                 raise KeyError(f"no model registered under {name!r}")
             self._cost_models.pop(name, None)
             self._tenants.pop(name, None)
             self.generation += 1
+        closer = getattr(engine, "close", None)
+        if closer is not None:
+            closer()
+
+    def close(self) -> None:
+        """Unregister every hosted model, shutting down process workers."""
+        for name in self.names():
+            try:
+                self.unregister(name)
+            except KeyError:  # concurrently unregistered
+                pass
+
+    def __enter__(self) -> "ModelRegistry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def names(self) -> list[str]:
         """Registered model names, in registration order."""

@@ -27,7 +27,12 @@ Threading model:
   a global order), because the shared :class:`~repro.runtime.ExecutorPool`
   can back several hosted names with the same executors (e.g. one model
   registered twice, or tenants sharing layer objects), and executors
-  accumulate statistics and noise state unguarded.
+  accumulate statistics and noise state unguarded;
+* process-backed engines (:class:`~repro.runtime.ProcessEngine`,
+  ``ModelRegistry.register(..., backend="process")``) take no executor
+  locks at all -- the worker process owns every executor and serialises its
+  own request pipe, so two process-backed models execute truly in parallel
+  while their worker-side engine timings still feed telemetry calibration.
 
 Results are bit-identical to calling ``engine.run`` directly on each request's
 inputs whenever the engine is deterministic (the default noiseless setup):
@@ -39,6 +44,7 @@ when choosing a batch size by hand.
 
 from __future__ import annotations
 
+import copy
 import itertools
 import math
 import threading
@@ -66,7 +72,38 @@ from repro.serve.scheduler import (
 )
 from repro.telemetry import RequestTrace, TelemetryCollector
 
-__all__ = ["InferenceServer", "ServerStatistics"]
+__all__ = ["InferenceServer", "ServerStatistics", "ServerStoppedError"]
+
+
+class ServerStoppedError(RuntimeError):
+    """Raised by :meth:`InferenceServer.submit` once the server has stopped.
+
+    Subclasses :class:`RuntimeError` so pre-existing ``except RuntimeError``
+    call sites keep working.  The check runs *before* admission control and
+    any counter updates, so a rejected submit leaves no trace in the
+    admission/telemetry accounting.
+    """
+
+
+def _clone_error(error: BaseException) -> BaseException:
+    """A per-request copy of one batch-wide failure.
+
+    Every future of a failed batch needs its *own* exception instance:
+    raising mutates ``__traceback__``/``__context__`` on the raised object,
+    so concurrent ``result()`` calls re-raising one shared instance race on
+    that mutation.  The copy keeps the original type/args (so ``except`` and
+    message matching behave identically) and chains the original via
+    ``__cause__`` for debugging; exceptions that refuse to copy degrade to a
+    ``RuntimeError`` carrying their repr.
+    """
+    try:
+        clone = copy.copy(error)
+    except Exception:
+        clone = None
+    if clone is None or clone is error or type(clone) is not type(error):
+        clone = RuntimeError(f"batch execution failed: {error!r}")
+    clone.__cause__ = error
+    return clone
 
 
 @dataclass
@@ -98,6 +135,21 @@ class ServerStatistics:
         if self.requests_completed == 0:
             return 0.0
         return self.queue_wait_s / self.requests_completed
+
+
+@dataclass
+class _EngineLockEntry:
+    """One per-executor/per-noise lock plus its in-flight reference count.
+
+    ``refs`` counts batches the lock has been handed to but that have not
+    finished executing yet; pruning must keep such entries even when their
+    model has been unregistered, because re-registering the same pooled
+    executor must map onto the *same* lock while any batch still holds (or
+    is about to take) it.
+    """
+
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    refs: int = 0
 
 
 @dataclass
@@ -204,7 +256,15 @@ class InferenceServer:
         self._queue = self._make_queue()
         self._stats = ServerStatistics()
         self._stats_lock = threading.Lock()
-        self._executor_locks: dict[int, threading.Lock] = {}
+        # Per-executor/per-noise lock entries, keyed by object id.  The
+        # table is pruned whenever the registry generation changes (see
+        # _engine_locks), so long-running servers that register/unregister
+        # tenants do not leak lock entries; entries handed to an in-flight
+        # batch (refs > 0) survive pruning so a concurrently re-registered
+        # model reusing the same pooled executor keeps serialising on the
+        # same lock.
+        self._executor_locks: dict[int, _EngineLockEntry] = {}
+        self._locks_generation = -1
         # Per-model FIFO queues of formed batches.  Workers pop the globally
         # most urgent head batch of any model that is not already being
         # drained; _dispatched_samples counts samples formed-but-unfinished
@@ -285,7 +345,16 @@ class InferenceServer:
         forward to the underlying future); a shed decision has no future and
         raises :class:`~repro.serve.admission.RequestShedError` on
         :meth:`~repro.serve.admission.AdmissionDecision.result`.
+
+        Raises :class:`ServerStoppedError` once :meth:`stop` has closed the
+        queue -- *before* the admission decision, so a rejected submit never
+        bumps an admission or telemetry counter.  :meth:`start` the server
+        again to resume submitting.
         """
+        if self._queue.closed:
+            raise ServerStoppedError(
+                "inference server is stopped; call start() before submitting"
+            )
         model = self.registry.model(model_name)  # raises KeyError if unknown
         batch = np.asarray(inputs, dtype=np.float64)
         if batch.ndim != len(model.input_shape) + 1 or batch.shape[0] == 0:
@@ -307,9 +376,9 @@ class InferenceServer:
         )
         if decision.status == DOWNGRADED:
             priority, deadline_s = 0, None
-        if self.telemetry is not None and self.admission is not None:
-            self.telemetry.record_admission(decision)
         if not decision.accepted:
+            if self.telemetry is not None and self.admission is not None:
+                self.telemetry.record_admission(decision)
             with self._stats_lock:
                 self._stats.requests_shed += 1
             return decision
@@ -325,7 +394,23 @@ class InferenceServer:
             request_id=request_id,
         )
         decision.future = future
-        self._queue.submit(request)
+        # Accepted requests are counted only *after* the enqueue succeeds:
+        # stop() may close the queue between the fail-fast check above and
+        # this point, and a request that was never enqueued must not appear
+        # in admission or serving counters.
+        try:
+            self._queue.submit(request)
+        except RuntimeError as error:
+            if self.admission is not None:
+                # decide() already counted the decision; the request never
+                # entered the system, so take the count back.
+                self.admission.retract(decision)
+            raise ServerStoppedError(
+                "inference server stopped while submitting; call start() "
+                "before submitting"
+            ) from error
+        if self.telemetry is not None and self.admission is not None:
+            self.telemetry.record_admission(decision)
         with self._stats_lock:
             self._stats.requests_submitted += 1
             if decision.status == DOWNGRADED:
@@ -441,16 +526,9 @@ class InferenceServer:
 
     # -- scheduler / workers ---------------------------------------------------
 
-    def _engine_locks(self, engine) -> list[threading.Lock]:
-        """Locks covering the engine's shared mutable state, id-sorted.
-
-        The shared pool can back different hosted names with the same
-        executor instances, and different engines can share one stateful
-        (seeded) noise model whose RNG is not thread-safe -- so locks are
-        keyed per executor *and* per stateful noise object rather than per
-        model name.  The global id-sorted acquisition order makes taking
-        several locks deadlock-free.
-        """
+    @staticmethod
+    def _engine_lock_ids(engine) -> set[int]:
+        """Ids of the engine's shared mutable objects (executors + noise)."""
         from repro.analog.noise import NoiselessModel
 
         lock_ids = {id(executor) for executor in engine.executors.values()}
@@ -459,11 +537,74 @@ class InferenceServer:
             for executor in engine.executors.values()
             if not isinstance(executor.noise, NoiselessModel)
         )
+        return lock_ids
+
+    def _live_lock_ids(self) -> set[int]:
+        """Lock ids backed by an engine currently hosted in the registry."""
+        live: set[int] = set()
+        for name in self.registry.names():
+            try:
+                engine = self.registry.engine(name)
+            except KeyError:  # unregistered between names() and engine()
+                continue
+            if getattr(engine, "worker_owns_state", False):
+                continue  # process-backed: no parent-side executor state
+            live.update(self._engine_lock_ids(engine))
+        return live
+
+    def _engine_locks(self, engine) -> list[_EngineLockEntry]:
+        """Lock entries covering the engine's shared mutable state, id-sorted.
+
+        The shared pool can back different hosted names with the same
+        executor instances, and different engines can share one stateful
+        (seeded) noise model whose RNG is not thread-safe -- so locks are
+        keyed per executor *and* per stateful noise object rather than per
+        model name.  The global id-sorted acquisition order makes taking
+        several locks deadlock-free.
+
+        The table is bounded: whenever the registry generation moves (a
+        model was (un)registered), entries whose id no longer belongs to a
+        hosted engine are dropped -- *except* entries some in-flight batch
+        is still using (``refs > 0``).  Keeping in-use entries is a
+        correctness requirement, not just politeness: unregistering a model
+        mid-batch and re-registering it (its executors stay cached in the
+        shared pool) must map the same executor onto the same lock, or two
+        batches would run one unguarded executor concurrently.  Each
+        returned entry's ``refs`` is incremented here; the caller must pair
+        this with :meth:`_release_engine_locks`.  A recycled id can at
+        worst share a lock until the next pruning pass (harmless extra
+        serialisation), never accumulate forever.
+        """
+        lock_ids = self._engine_lock_ids(engine)
+        # Snapshot the live ids *before* taking the dispatch guard: the
+        # O(models x executors) registry scan must not stall every worker's
+        # batch selection.  The unguarded generation read can only be stale,
+        # which at worst defers (or redoes) one pruning pass; the refs > 0
+        # rule keeps any in-flight entry safe regardless.
+        generation = self.registry.generation
+        stale = generation != self._locks_generation
+        live = self._live_lock_ids() if stale else None
         with self._dispatch_guard:
-            return [
-                self._executor_locks.setdefault(lock_id, threading.Lock())
+            if live is not None and self._locks_generation < generation:
+                self._executor_locks = {
+                    lock_id: entry
+                    for lock_id, entry in self._executor_locks.items()
+                    if lock_id in live or entry.refs > 0
+                }
+                self._locks_generation = generation
+            entries = [
+                self._executor_locks.setdefault(lock_id, _EngineLockEntry())
                 for lock_id in sorted(lock_ids)
             ]
+            for entry in entries:
+                entry.refs += 1
+            return entries
+
+    def _release_engine_locks(self, entries: list[_EngineLockEntry]) -> None:
+        """Drop the in-flight references taken by :meth:`_engine_locks`."""
+        with self._dispatch_guard:
+            for entry in entries:
+                entry.refs -= 1
 
     def _schedule_loop(self) -> None:
         while True:
@@ -549,15 +690,27 @@ class InferenceServer:
                 if len(batch) == 1
                 else np.concatenate([request.inputs for request in batch], axis=0)
             )
-            with ExitStack() as stack:
-                for lock in self._engine_locks(engine):
-                    stack.enter_context(lock)
-                start = time.perf_counter()
-                outputs = engine.run(inputs)
-                engine_time = time.perf_counter() - start
+            if getattr(engine, "worker_owns_state", False):
+                # Process-backed engine: all mutable state lives in the
+                # worker, which serialises its own requests -- no executor
+                # locks.  Timing and engine-run records are measured inside
+                # the worker, so telemetry calibration never sees IPC cost.
+                outputs, engine_time, engine_records = engine.run_timed(inputs)
+            else:
+                entries = self._engine_locks(engine)
+                try:
+                    with ExitStack() as stack:
+                        for entry in entries:
+                            stack.enter_context(entry.lock)
+                        start = time.perf_counter()
+                        outputs = engine.run(inputs)
+                        engine_time = time.perf_counter() - start
+                finally:
+                    self._release_engine_locks(entries)
+                engine_records = [(int(sum(sizes)), engine_time)]
         except BaseException as error:
             for request in batch:
-                request.future._set_error(error)
+                request.future._set_error(_clone_error(error))
             with self._stats_lock:
                 self._stats.requests_failed += len(batch)
             return
@@ -577,7 +730,9 @@ class InferenceServer:
             )
             stats.batches_per_model[name] = stats.batches_per_model.get(name, 0) + 1
         if self.telemetry is not None:
-            self._record_telemetry(batch, sizes, dispatched, completed, engine_time)
+            self._record_telemetry(
+                batch, sizes, dispatched, completed, engine_time, engine_records
+            )
 
     def _record_telemetry(
         self,
@@ -586,11 +741,18 @@ class InferenceServer:
         dispatched: float,
         completed: float,
         engine_time: float,
+        engine_records: list[tuple[int, float]],
     ) -> None:
-        """Feed one completed batch into the telemetry collector."""
+        """Feed one completed batch into the telemetry collector.
+
+        ``engine_records`` are the per-run ``(n_samples, elapsed_s)`` pairs:
+        measured server-side for in-process engines, shipped back over the
+        result pipe for process-backed ones -- either way they feed the same
+        calibration, so predicted latency stays grounded in engine time.
+        """
         name = batch[0].model_name
         batch_samples = int(sum(sizes))
-        self.telemetry.record_engine_run(name, batch_samples, engine_time)
+        self.telemetry.record_engine_runs(name, engine_records)
         cost = self.telemetry.cost_model(name)
         # The pipeline-fill latency is paid once per coalesced batch, so each
         # request is charged its sample-weighted share of the *batch's*

@@ -363,6 +363,18 @@ class TelemetryCollector:
                         + _CALIBRATION_ALPHA * (ratio - previous)
                     )
 
+    def record_engine_runs(
+        self, model_name: str, records: list[tuple[int, float]]
+    ) -> None:
+        """Merge a batch of ``(n_samples, elapsed_s)`` engine-run records.
+
+        The server uses this to fold in worker-side records shipped back
+        over a :class:`~repro.runtime.ProcessEngine` result pipe; each
+        record calibrates prediction exactly like a locally observed run.
+        """
+        for n_samples, elapsed_s in records:
+            self.record_engine_run(model_name, n_samples, elapsed_s)
+
     def engine_probe(self, model_name: str):
         """A :meth:`NetworkEngine.add_run_probe` callback feeding this collector."""
 

@@ -7,12 +7,31 @@ simulator and cost models.
 
 from __future__ import annotations
 
+import multiprocessing
+
 import numpy as np
 import pytest
 
 from repro.nn.layers import Conv2d, GlobalAvgPool, Linear
 from repro.nn.model import QuantizedModel
 from repro.nn.synthetic import synthetic_conv_weights, synthetic_linear_weights
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_worker_processes():
+    """Worker-process hygiene: no test may leak engine worker children.
+
+    Process-backed engines (:mod:`repro.runtime.procpool`) spawn one child
+    per hosted model; a test that forgets to close them would leave orphans
+    that outlive the suite and poison later tests.  Any leftover child is
+    terminated so the failure does not cascade, then the test fails.
+    """
+    yield
+    leaked = multiprocessing.active_children()
+    for child in leaked:
+        child.terminate()
+        child.join(timeout=5)
+    assert not leaked, f"test leaked worker processes: {leaked}"
 
 
 @pytest.fixture

@@ -1,0 +1,297 @@
+"""Tests for process-based engine workers and the shared-memory transport.
+
+The contract mirrors every other fast path in this repo: hosting an engine in
+its own worker process is a pure scheduling/parallelism change, so outputs,
+statistics and seeded noise draws stay *bit-identical* to the in-process
+:class:`~repro.runtime.NetworkEngine` built from the same spec.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.analog.noise import GaussianColumnNoise
+from repro.runtime import (
+    ExecutorPool,
+    NetworkEngine,
+    ProcessEngine,
+    RemoteEngineError,
+)
+from repro.runtime.procpool import _MIN_BLOCK_BYTES
+from repro.serve import (
+    BatchingPolicy,
+    InferenceServer,
+    ModelRegistry,
+    ServerStoppedError,
+)
+from repro.telemetry import TelemetryCollector
+from tests.test_runtime_engine import assert_stats_equal
+
+
+def reference_engine(model, **kwargs) -> NetworkEngine:
+    """An isolated in-process engine for parity comparisons."""
+    return NetworkEngine.build(model, pool=ExecutorPool(weight_cache=None), **kwargs)
+
+
+@pytest.fixture
+def process_engine(tiny_mlp_model):
+    """A worker-hosted engine for the tiny MLP, closed after the test."""
+    engine = ProcessEngine.launch(tiny_mlp_model)
+    yield engine
+    engine.close()
+
+
+class TestProcessEngineParity:
+    def test_bit_identical_to_in_process(self, tiny_mlp_model, process_engine, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(10, 16)))
+        assert np.array_equal(
+            reference_engine(tiny_mlp_model).run(inputs), process_engine.run(inputs)
+        )
+
+    def test_micro_batching_matches(self, tiny_mlp_model, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(10, 16)))
+        reference = reference_engine(tiny_mlp_model, micro_batch=3)
+        with ProcessEngine.launch(tiny_mlp_model, micro_batch=3) as engine:
+            assert np.array_equal(reference.run(inputs), engine.run(inputs))
+            # Per-call override crosses the pipe too.
+            assert np.array_equal(
+                reference.run(inputs, micro_batch=4),
+                engine.run(inputs, micro_batch=4),
+            )
+
+    def test_return_codes_parity(self, tiny_mlp_model, process_engine, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(6, 16)))
+        assert np.array_equal(
+            reference_engine(tiny_mlp_model).run(inputs, return_codes=True),
+            process_engine.run(inputs, return_codes=True),
+        )
+
+    def test_seeded_noise_draws_identically(self, tiny_mlp_model, rng):
+        # The pickled noise RNG state must reproduce the exact draw
+        # sequence across consecutive runs, like the in-process engine.
+        inputs = np.abs(rng.normal(0, 1, size=(9, 16)))
+        reference = reference_engine(
+            tiny_mlp_model, noise=GaussianColumnNoise(level=0.08, seed=5)
+        )
+        with ProcessEngine.launch(
+            tiny_mlp_model, noise=GaussianColumnNoise(level=0.08, seed=5)
+        ) as engine:
+            for _ in range(2):
+                assert np.array_equal(reference.run(inputs), engine.run(inputs))
+
+    def test_conv_model_and_predict(self, tiny_conv_model, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(5, 3, 8, 8)))
+        reference = reference_engine(tiny_conv_model)
+        with ProcessEngine.launch(tiny_conv_model) as engine:
+            assert np.array_equal(reference.run(inputs), engine.run(inputs))
+            assert np.array_equal(reference.predict(inputs), engine.predict(inputs))
+
+    def test_spawn_start_method(self, tiny_mlp_model, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(4, 16)))
+        with ProcessEngine.launch(tiny_mlp_model, start_method="spawn") as engine:
+            assert np.array_equal(
+                reference_engine(tiny_mlp_model).run(inputs), engine.run(inputs)
+            )
+
+    def test_float32_fast_path_parity(self, tiny_mlp_model, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(6, 16)))
+        with ProcessEngine.launch(tiny_mlp_model, float32=True) as engine:
+            assert np.array_equal(
+                reference_engine(tiny_mlp_model).run(inputs), engine.run(inputs)
+            )
+
+
+class TestSharedMemoryTransport:
+    def test_blocks_grow_and_shrink_transparently(
+        self, tiny_mlp_model, process_engine, rng
+    ):
+        # Alternate small and oversized batches: the oversized one forces
+        # both direction blocks to grow past the minimum size, the next
+        # small one rides the grown block -- parity must hold throughout.
+        reference = reference_engine(tiny_mlp_model)
+        oversized = _MIN_BLOCK_BYTES // (16 * 8) + 7
+        for n in (3, oversized, 2):
+            inputs = np.abs(rng.normal(0, 1, size=(n, 16)))
+            assert np.array_equal(reference.run(inputs), process_engine.run(inputs))
+
+    def test_outputs_are_independent_copies(self, process_engine, rng):
+        # Results must be materialised out of the shared block: a later
+        # request reuses the block and must not mutate earlier results.
+        first_inputs = np.abs(rng.normal(0, 1, size=(4, 16)))
+        first = process_engine.run(first_inputs)
+        snapshot = first.copy()
+        process_engine.run(np.abs(rng.normal(0, 1, size=(4, 16))))
+        assert np.array_equal(first, snapshot)
+
+    def test_worker_side_timings_reported(self, process_engine, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(5, 16)))
+        outputs, elapsed, records = process_engine.run_timed(inputs)
+        assert outputs.shape[0] == 5
+        assert elapsed > 0
+        assert records == [(5, elapsed)]
+        probed: list[tuple[int, float]] = []
+        probe = process_engine.add_run_probe(lambda n, s: probed.append((n, s)))
+        process_engine.run(inputs)
+        assert len(probed) == 1 and probed[0][0] == 5 and probed[0][1] > 0
+        process_engine.remove_run_probe(probe)
+
+
+class TestWorkerLifecycle:
+    def test_worker_errors_propagate_and_worker_survives(
+        self, tiny_mlp_model, process_engine, rng
+    ):
+        inputs = np.abs(rng.normal(0, 1, size=(4, 16)))
+        expected = reference_engine(tiny_mlp_model).run(inputs)
+        with pytest.raises(Exception) as excinfo:
+            process_engine.run(np.ones((2, 7)))  # wrong feature count
+        assert hasattr(excinfo.value, "remote_traceback")
+        # The worker loop keeps serving after a failed request.
+        assert np.array_equal(process_engine.run(inputs), expected)
+
+    def test_unpicklable_spec_rejected_at_launch(self, tiny_mlp_model):
+        class LambdaNoise:
+            @staticmethod
+            def apply(positive, negative):
+                return positive - negative
+
+            def __reduce__(self):
+                raise TypeError("deliberately unpicklable")
+
+        with pytest.raises(ValueError, match="not picklable"):
+            ProcessEngine.launch(tiny_mlp_model, noise=LambdaNoise())
+
+    def test_uncalibrated_model_rejected(self, rng):
+        from repro.nn.layers import Linear
+        from repro.nn.model import QuantizedModel
+        from repro.nn.synthetic import synthetic_linear_weights
+
+        model = QuantizedModel(
+            "raw",
+            [Linear("fc", synthetic_linear_weights(4, 8, rng))],
+            input_shape=(8,),
+        )
+        with pytest.raises(ValueError, match="calibrated"):
+            ProcessEngine.launch(model)
+
+    def test_close_is_idempotent_and_terminal(self, tiny_mlp_model):
+        engine = ProcessEngine.launch(tiny_mlp_model)
+        pid = engine.worker.pid
+        assert pid is not None and not engine.closed
+        engine.close()
+        engine.close()
+        assert engine.closed and engine.worker.pid is None
+        assert not multiprocessing.active_children()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.run(np.zeros((1, 16)))
+
+    def test_dead_worker_raises_instead_of_hanging(self, tiny_mlp_model):
+        engine = ProcessEngine.launch(tiny_mlp_model)
+        try:
+            engine.worker._process.terminate()
+            engine.worker._process.join(timeout=10)
+            with pytest.raises(RemoteEngineError, match="died"):
+                engine.run(np.zeros((1, 16)))
+        finally:
+            engine.close()
+
+    def test_statistics_roundtrip(self, tiny_mlp_model, process_engine, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(7, 16)))
+        reference = reference_engine(tiny_mlp_model)
+        reference.run(inputs)
+        process_engine.run(inputs)
+        remote = process_engine.layer_statistics()
+        for name, stats in reference.layer_statistics().items():
+            assert_stats_equal(stats, remote[name])
+        assert_stats_equal(
+            reference.network_statistics(), process_engine.network_statistics()
+        )
+        process_engine.reset_statistics()
+        assert process_engine.network_statistics().n_inputs == 0
+
+
+class TestRegistryAndServerIntegration:
+    def test_register_process_backend(self, tiny_mlp_model, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(4, 16)))
+        with ModelRegistry() as registry:
+            engine = registry.register("mlp", tiny_mlp_model, backend="process")
+            assert isinstance(engine, ProcessEngine)
+            assert registry.engine("mlp") is engine
+            assert registry.model("mlp") is tiny_mlp_model
+            assert np.array_equal(
+                reference_engine(tiny_mlp_model, float32=True).run(inputs),
+                engine.run(inputs),
+            )
+
+    def test_unregister_shuts_worker_down(self, tiny_mlp_model):
+        registry = ModelRegistry()
+        engine = registry.register("mlp", tiny_mlp_model, backend="process")
+        registry.unregister("mlp")
+        assert engine.closed
+        assert not multiprocessing.active_children()
+
+    def test_invalid_backend_combinations_rejected(self, tiny_mlp_model):
+        registry = ModelRegistry()
+        with pytest.raises(ValueError, match="backend"):
+            registry.register("a", tiny_mlp_model, backend="rocket")
+        with pytest.raises(ValueError, match="shard"):
+            registry.register("b", tiny_mlp_model, backend="process", sharded=True)
+        with pytest.raises(ValueError, match="shard"):
+            registry.register("c", tiny_mlp_model, backend="process", n_stages=2)
+        assert len(registry) == 0
+
+    def test_server_over_process_backend_bit_identical(self, tiny_mlp_model, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(10, 16)))
+        direct = reference_engine(tiny_mlp_model, float32=True).run(inputs)
+        telemetry = TelemetryCollector()
+        with ModelRegistry() as registry:
+            registry.register("mlp", tiny_mlp_model, backend="process")
+            server = InferenceServer(
+                registry,
+                BatchingPolicy(max_batch_size=4, max_delay_s=10.0),
+                telemetry=telemetry,
+            )
+            futures = [server.submit("mlp", inputs[i : i + 1]) for i in range(10)]
+            with server:
+                pass
+            results = [f.result(timeout=30) for f in futures]
+            assert np.array_equal(np.concatenate(results, axis=0), direct)
+            stats = server.statistics()
+            assert stats.requests_completed == 10 and stats.batches_executed == 3
+            # Dispatch to a worker-owned engine takes no executor locks.
+            assert server._executor_locks == {}
+            # Worker-side engine-run records merged into the collector: one
+            # per coalesced batch, with non-zero worker-measured wall time.
+            aggregate = telemetry.aggregate("mlp")
+            assert aggregate.engine_runs == 3
+            assert aggregate.engine_run_samples == 10
+            assert aggregate.engine_run_s > 0
+
+    def test_mixed_backends_share_one_server(
+        self, tiny_mlp_model, tiny_conv_model, rng
+    ):
+        mlp_in = np.abs(rng.normal(0, 1, size=(4, 16)))
+        conv_in = np.abs(rng.normal(0, 1, size=(3, 3, 8, 8)))
+        direct_mlp = reference_engine(tiny_mlp_model, float32=True).run(mlp_in)
+        direct_conv = reference_engine(tiny_conv_model, float32=True).run(conv_in)
+        with ModelRegistry() as registry:
+            registry.register("mlp", tiny_mlp_model, backend="process")
+            registry.register("conv", tiny_conv_model)  # thread backend
+            with InferenceServer(registry) as server:
+                mlp_future = server.submit("mlp", mlp_in)
+                conv_future = server.submit("conv", conv_in)
+                assert np.array_equal(mlp_future.result(timeout=30), direct_mlp)
+                assert np.array_equal(conv_future.result(timeout=30), direct_conv)
+
+    def test_engine_failure_over_process_backend(self, tiny_mlp_model):
+        with ModelRegistry() as registry:
+            registry.register("mlp", tiny_mlp_model, backend="process")
+            server = InferenceServer(
+                registry, BatchingPolicy(max_batch_size=8, max_delay_s=10.0)
+            )
+            good = server.submit("mlp", np.zeros((1, 16)))
+            with server:
+                pass
+            good.result(timeout=30)
+            with pytest.raises(ServerStoppedError):
+                server.submit("mlp", np.zeros((1, 16)))

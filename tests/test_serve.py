@@ -19,6 +19,7 @@ from repro.serve import (
     BatchingPolicy,
     InferenceServer,
     ModelRegistry,
+    ServerStoppedError,
     ShardedEngine,
 )
 from tests.test_runtime_engine import assert_stats_equal
@@ -433,12 +434,148 @@ class TestInferenceServer:
                 future.result(timeout=30)
         assert server.statistics().requests_failed == 3
 
+    def test_engine_errors_deliver_independent_exceptions(self, registry):
+        # A failed batch must not share one exception instance across its
+        # futures: concurrent result() calls re-raising a shared object
+        # race on its __traceback__/__context__ mutation.
+        original = RuntimeError("tile power loss")
+
+        def explode(inputs, **kwargs):
+            raise original
+
+        registry.engine("mlp").run = explode
+        server = InferenceServer(
+            registry, BatchingPolicy(max_batch_size=8, max_delay_s=10.0)
+        )
+        futures = [server.submit("mlp", np.zeros((1, 16))) for _ in range(2)]
+        with server:
+            pass
+        raised = []
+        for future in futures:
+            with pytest.raises(RuntimeError, match="tile power loss") as excinfo:
+                future.result(timeout=30)
+            raised.append(excinfo.value)
+        first, second = raised
+        assert first is not second and first is not original
+        assert first.__cause__ is original and second.__cause__ is original
+
+    def test_engine_failure_statistics(self, registry):
+        # requests_failed counts the batch; completion-side counters and the
+        # dispatch backlog must not -- a failed batch still drains.
+        def explode(inputs, **kwargs):
+            raise RuntimeError("tile power loss")
+
+        registry.engine("mlp").run = explode
+        server = InferenceServer(
+            registry, BatchingPolicy(max_batch_size=8, max_delay_s=10.0)
+        )
+        futures = [server.submit("mlp", np.zeros((1, 16))) for _ in range(3)]
+        with server:
+            pass
+        for future in futures:
+            assert future.done()
+        stats = server.statistics()
+        assert stats.requests_failed == 3
+        assert stats.requests_completed == 0
+        assert stats.batches_executed == 0
+        assert stats.queue_wait_s == 0.0
+        assert server._dispatched_samples == {}
+
     def test_submit_after_stop_rejected(self, registry):
         server = InferenceServer(registry)
         with server:
             pass
         with pytest.raises(RuntimeError):
             server.submit("mlp", np.zeros((1, 16)))
+
+    def test_submit_after_stop_fails_fast_without_counter_drift(self, registry):
+        from repro.serve import AdmissionController
+        from repro.telemetry import TelemetryCollector
+
+        telemetry = TelemetryCollector()
+        server = InferenceServer(
+            registry, telemetry=telemetry, admission=AdmissionController()
+        )
+        with server:
+            server.infer("mlp", np.zeros((1, 16)), timeout=30)
+        before_stats = server.statistics()
+        before_admission = server.admission.counters()
+        before_aggregate = telemetry.aggregate("mlp")
+        with pytest.raises(ServerStoppedError, match="stopped"):
+            server.submit("mlp", np.zeros((1, 16)))
+        # The rejected submit left no trace: no submitted/accepted counter
+        # moved, and the admission controller never even decided.
+        after_stats = server.statistics()
+        assert after_stats.requests_submitted == before_stats.requests_submitted
+        assert after_stats.requests_shed == before_stats.requests_shed
+        assert server.admission.counters() == before_admission
+        after_aggregate = telemetry.aggregate("mlp")
+        assert after_aggregate.admitted_requests == before_aggregate.admitted_requests
+        assert after_aggregate.shed_requests == before_aggregate.shed_requests
+        # stop -> start -> submit works again.
+        with server:
+            assert server.infer("mlp", np.zeros((1, 16)), timeout=30).shape == (1, 4)
+        assert (
+            server.statistics().requests_submitted
+            == before_stats.requests_submitted + 1
+        )
+
+    def test_stop_racing_submit_retracts_admission_count(self, registry):
+        # stop() can close the queue between submit's fail-fast check and
+        # the enqueue; the admission decision was already counted by then
+        # and must be taken back so counters only reflect enqueued work.
+        from repro.serve import AdmissionController
+
+        server = InferenceServer(registry, admission=AdmissionController())
+
+        def closed_submit(request):
+            raise RuntimeError("request queue is closed")
+
+        server._queue.submit = closed_submit  # the race, deterministically
+        before = server.admission.counters()
+        with pytest.raises(ServerStoppedError):
+            server.submit("mlp", np.zeros((1, 16)))
+        assert server.admission.counters() == before
+
+    def test_pruning_keeps_in_flight_lock_entries(self, registry, tiny_conv_model):
+        # An unregistered model's lock entries must survive pruning while a
+        # batch still uses them: re-registering the same pooled executors
+        # has to land on the same locks, or two batches could run one
+        # unguarded executor concurrently.
+        server = InferenceServer(registry)
+        in_flight = server._engine_locks(registry.engine("mlp"))
+        mlp_ids = set(server._executor_locks)
+        registry.register("conv", tiny_conv_model)
+        registry.unregister("mlp")  # generation change; mlp no longer live
+        conv_entries = server._engine_locks(registry.engine("conv"))  # prunes
+        assert mlp_ids <= set(server._executor_locks)  # kept: refs > 0
+        server._release_engine_locks(in_flight)
+        server._release_engine_locks(conv_entries)
+        registry.unregister("conv")  # generation change with refs drained
+        registry.register("conv_again", tiny_conv_model)
+        server._engine_locks(registry.engine("conv_again"))
+        assert not mlp_ids & set(server._executor_locks)
+
+    def test_executor_lock_table_stays_bounded(self, rng):
+        # Register/unregister churn must not leak _executor_locks entries:
+        # the table prunes to the live registry on generation change.
+        from repro.nn.layers import Linear
+        from repro.nn.model import QuantizedModel
+        from repro.nn.synthetic import synthetic_linear_weights
+
+        registry = ModelRegistry()
+        inputs = np.abs(rng.normal(0, 1, size=(2, 8)))
+        with InferenceServer(registry) as server:
+            for i in range(8):
+                layer = Linear(f"fc_{i}", synthetic_linear_weights(4, 8, rng))
+                model = QuantizedModel(f"m{i}", [layer], input_shape=(8,))
+                model.calibrate(np.abs(rng.normal(0, 1, size=(16, 8))))
+                registry.register("tenant", model)
+                server.infer("tenant", inputs, timeout=30)
+                registry.unregister("tenant")
+                # One single-noiseless-layer model => at most one live lock
+                # (the churned models' locks are pruned, not accumulated).
+                assert len(server._executor_locks) <= 1
 
     def test_server_restarts_after_stop(self, registry, rng):
         inputs = np.abs(rng.normal(0, 1, size=(2, 16)))
