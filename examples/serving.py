@@ -17,6 +17,9 @@ back per request.  This example shows:
 6. process-based engine workers (``backend="process"``): each model in its
    own process behind a zero-copy shared-memory request path, sidestepping
    the GIL so CPU-bound tenants execute truly in parallel,
+7. replicated self-healing pools (``replicas=2``): one hot model on two
+   worker processes with least-loaded dispatch, surviving a SIGKILL of a
+   replica without losing a single request,
 
 and verifies every served result is bit-identical to a direct engine call.
 
@@ -174,10 +177,41 @@ def main() -> None:
         }
     for name, served in outputs.items():
         direct = registry.engine(name).run(inputs)
-        worker = proc_registry.engine(name)
-        print(f"  {name}: worker pid {worker.worker.pid}, "
+        pool = proc_registry.engine(name)
+        print(f"  {name}: worker pids {pool.replica_pids()}, "
               f"bit-identical={np.array_equal(served, direct)}")
     proc_registry.close()  # clean worker shutdown (also wired to unregister)
+
+    print("\n== 7. Replicated self-healing worker pools ==")
+    # replicas=2 hosts one model on two worker processes behind a single
+    # engine facade: concurrent batches dispatch to the least-loaded healthy
+    # replica, and a crashed replica's in-flight batch requeues onto its
+    # sibling while the pool restarts the dead worker in the background.
+    import os
+    import signal
+
+    pool_registry = ModelRegistry()
+    pool_registry.register("tenant_a", model_a, backend="process", replicas=2)
+    pool = pool_registry.engine("tenant_a")
+    print(f"  pool: {pool.replicas} replicas, dispatch width "
+          f"{pool.dispatch_width}, pids {pool.replica_pids()}")
+    direct = registry.engine("tenant_a").run(inputs)
+    with InferenceServer(pool_registry, policy, max_workers=2) as server:
+        futures = [server.submit("tenant_a", inputs) for _ in range(8)]
+        os.kill(pool.replica_pids()[0], signal.SIGKILL)  # murder a replica
+        results = [future.result(timeout=60) for future in futures]
+    survived = all(np.array_equal(result, direct) for result in results)
+    deadline = time.perf_counter() + 30
+    while pool.pool_health()["restarts"] < 1 or pool.healthy_replicas < 2:
+        time.sleep(0.05)
+        if time.perf_counter() > deadline:
+            raise SystemExit("replica pool failed to self-heal")
+    print(f"  killed one replica mid-stream: {len(results)}/8 requests "
+          f"completed, bit-identical={survived}")
+    print(f"  pool healed: {pool.pool_health()}")
+    if not survived:
+        raise SystemExit("replicated pool outputs diverged after the kill")
+    pool_registry.close()  # drains and shuts down every replica
 
 
 if __name__ == "__main__":

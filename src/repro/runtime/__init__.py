@@ -21,11 +21,14 @@ batched engine while staying bit-identical to the per-phase reference:
 * :mod:`repro.runtime.engine` runs a calibrated
   :class:`~repro.nn.model.QuantizedModel` end-to-end with configurable
   micro-batching (:class:`NetworkEngine`).
-* :mod:`repro.runtime.procpool` hosts an engine in its own *process*
-  (:class:`ProcessEngine` over an :class:`EngineWorker`), sidestepping the
-  GIL for the digital stages; request/response arrays travel through
-  shared-memory blocks with a framed header instead of the pickler, and
-  results stay bit-identical to the in-process engine.
+* :mod:`repro.runtime.procpool` hosts an engine in worker *processes*,
+  sidestepping the GIL for the digital stages; request/response arrays
+  travel through shared-memory blocks with a framed header instead of the
+  pickler, and results stay bit-identical to the in-process engine.
+  :class:`ProcessEngine` fronts a single :class:`EngineWorker`;
+  :class:`ReplicaPool` fronts N of them behind one engine interface, with
+  least-loaded dispatch, liveness probes and automatic restart of crashed
+  replicas (:class:`WorkerHandle` per slot).
 
 Quickstart::
 
@@ -50,6 +53,11 @@ from repro.runtime.procpool import (
     EngineWorker,
     ProcessEngine,
     RemoteEngineError,
+    ReplicaPool,
+    WorkerClosedError,
+    WorkerCrashError,
+    WorkerHandle,
+    WorkerStartupError,
 )
 from repro.runtime.vectorized import VectorizedLayerExecutor, float32_gemm_is_exact
 
@@ -62,7 +70,12 @@ __all__ = [
     "NetworkEngine",
     "ProcessEngine",
     "RemoteEngineError",
+    "ReplicaPool",
     "VectorizedLayerExecutor",
+    "WorkerClosedError",
+    "WorkerCrashError",
+    "WorkerHandle",
+    "WorkerStartupError",
     "extract_phase_tensor",
     "float32_gemm_is_exact",
     "plan_shift_masks",

@@ -9,10 +9,11 @@ layer:
   :class:`~repro.runtime.ExecutorPool` / :class:`~repro.runtime.EncodedWeightCache`
   (identical weights share encoded crossbars across tenants), with the
   runtime's float32 GEMM fast path enabled by default.
-  ``register(..., backend="process")`` hosts a model in its own worker
-  process (:class:`~repro.runtime.ProcessEngine`) with a zero-copy
-  shared-memory request path, sidestepping the GIL for the digital stages;
-  ``unregister`` shuts the worker down cleanly.
+  ``register(..., backend="process", replicas=N)`` hosts a model in a
+  self-healing :class:`~repro.runtime.ReplicaPool` of worker processes
+  with a zero-copy shared-memory request path, sidestepping the GIL for
+  the digital stages; crashed replicas restart automatically and
+  ``unregister`` drains the pool cleanly.
 * :mod:`repro.serve.scheduler` -- the dynamic micro-batching substrate:
   :class:`BatchingPolicy` (batch-size target + latency budget),
   :class:`InferenceFuture` result handles and the per-model

@@ -316,8 +316,18 @@ class AdmissionController:
         backlog_samples: Mapping[str, int],
         tenants: Mapping[str, str],
         predictor: LatencyEstimator | None = None,
+        replica_counts: Mapping[str, int] | None = None,
     ) -> AdmissionDecision:
         """Evaluate one candidate request against backlog and policy.
+
+        ``replica_counts`` maps model names to their healthy replica count
+        (the server passes each pool's ``dispatch_width``); predictions for
+        those models are divided by it, because a backlog spread over N
+        replicas drains ~N times faster than the per-engine calibration
+        assumes.  The scaling applies uniformly -- deadline test, inflight
+        cost caps, tenant cost and the overload state machine -- so every
+        rule sees the same effective drain rate.  Missing names default
+        to 1 (a single engine).
 
         ``deadline_s`` is *relative* (seconds from now, as passed to
         ``submit``); ``backlog_samples`` maps every model to its queued plus
@@ -347,7 +357,10 @@ class AdmissionController:
         def predict(name: str, samples: int) -> float | None:
             key = (name, samples)
             if key not in memo:
-                memo[key] = self._predict(predictor, name, samples)
+                value = self._predict(predictor, name, samples)
+                if value is not None and replica_counts:
+                    value /= max(1, replica_counts.get(name, 1))
+                memo[key] = value
             return memo[key]
 
         model_depth = backlog_samples.get(model_name, 0)

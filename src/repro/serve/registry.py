@@ -24,7 +24,7 @@ from repro.hw.architecture import ArchitectureSpec
 from repro.nn.model import QuantizedModel
 from repro.runtime.cache import EncodedWeightCache, ExecutorPool
 from repro.runtime.engine import NetworkEngine
-from repro.runtime.procpool import ProcessEngine
+from repro.runtime.procpool import ReplicaPool
 from repro.serve.sharded import ShardedEngine
 from repro.telemetry.cost import CostModel
 
@@ -75,6 +75,9 @@ class ModelRegistry:
         arch: ArchitectureSpec | None = None,
         tenant: str | None = None,
         backend: str = "thread",
+        replicas: int | None = None,
+        replace: bool = False,
+        blas_threads: int | None = 1,
     ) -> NetworkEngine:
         """Host a calibrated model under ``name`` and return its engine.
 
@@ -82,18 +85,31 @@ class ModelRegistry:
         :class:`ShardedEngine`; both engine kinds are bit-identical, sharding
         only changes how micro-batches overlap in time.
 
-        ``backend="process"`` hosts the model in its own worker process
-        (:class:`~repro.runtime.ProcessEngine`): the worker builds a private
-        in-process engine from the pickled model spec and serves ``run()``
-        calls over a shared-memory request path, bit-identical to the
-        default in-process (``"thread"``) backend.  Process-backed engines
-        own all their mutable state, so the server dispatches to them
-        without executor locks and different models execute truly in
-        parallel.  The worker is shut down cleanly by :meth:`unregister`
-        (or :meth:`close`).  Process backends build their pool and weight
-        cache worker-side, so they do not share encodings with this
-        registry's pool, and they do not combine with ``sharded``/
-        ``n_stages`` (process parallelism replaces thread pipelining).
+        ``backend="process"`` hosts the model in a self-healing
+        :class:`~repro.runtime.ReplicaPool` of ``replicas`` worker processes
+        (default 1): each worker builds a private in-process engine from the
+        pickled model spec and serves ``run()`` calls over a shared-memory
+        request path, bit-identical to the default in-process (``"thread"``)
+        backend.  Process-backed engines own all their mutable state, so the
+        server dispatches to them without executor locks and replicas of one
+        model (as well as different models) execute truly in parallel; a
+        crashed replica is restarted automatically and its in-flight batch
+        requeued onto a sibling.  ``blas_threads`` pins each worker's
+        BLAS/OpenMP pools (default one thread per worker) so replicas divide
+        the machine instead of oversubscribing it.  The workers are shut
+        down cleanly by :meth:`unregister` (or :meth:`close`).  Process
+        backends build their pool and weight cache worker-side, so they do
+        not share encodings with this registry's pool, and they do not
+        combine with ``sharded``/``n_stages`` (process parallelism replaces
+        thread pipelining).
+
+        ``replace=True`` re-registers an existing name in place.  When the
+        old and new backend are both ``"process"``, the new spec is *rolled*
+        through the existing pool one replica at a time, so the model never
+        becomes unserveable and in-flight dispatches keep their engine
+        reference; otherwise the new engine is built first, swapped in
+        atomically, and the old one closed.  ``replicas=None`` keeps a
+        rolled pool at its current width.
 
         ``arch`` opts the tenant into hardware-grounded telemetry: the
         registry precomputes a :class:`~repro.telemetry.CostModel` (per-layer
@@ -115,23 +131,48 @@ class ModelRegistry:
             raise ValueError(f"unknown backend {backend!r} (thread or process)")
         if backend == "process" and (sharded or n_stages is not None):
             raise ValueError("backend='process' does not combine with sharding")
+        if replicas is not None and replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if replicas is not None and replicas > 1 and backend != "process":
+            raise ValueError("replicas > 1 requires backend='process'")
         use_float32 = self.float32 if float32 is None else float32
         # Reserve the name, then build outside the registry lock so
         # concurrent tenant registrations overlap their compilation work
         # (the pool/cache locks already make the shared structures safe).
+        rolling: ReplicaPool | None = None
         with self._lock:
-            if name in self._engines or name in self._reserved:
+            if name in self._reserved:
                 raise ValueError(f"model name {name!r} is already registered")
-            self._reserved.add(name)
+            if name in self._engines:
+                if not replace:
+                    raise ValueError(f"model name {name!r} is already registered")
+                existing = self._engines[name]
+                if backend == "process" and isinstance(existing, ReplicaPool):
+                    rolling = existing
+            else:
+                self._reserved.add(name)
         try:
             cost_model = None if arch is None else CostModel.from_model(model, arch)
-            if backend == "process":
-                engine = ProcessEngine.launch(
+            if rolling is not None:
+                rolling.replace(
                     model,
                     config,
                     noise=noise,
                     micro_batch=micro_batch,
                     float32=use_float32,
+                    blas_threads=blas_threads,
+                    replicas=replicas,
+                )
+                engine: NetworkEngine = rolling
+            elif backend == "process":
+                engine = ReplicaPool.launch(
+                    model,
+                    config,
+                    noise=noise,
+                    micro_batch=micro_batch,
+                    float32=use_float32,
+                    replicas=1 if replicas is None else replicas,
+                    blas_threads=blas_threads,
                 )
             elif sharded or n_stages is not None:
                 engine: NetworkEngine = ShardedEngine.build(
@@ -158,12 +199,22 @@ class ModelRegistry:
             raise
         with self._lock:
             self._reserved.discard(name)
+            old = self._engines.get(name)
             self._engines[name] = engine
+            # A replace rebinds the name's metadata wholesale: stale cost
+            # tables or tenant labels must not outlive the model they
+            # described.
+            self._cost_models.pop(name, None)
+            self._tenants.pop(name, None)
             if cost_model is not None:
                 self._cost_models[name] = cost_model
             if tenant is not None:
                 self._tenants[name] = tenant
             self.generation += 1
+        if old is not None and old is not engine:
+            closer = getattr(old, "close", None)
+            if closer is not None:
+                closer()
         return engine
 
     def engine(self, name: str) -> NetworkEngine:
@@ -197,31 +248,38 @@ class ModelRegistry:
         with self._lock:
             return {name: self._tenants.get(name, name) for name in self._engines}
 
-    def unregister(self, name: str) -> None:
+    def unregister(self, name: str) -> bool:
         """Drop a hosted model (its pooled executors stay cached for reuse).
 
-        A process-backed engine's worker is shut down cleanly: the drop
-        happens under the lock, the (potentially slow) worker join outside
-        it, so other tenants are not blocked on process teardown.
+        Idempotent: returns ``True`` when the name was dropped, ``False``
+        when nothing was registered under it (e.g. a concurrent unregister
+        or double close got there first).  A process-backed engine's workers
+        are shut down cleanly: the drop happens under the lock, the
+        (potentially slow) drain-and-join outside it, so other tenants are
+        not blocked on process teardown -- and the pool's own close drains
+        in-flight batches before reclaiming shared memory, so a close racing
+        a dispatch cannot strand a block.
         """
         with self._lock:
             engine = self._engines.pop(name, None)
             if engine is None:
-                raise KeyError(f"no model registered under {name!r}")
+                return False
             self._cost_models.pop(name, None)
             self._tenants.pop(name, None)
             self.generation += 1
         closer = getattr(engine, "close", None)
         if closer is not None:
             closer()
+        return True
 
     def close(self) -> None:
-        """Unregister every hosted model, shutting down process workers."""
+        """Unregister every hosted model, draining all process replicas.
+
+        Idempotent, like :meth:`unregister`: names that disappear
+        concurrently are simply skipped.
+        """
         for name in self.names():
-            try:
-                self.unregister(name)
-            except KeyError:  # concurrently unregistered
-                pass
+            self.unregister(name)
 
     def __enter__(self) -> "ModelRegistry":
         return self

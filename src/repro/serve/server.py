@@ -28,11 +28,15 @@ Threading model:
   can back several hosted names with the same executors (e.g. one model
   registered twice, or tenants sharing layer objects), and executors
   accumulate statistics and noise state unguarded;
-* process-backed engines (:class:`~repro.runtime.ProcessEngine`,
-  ``ModelRegistry.register(..., backend="process")``) take no executor
-  locks at all -- the worker process owns every executor and serialises its
-  own request pipe, so two process-backed models execute truly in parallel
-  while their worker-side engine timings still feed telemetry calibration.
+* process-backed engines (:class:`~repro.runtime.ReplicaPool`,
+  ``ModelRegistry.register(..., backend="process", replicas=N)``) take no
+  executor locks at all -- each worker process owns every executor and
+  serialises its own request pipe, so two process-backed models execute
+  truly in parallel while their worker-side engine timings still feed
+  telemetry calibration.  A pool advertising ``dispatch_width > 1`` also
+  runs up to that many *same-model* batches concurrently (one per healthy
+  replica); single-width engines keep the classic one-batch-per-model
+  draining rule.
 
 Results are bit-identical to calling ``engine.run`` directly on each request's
 inputs whenever the engine is deterministic (the default noiseless setup):
@@ -266,12 +270,13 @@ class InferenceServer:
         self._executor_locks: dict[int, _EngineLockEntry] = {}
         self._locks_generation = -1
         # Per-model FIFO queues of formed batches.  Workers pop the globally
-        # most urgent head batch of any model that is not already being
-        # drained; _dispatched_samples counts samples formed-but-unfinished
+        # most urgent head batch of any model with spare dispatch capacity
+        # (in-flight batches < the engine's dispatch_width, 1 for ordinary
+        # engines); _dispatched_samples counts samples formed-but-unfinished
         # (including the batch currently executing), which admission control
         # adds to the request queue's depth to see the whole backlog.
         self._dispatch: dict[str, deque[_DispatchedBatch]] = {}
-        self._active_models: set[str] = set()
+        self._active_batches: dict[str, int] = {}
         self._dispatched_samples: dict[str, int] = {}
         self._dispatch_seq = itertools.count()
         self._dispatch_guard = threading.Lock()
@@ -449,7 +454,28 @@ class InferenceServer:
             backlog_samples=self._backlog_by_model(),
             tenants=tenants,
             predictor=predictor,
+            replica_counts=self._dispatch_widths(),
         )
+
+    def _dispatch_widths(self) -> dict[str, int]:
+        """Models whose engine drains more than one batch at a time.
+
+        Replica pools advertise their healthy width via ``dispatch_width``;
+        admission control divides its latency predictions by it, because a
+        backlog spread over N healthy replicas drains ~N times faster than
+        the single-engine calibration assumes.  Width-1 engines are omitted
+        (the default divisor).
+        """
+        widths: dict[str, int] = {}
+        for name in self.registry.names():
+            try:
+                engine = self.registry.engine(name)
+            except KeyError:  # unregistered between names() and engine()
+                continue
+            width = int(getattr(engine, "dispatch_width", 1))
+            if width > 1:
+                widths[name] = width
+        return widths
 
     def _backlog_by_model(self) -> dict[str, int]:
         """Queued plus dispatched-but-unfinished samples per model."""
@@ -632,15 +658,18 @@ class InferenceServer:
         top pending class (the aging rule; best-effort batches cannot starve
         behind a saturated high-priority stream) -- then earliest deadline
         (EDF; deadline-free batches rank last), then formation order.  Only
-        head batches compete, and a model being drained by another worker is
-        skipped -- same-model batches must retire in formation order.  With
+        head batches compete, and a model already running as many batches as
+        its engine's dispatch width (1 unless a replica pool advertises
+        more) is skipped -- same-model batches still *dispatch* in formation
+        order, replicas merely overlap their execution.  With
         ``slo_scheduling=False`` (the benchmarks' FIFO baseline) dispatch is
         strictly formation-ordered, mirroring the queue's FIFO mode.
         """
         heads = [
             (name, pending[0])
             for name, pending in self._dispatch.items()
-            if pending and name not in self._active_models
+            if pending
+            and self._active_batches.get(name, 0) < self._dispatch_capacity(name)
         ]
         if not heads:
             return None
@@ -657,6 +686,14 @@ class InferenceServer:
                 best_key, best_name = key, name
         return best_name
 
+    def _dispatch_capacity(self, name: str) -> int:
+        """How many batches of one model may execute concurrently (>= 1)."""
+        try:
+            engine = self.registry.engine(name)
+        except KeyError:  # unregistered with batches still queued
+            return 1
+        return max(1, int(getattr(engine, "dispatch_width", 1)))
+
     def _dispatch_worker(self) -> None:
         """Execute globally-most-urgent batches until none is selectable."""
         while True:
@@ -664,13 +701,17 @@ class InferenceServer:
                 name = self._select_model_locked(time.monotonic())
                 if name is None:
                     return
-                self._active_models.add(name)
+                self._active_batches[name] = self._active_batches.get(name, 0) + 1
                 entry = self._dispatch[name].popleft()
             try:
                 self._execute_batch(entry.requests)
             finally:
                 with self._dispatch_guard:
-                    self._active_models.discard(name)
+                    active = self._active_batches.get(name, 0) - 1
+                    if active > 0:
+                        self._active_batches[name] = active
+                    else:
+                        self._active_batches.pop(name, None)
                     remaining = self._dispatched_samples.get(name, 0) - entry.samples
                     if remaining > 0:
                         self._dispatched_samples[name] = remaining
@@ -695,6 +736,9 @@ class InferenceServer:
                 # worker, which serialises its own requests -- no executor
                 # locks.  Timing and engine-run records are measured inside
                 # the worker, so telemetry calibration never sees IPC cost.
+                # A replica pool additionally absorbs worker crashes here:
+                # the batch is requeued onto a healthy sibling inside
+                # run_timed, so a crash never surfaces as request failures.
                 outputs, engine_time, engine_records = engine.run_timed(inputs)
             else:
                 entries = self._engine_locks(engine)
@@ -731,28 +775,48 @@ class InferenceServer:
             stats.batches_per_model[name] = stats.batches_per_model.get(name, 0) + 1
         if self.telemetry is not None:
             self._record_telemetry(
-                batch, sizes, dispatched, completed, engine_time, engine_records
+                engine,
+                batch,
+                sizes,
+                dispatched,
+                completed,
+                engine_time,
+                engine_records,
             )
 
     def _record_telemetry(
         self,
+        engine,
         batch: list[InferenceRequest],
         sizes: list[int],
         dispatched: float,
         completed: float,
         engine_time: float,
-        engine_records: list[tuple[int, float]],
+        engine_records: list[tuple],
     ) -> None:
         """Feed one completed batch into the telemetry collector.
 
-        ``engine_records`` are the per-run ``(n_samples, elapsed_s)`` pairs:
-        measured server-side for in-process engines, shipped back over the
-        result pipe for process-backed ones -- either way they feed the same
-        calibration, so predicted latency stays grounded in engine time.
+        ``engine_records`` are the per-run ``(n_samples, elapsed_s)`` pairs
+        -- or ``(n_samples, elapsed_s, replica)`` triples from a replica
+        pool: measured server-side for in-process engines, shipped back over
+        the result pipe for process-backed ones -- either way they feed the
+        same calibration, so predicted latency stays grounded in engine
+        time.  Engines exposing ``pool_health()`` (replica pools) also get
+        their healthy/total replica counts and restart total snapshotted
+        into the collector per batch.
         """
         name = batch[0].model_name
         batch_samples = int(sum(sizes))
         self.telemetry.record_engine_runs(name, engine_records)
+        pool_health = getattr(engine, "pool_health", None)
+        if pool_health is not None:
+            health = pool_health()
+            self.telemetry.record_pool_health(
+                name,
+                healthy=health["healthy"],
+                replicas=health["replicas"],
+                restarts=health["restarts"],
+            )
         cost = self.telemetry.cost_model(name)
         # The pipeline-fill latency is paid once per coalesced batch, so each
         # request is charged its sample-weighted share of the *batch's*

@@ -119,6 +119,13 @@ class ModelAggregate:
     admission-control outcomes (recorded at *submit* time, so they lead the
     completion counters); ``modeled_energy_components_pj`` accumulates the
     per-request DAC/ADC/crossbar/digital attribution.
+
+    Models hosted on a :class:`~repro.runtime.ReplicaPool` additionally
+    report replica health: ``replicas_healthy`` / ``replicas_total`` are the
+    latest pool snapshot, ``worker_restarts`` the pool's lifetime restart
+    total, and ``replica_engine_runs`` maps each replica label to its own
+    ``{"runs", "samples", "seconds"}`` engine-run totals (all zero/empty for
+    single-engine models).
     """
 
     model_name: str
@@ -138,6 +145,10 @@ class ModelAggregate:
     admitted_requests: int = 0
     downgraded_requests: int = 0
     shed_requests: int = 0
+    worker_restarts: int = 0
+    replicas_healthy: int = 0
+    replicas_total: int = 0
+    replica_engine_runs: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def mean_queue_wait_s(self) -> float:
@@ -179,6 +190,13 @@ class ModelAggregate:
             "admitted_requests": self.admitted_requests,
             "downgraded_requests": self.downgraded_requests,
             "shed_requests": self.shed_requests,
+            "worker_restarts": self.worker_restarts,
+            "replicas_healthy": self.replicas_healthy,
+            "replicas_total": self.replicas_total,
+            "replica_engine_runs": {
+                replica: dict(totals)
+                for replica, totals in self.replica_engine_runs.items()
+            },
         }
 
 
@@ -219,6 +237,11 @@ _PROMETHEUS_GAUGES = (
         "downgraded_requests",
     ),
     ("admission_shed_total", "Requests shed by admission control.", "shed_requests"),
+    (
+        "worker_restarts_total",
+        "Replica worker processes restarted after a crash.",
+        "worker_restarts",
+    ),
 )
 
 #: Overload state string -> numeric gauge level for the Prometheus export.
@@ -337,19 +360,32 @@ class TelemetryCollector:
             return self._overload_state
 
     def record_engine_run(
-        self, model_name: str, n_samples: int, elapsed_s: float
+        self,
+        model_name: str,
+        n_samples: int,
+        elapsed_s: float,
+        replica: str | None = None,
     ) -> None:
         """Record one engine batch execution (also calibrates prediction).
 
         The server calls this once per coalesced batch;
         ``NetworkEngine.add_run_probe(collector.engine_probe(name))`` wires
-        the same record for engines driven outside the server.
+        the same record for engines driven outside the server.  ``replica``
+        (a :class:`~repro.runtime.ReplicaPool` slot label) additionally
+        attributes the run to that replica's own totals.
         """
         with self._lock:
             aggregate = self._aggregate_locked(model_name)
             aggregate.engine_runs += 1
             aggregate.engine_run_samples += n_samples
             aggregate.engine_run_s += elapsed_s
+            if replica is not None:
+                totals = aggregate.replica_engine_runs.setdefault(
+                    replica, {"runs": 0, "samples": 0, "seconds": 0.0}
+                )
+                totals["runs"] += 1
+                totals["samples"] += n_samples
+                totals["seconds"] += elapsed_s
             cost = self._cost_models.get(model_name)
             if cost is not None and n_samples > 0:
                 modeled = cost.batch_latency_s(n_samples)
@@ -363,17 +399,35 @@ class TelemetryCollector:
                         + _CALIBRATION_ALPHA * (ratio - previous)
                     )
 
-    def record_engine_runs(
-        self, model_name: str, records: list[tuple[int, float]]
-    ) -> None:
-        """Merge a batch of ``(n_samples, elapsed_s)`` engine-run records.
+    def record_engine_runs(self, model_name: str, records: list[tuple]) -> None:
+        """Merge a batch of engine-run records.
 
-        The server uses this to fold in worker-side records shipped back
-        over a :class:`~repro.runtime.ProcessEngine` result pipe; each
-        record calibrates prediction exactly like a locally observed run.
+        Records are ``(n_samples, elapsed_s)`` pairs -- or
+        ``(n_samples, elapsed_s, replica)`` triples from a
+        :class:`~repro.runtime.ReplicaPool`.  The server uses this to fold
+        in worker-side records shipped back over a process backend's result
+        pipe; each record calibrates prediction exactly like a locally
+        observed run.
         """
-        for n_samples, elapsed_s in records:
-            self.record_engine_run(model_name, n_samples, elapsed_s)
+        for record in records:
+            n_samples, elapsed_s = record[0], record[1]
+            replica = record[2] if len(record) > 2 else None
+            self.record_engine_run(model_name, n_samples, elapsed_s, replica=replica)
+
+    def record_pool_health(
+        self, model_name: str, healthy: int, replicas: int, restarts: int
+    ) -> None:
+        """Record a replica pool's health snapshot for ``model_name``.
+
+        ``healthy``/``replicas`` overwrite the latest snapshot; ``restarts``
+        is the pool's lifetime total, so it is folded in monotonically (a
+        stale snapshot racing a fresh one can never roll the counter back).
+        """
+        with self._lock:
+            aggregate = self._aggregate_locked(model_name)
+            aggregate.replicas_healthy = healthy
+            aggregate.replicas_total = replicas
+            aggregate.worker_restarts = max(aggregate.worker_restarts, restarts)
 
     def engine_probe(self, model_name: str):
         """A :meth:`NetworkEngine.add_run_probe` callback feeding this collector."""
@@ -399,6 +453,10 @@ class TelemetryCollector:
         snapshot.modeled_energy_components_pj = dict(
             aggregate.modeled_energy_components_pj
         )
+        snapshot.replica_engine_runs = {
+            replica: dict(totals)
+            for replica, totals in aggregate.replica_engine_runs.items()
+        }
         return snapshot
 
     def aggregate(self, model_name: str) -> ModelAggregate:
@@ -467,6 +525,44 @@ class TelemetryCollector:
                 lines.append(
                     f'{metric}{{model="{label}",component="{component}"}} {value}'
                 )
+        pooled = {name for name in aggregates if aggregates[name].replicas_total > 0}
+        for suffix, help_text, attribute in (
+            ("replicas_healthy", "Healthy replicas in the pool.", "replicas_healthy"),
+            ("replicas_total", "Replica slots in the pool.", "replicas_total"),
+        ):
+            metric = f"{prefix}_{suffix}"
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} gauge")
+            for name in sorted(pooled):
+                value = getattr(aggregates[name], attribute)
+                label = self._escape_label(name)
+                lines.append(f'{metric}{{model="{label}"}} {value}')
+        for suffix, help_text, key in (
+            ("replica_engine_runs_total", "Engine runs per replica.", "runs"),
+            (
+                "replica_engine_samples_total",
+                "Samples executed per replica.",
+                "samples",
+            ),
+            (
+                "replica_engine_seconds_total",
+                "Engine wall seconds per replica.",
+                "seconds",
+            ),
+        ):
+            metric = f"{prefix}_{suffix}"
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} counter")
+            for name in sorted(aggregates):
+                label = self._escape_label(name)
+                runs = aggregates[name].replica_engine_runs
+                for replica in sorted(runs):
+                    value = runs[replica][key]
+                    replica_label = self._escape_label(replica)
+                    lines.append(
+                        f'{metric}{{model="{label}",replica="{replica_label}"}} '
+                        f"{value}"
+                    )
         if overload_state is not None:
             metric = f"{prefix}_overload_state"
             level = _OVERLOAD_SEVERITY.get(overload_state, -1)

@@ -445,7 +445,7 @@ class TestDispatchUrgency:
         server._dispatch = {
             entry.requests[0].model_name: deque([entry]) for entry in entries
         }
-        server._active_models = set(active)
+        server._active_batches = {name: 1 for name in active}
         return server._select_model_locked(time.monotonic())
 
     @pytest.fixture

@@ -17,6 +17,7 @@ from repro.runtime import (
     NetworkEngine,
     ProcessEngine,
     RemoteEngineError,
+    ReplicaPool,
 )
 from repro.runtime.procpool import _MIN_BLOCK_BYTES
 from repro.serve import (
@@ -215,7 +216,8 @@ class TestRegistryAndServerIntegration:
         inputs = np.abs(rng.normal(0, 1, size=(4, 16)))
         with ModelRegistry() as registry:
             engine = registry.register("mlp", tiny_mlp_model, backend="process")
-            assert isinstance(engine, ProcessEngine)
+            assert isinstance(engine, ReplicaPool)
+            assert engine.replicas == 1
             assert registry.engine("mlp") is engine
             assert registry.model("mlp") is tiny_mlp_model
             assert np.array_equal(

@@ -261,10 +261,10 @@ class TestModelRegistry:
         registry = ModelRegistry()
         with pytest.raises(KeyError):
             registry.engine("ghost")
-        with pytest.raises(KeyError):
-            registry.unregister("ghost")
+        assert registry.unregister("ghost") is False
         registry.register("mlp", tiny_mlp_model)
-        registry.unregister("mlp")
+        assert registry.unregister("mlp") is True
+        assert registry.unregister("mlp") is False
         assert "mlp" not in registry
 
     def test_tenants_share_pool_and_weight_cache(self, tiny_mlp_model, rng):
