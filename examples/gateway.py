@@ -1,0 +1,159 @@
+"""An HTTP/JSON inference gateway over the asyncio front door.
+
+This is the deployment shape the ROADMAP's "heavy traffic" target implies:
+a load balancer speaks HTTP to this process, this process speaks coroutines
+to the serving stack.  The demo wires the full production path together --
+all standard library plus numpy, no web framework:
+
+1. two tenants in a :class:`~repro.serve.ModelRegistry` (one on a
+   process-backed replica pool), with telemetry and admission control,
+2. an :class:`~repro.serve.AsyncInferenceServer` with ``max_inflight``
+   end-to-end backpressure (in-flight requests cost coroutines, not
+   threads),
+3. an :class:`~repro.serve.AsyncGateway` exposing ``POST /v1/infer``,
+   Prometheus ``GET /metrics`` and ``GET /healthz``,
+4. a burst of HTTP clients (plain :mod:`http.client` in threads, as a load
+   balancer would look to the gateway), including one request sized to be
+   shed -- the client sees HTTP 429 with the typed admission decision,
+5. a ``/metrics`` scrape showing the admission and per-tenant counters.
+
+Run with:  python examples/gateway.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+
+import numpy as np
+
+from repro.nn.layers import Linear
+from repro.nn.model import QuantizedModel
+from repro.nn.synthetic import synthetic_linear_weights
+from repro.serve import (
+    AdmissionController,
+    AdmissionPolicy,
+    AsyncGateway,
+    AsyncInferenceServer,
+    BatchingPolicy,
+    ModelRegistry,
+)
+from repro.telemetry import TelemetryCollector
+
+
+def make_model(name: str, seed: int) -> QuantizedModel:
+    rng = np.random.default_rng(seed)
+    fc1 = Linear("fc1", synthetic_linear_weights(48, 96, rng, std=0.15), fuse_relu=True)
+    fc2 = Linear("fc2", synthetic_linear_weights(10, 48, rng, std=0.15))
+    model = QuantizedModel(name, [fc1, fc2], input_shape=(96,))
+    model.calibrate(np.abs(rng.normal(0, 1, size=(64, 96))))
+    return model
+
+
+def http_json(
+    host: str, port: int, method: str, path: str, payload: dict | None = None
+) -> tuple[int, dict | str]:
+    """One blocking HTTP exchange (runs in a thread from the async demo)."""
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    body = json.dumps(payload) if payload is not None else None
+    headers = {"Content-Type": "application/json"} if body else {}
+    conn.request(method, path, body, headers)
+    response = conn.getresponse()
+    raw = response.read().decode()
+    content_type = response.getheader("Content-Type", "")
+    if content_type.startswith("application/json"):
+        return response.status, json.loads(raw)
+    return response.status, raw
+
+
+async def main() -> None:
+    rng = np.random.default_rng(0)
+
+    print("== 1. Registry: two tenants, one on a 2-replica process pool ==")
+    registry = ModelRegistry()
+    registry.register("tenant_a", make_model("model_a", seed=1))
+    registry.register(
+        "tenant_b", make_model("model_b", seed=2), backend="process", replicas=2
+    )
+    telemetry = TelemetryCollector()
+    admission = AdmissionController(AdmissionPolicy(max_queue_samples_per_model=64))
+    policy = BatchingPolicy(max_batch_size=32, max_delay_s=0.002)
+
+    async with AsyncInferenceServer(
+        registry, policy, telemetry=telemetry, admission=admission, max_inflight=4096
+    ) as server:
+        async with AsyncGateway(server) as gateway:
+            host, port = gateway.address
+            print(f"  gateway listening on http://{host}:{port}")
+
+            print("\n== 2. A burst of HTTP clients ==")
+            samples = [
+                np.abs(rng.normal(0, 1, size=(1, 96))).tolist() for _ in range(24)
+            ]
+            calls = [
+                asyncio.to_thread(
+                    http_json,
+                    host,
+                    port,
+                    "POST",
+                    "/v1/infer",
+                    {
+                        "model": "tenant_a" if i % 2 == 0 else "tenant_b",
+                        "inputs": samples[i],
+                        "priority": 1 if i % 4 == 0 else 0,
+                        "deadline_s": 0.5,
+                    },
+                )
+                for i in range(24)
+            ]
+            replies = await asyncio.gather(*calls)
+            ok = sum(1 for status, _ in replies if status == 200)
+            print(f"  {ok}/24 requests served over HTTP")
+            status, body = replies[1]
+            outputs = np.asarray(body["outputs"])
+            direct = registry.engine("tenant_b").run(np.asarray(samples[1]))
+            print(f"  bit-identical to a direct engine call: "
+                  f"{np.array_equal(outputs, direct)}")
+
+            print("\n== 3. An oversized request is shed with HTTP 429 ==")
+            status, body = await asyncio.to_thread(
+                http_json,
+                host,
+                port,
+                "POST",
+                "/v1/infer",
+                {
+                    "model": "tenant_a",
+                    "inputs": np.zeros((500, 96)).tolist(),  # > per-model cap
+                },
+            )
+            decision = body["decision"]
+            print(f"  HTTP {status}: status={decision['status']!r}, "
+                  f"reason={decision['reason']!r}")
+            if status != 429:
+                raise SystemExit("expected the oversized request to be shed")
+
+            print("\n== 4. Health and Prometheus scrape ==")
+            status, health = await asyncio.to_thread(
+                http_json, host, port, "GET", "/healthz"
+            )
+            print(f"  /healthz -> {status}: {health}")
+            status, metrics = await asyncio.to_thread(
+                http_json, host, port, "GET", "/metrics"
+            )
+            shown = [
+                line
+                for line in metrics.splitlines()
+                if line.startswith(("repro_requests_total", "repro_admission"))
+            ]
+            print(f"  /metrics -> {status}, {len(metrics.splitlines())} lines, e.g.:")
+            for line in shown[:6]:
+                print(f"    {line}")
+
+    registry.close()  # drains the replica pool workers
+    print("\ngateway demo complete")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -45,6 +45,7 @@ oversubscribing it.
 from __future__ import annotations
 
 import itertools
+import logging
 import os
 import pickle
 import struct
@@ -697,6 +698,24 @@ class EngineWorker:
         return f"EngineWorker({state})"
 
 
+def _notify_completion(callbacks: list[Callable[[dict], None]], event: dict) -> None:
+    """Fire batch-completion callbacks; observers must not break dispatch.
+
+    The event dict carries ``model`` (name), ``n_samples`` (batch size),
+    ``engine_time_s`` (worker-measured engine seconds), ``replica`` (the
+    slot index that executed the batch, or ``None`` for a single worker)
+    and ``requeues`` (crash-retries before the batch succeeded).  Callback
+    exceptions are logged and swallowed, same contract as
+    :meth:`InferenceFuture.add_done_callback
+    <repro.serve.scheduler.InferenceFuture.add_done_callback>`.
+    """
+    for callback in list(callbacks):
+        try:
+            callback(dict(event))
+        except Exception:
+            logging.getLogger(__name__).exception("engine completion callback raised")
+
+
 class ProcessEngine:
     """A :class:`NetworkEngine`-shaped facade over one :class:`EngineWorker`.
 
@@ -716,6 +735,7 @@ class ProcessEngine:
         self.model = model
         self.worker = worker
         self._run_probes: list[Callable[[int, float], None]] = []
+        self._completion_callbacks: list[Callable[[dict], None]] = []
 
     @classmethod
     def launch(
@@ -784,6 +804,16 @@ class ProcessEngine:
         for n_samples, elapsed_s in meta["records"]:
             for probe in list(self._run_probes):
                 probe(n_samples, elapsed_s)
+        _notify_completion(
+            self._completion_callbacks,
+            {
+                "model": self.model.name,
+                "n_samples": int(batch.shape[0]),
+                "engine_time_s": float(meta["engine_time_s"]),
+                "replica": None,
+                "requeues": 0,
+            },
+        )
         return outputs, meta["engine_time_s"], list(meta["records"])
 
     def run(
@@ -816,6 +846,25 @@ class ProcessEngine:
     def remove_run_probe(self, probe: Callable[[int, float], None]) -> None:
         """Detach a probe previously added with :meth:`add_run_probe`."""
         self._run_probes.remove(probe)
+
+    def add_completion_callback(
+        self, callback: Callable[[dict], None]
+    ) -> Callable[[dict], None]:
+        """Attach a batch-completion callback (see :func:`_notify_completion`).
+
+        Fired once per successful ``run``/``run_timed`` on the calling
+        thread, with a dict carrying ``model``, ``n_samples``,
+        ``engine_time_s``, ``replica`` (always ``None`` for a single
+        worker) and ``requeues`` (always ``0``).  This is the hook the
+        asyncio front door's observers and the fault-injection tests use to
+        watch batch completions without wrapping the engine.
+        """
+        self._completion_callbacks.append(callback)
+        return callback
+
+    def remove_completion_callback(self, callback: Callable[[dict], None]) -> None:
+        """Detach a callback added with :meth:`add_completion_callback`."""
+        self._completion_callbacks.remove(callback)
 
     def layer_statistics(self) -> dict[str, LayerStatistics]:
         """Per-layer statistics accumulated by the worker-side executors."""
@@ -970,6 +1019,7 @@ class ReplicaPool:
         self._restart_total = 0
         self._closed = False
         self._run_probes: list[Callable[[int, float], None]] = []
+        self._completion_callbacks: list[Callable[[dict], None]] = []
         self._prober: threading.Thread | None = None
         try:
             for index in range(replicas):
@@ -1176,6 +1226,16 @@ class ReplicaPool:
         for n_samples, elapsed_s, _replica in records:
             for probe in list(self._run_probes):
                 probe(n_samples, elapsed_s)
+        _notify_completion(
+            self._completion_callbacks,
+            {
+                "model": self._name,
+                "n_samples": int(batch.shape[0]),
+                "engine_time_s": float(meta["engine_time_s"]),
+                "replica": str(handle.index),
+                "requeues": attempts,
+            },
+        )
         return outputs, meta["engine_time_s"], records
 
     def run(
@@ -1292,6 +1352,24 @@ class ReplicaPool:
     def remove_run_probe(self, probe: Callable[[int, float], None]) -> None:
         """Detach a probe previously added with :meth:`add_run_probe`."""
         self._run_probes.remove(probe)
+
+    def add_completion_callback(
+        self, callback: Callable[[dict], None]
+    ) -> Callable[[dict], None]:
+        """Attach a batch-completion callback (see :func:`_notify_completion`).
+
+        Fired once per batch that ultimately *succeeded*, after any
+        crash-requeues: ``replica`` is the slot index that executed the
+        batch and ``requeues`` counts how many dead siblings rejected it
+        first -- so an observer (e.g. the async fault-injection tests) can
+        assert that a SIGKILL mid-batch cost a requeue but lost nothing.
+        """
+        self._completion_callbacks.append(callback)
+        return callback
+
+    def remove_completion_callback(self, callback: Callable[[dict], None]) -> None:
+        """Detach a callback added with :meth:`add_completion_callback`."""
+        self._completion_callbacks.remove(callback)
 
     def layer_statistics(self) -> dict[str, LayerStatistics]:
         """Per-layer statistics merged across every healthy replica."""

@@ -35,6 +35,16 @@ layer:
 * :mod:`repro.serve.sharded` -- :class:`ShardedEngine` pipelines micro-batches
   across layer stages in worker threads, bit-identical to the sequential
   engine.
+* :mod:`repro.serve.aio` -- :class:`AsyncInferenceServer`, the asyncio front
+  door: ``await submit(...)`` yields an awaitable admission decision, so
+  tens of thousands of in-flight requests cost coroutines instead of
+  blocked threads, with ``max_inflight`` end-to-end backpressure and the
+  identical admission/shed semantics (and bit-identical outputs) as the
+  sync path.
+* :mod:`repro.serve.gateway` -- :class:`AsyncGateway`, a stdlib-only
+  HTTP/JSON front door (``POST /v1/infer``, ``GET /metrics`` in Prometheus
+  text format, ``GET /healthz``) over the asyncio facade; see
+  ``examples/gateway.py``.
 
 Quickstart::
 
@@ -57,6 +67,8 @@ from repro.serve.admission import (
     OverloadState,
     RequestShedError,
 )
+from repro.serve.aio import AsyncAdmissionDecision, AsyncInferenceServer
+from repro.serve.gateway import AsyncGateway
 from repro.serve.registry import ModelRegistry
 from repro.serve.scheduler import (
     BatchingPolicy,
@@ -76,6 +88,9 @@ __all__ = [
     "AdmissionCounters",
     "AdmissionDecision",
     "AdmissionPolicy",
+    "AsyncAdmissionDecision",
+    "AsyncGateway",
+    "AsyncInferenceServer",
     "BatchingPolicy",
     "InferenceFuture",
     "InferenceRequest",

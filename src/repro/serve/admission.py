@@ -213,8 +213,17 @@ class AdmissionDecision:
     def result(self, timeout: float | None = None):
         """The request's output array; raises :class:`RequestShedError` if shed."""
         if self.future is None:
-            raise RequestShedError(self)
+            raise self.shed_error()
         return self.future.result(timeout)
+
+    def shed_error(self) -> RequestShedError:
+        """The rejection this decision stands for, ready to raise.
+
+        Shared by the sync :meth:`result` path and the asyncio facade
+        (:class:`~repro.serve.aio.AsyncAdmissionDecision`), so both surface
+        the identical exception object shape for a shed request.
+        """
+        return RequestShedError(self)
 
     def as_dict(self) -> dict:
         """JSON-ready representation (without the live future handle)."""

@@ -31,6 +31,7 @@ batch (the engine's micro-batching bounds the working set downstream).
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections import OrderedDict, deque
@@ -104,12 +105,21 @@ class BatchingPolicy:
 
 
 class InferenceFuture:
-    """Handle to the result of one submitted request."""
+    """Handle to the result of one submitted request.
+
+    Completion callbacks (:meth:`add_done_callback`) fire on whichever
+    thread delivers the result -- a server dispatch worker, usually -- so
+    they must be cheap and non-blocking.  The asyncio facade
+    (:class:`~repro.serve.aio.AsyncInferenceServer`) uses them to hand
+    completions to an event loop via ``call_soon_threadsafe``.
+    """
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._result: np.ndarray | None = None
         self._error: BaseException | None = None
+        self._lock = threading.Lock()
+        self._callbacks: list[Callable[[InferenceFuture], None]] = []
 
     def done(self) -> bool:
         """Whether a result or error has been delivered."""
@@ -123,13 +133,48 @@ class InferenceFuture:
             raise self._error
         return self._result
 
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """Block until completion; return the server-side error, if any."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("inference request did not complete in time")
+        return self._error
+
+    def add_done_callback(self, callback: Callable[[InferenceFuture], None]) -> None:
+        """Invoke ``callback(self)`` once the request completes.
+
+        If the future is already done the callback runs immediately on the
+        calling thread; otherwise it runs on the thread that delivers the
+        result.  Callback exceptions are logged and swallowed -- a misbehaving
+        observer must not corrupt the dispatch worker's batch accounting.
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        self._invoke(callback)
+
+    def _invoke(self, callback: Callable[[InferenceFuture], None]) -> None:
+        try:
+            callback(self)
+        except Exception:
+            logging.getLogger(__name__).exception(
+                "InferenceFuture done-callback raised"
+            )
+
+    def _finish(self) -> None:
+        with self._lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._invoke(callback)
+
     def _set_result(self, value: np.ndarray) -> None:
         self._result = value
-        self._event.set()
+        self._finish()
 
     def _set_error(self, error: BaseException) -> None:
         self._error = error
-        self._event.set()
+        self._finish()
 
 
 @dataclass

@@ -486,6 +486,16 @@ class InferenceServer:
                     backlog[name] = backlog.get(name, 0) + samples
         return backlog
 
+    def backlog_by_model(self) -> dict[str, int]:
+        """Public backlog snapshot: in-flight samples per model.
+
+        Counts queued plus dispatched-but-unfinished samples -- the same
+        figure admission control prices.  The asyncio gateway's health
+        endpoint reports this so a load balancer can see pressure building
+        before the admission controller starts shedding.
+        """
+        return self._backlog_by_model()
+
     def _wire_cost_model(self, model_name: str) -> None:
         """Attach the registry's cost tables to the collector, once per model."""
         if self.telemetry is None:

@@ -35,6 +35,7 @@ Quickstart::
 """
 
 from repro.telemetry.collector import (
+    PROMETHEUS_CONTENT_TYPE,
     ModelAggregate,
     RequestTrace,
     TelemetryCollector,
@@ -45,6 +46,7 @@ __all__ = [
     "CostModel",
     "LayerCost",
     "ModelAggregate",
+    "PROMETHEUS_CONTENT_TYPE",
     "RequestTrace",
     "TelemetryCollector",
     "shapes_from_model",

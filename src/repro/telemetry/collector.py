@@ -201,6 +201,11 @@ class ModelAggregate:
 
 
 #: (metric suffix, help text, ModelAggregate attribute) for the text export.
+#: Content-Type a scrape endpoint must declare when serving
+#: :meth:`TelemetryCollector.to_prometheus` output (the Prometheus text
+#: exposition format, version 0.0.4 -- what prometheus scrapers negotiate).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 _PROMETHEUS_GAUGES = (
     ("requests_total", "Completed requests per model.", "requests"),
     ("samples_total", "Input samples served per model.", "samples"),

@@ -8,6 +8,11 @@ simulator and cost models.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import sys
+import threading
+import time
+from multiprocessing import shared_memory
 
 import numpy as np
 import pytest
@@ -17,21 +22,84 @@ from repro.nn.model import QuantizedModel
 from repro.nn.synthetic import synthetic_conv_weights, synthetic_linear_weights
 
 
+def _shared_memory_blocks() -> set[str]:
+    """Names of live ``multiprocessing.shared_memory`` blocks (``psm_*``).
+
+    The zero-copy transport in :mod:`repro.runtime.procpool` backs every
+    worker request/reply with ``/dev/shm`` blocks; a leak outlives the
+    process that mapped it and eats machine memory until reboot.  On
+    platforms without a visible ``/dev/shm`` this degrades to an empty set
+    (the process-leak check still applies).
+    """
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return set()
+    return {name for name in entries if name.startswith("psm_")}
+
+
+def _event_loop_threads(known: set[threading.Thread]) -> list[threading.Thread]:
+    """Threads (beyond ``known``) currently running an asyncio event loop.
+
+    Detected by walking each thread's live stack for asyncio's
+    ``run_forever`` frame -- no cooperation needed from the leaking test.
+    """
+    frames = sys._current_frames()
+    leaked = []
+    for thread in threading.enumerate():
+        if thread in known or not thread.is_alive():
+            continue
+        frame = frames.get(thread.ident)
+        while frame is not None:
+            code = frame.f_code
+            if code.co_name in ("run_forever", "run_until_complete") and (
+                code.co_filename.endswith("base_events.py")
+            ):
+                leaked.append(thread)
+                break
+            frame = frame.f_back
+    return leaked
+
+
 @pytest.fixture(autouse=True)
 def no_leaked_worker_processes():
-    """Worker-process hygiene: no test may leak engine worker children.
+    """Resource hygiene: no leaked processes, shared memory or event loops.
 
     Process-backed engines (:mod:`repro.runtime.procpool`) spawn one child
-    per hosted model; a test that forgets to close them would leave orphans
-    that outlive the suite and poison later tests.  Any leftover child is
-    terminated so the failure does not cascade, then the test fails.
+    per hosted model plus shared-memory transport blocks, and the asyncio
+    front door (:mod:`repro.serve.aio`) runs under event loops; a test that
+    forgets to close any of them leaves state that outlives the test and
+    poisons later ones.  Leftovers are reclaimed so the failure does not
+    cascade, then the test fails.
     """
+    shm_before = _shared_memory_blocks()
+    threads_before = set(threading.enumerate())
     yield
     leaked = multiprocessing.active_children()
     for child in leaked:
         child.terminate()
         child.join(timeout=5)
+    # Give async teardowns a short grace window: closing an event loop (or
+    # a killed worker's resource cleanup) can lag the test body by a tick.
+    deadline = time.monotonic() + 2.0
+    while time.monotonic() < deadline:
+        leaked_shm = _shared_memory_blocks() - shm_before
+        loops = _event_loop_threads(threads_before)
+        if not leaked_shm and not loops:
+            break
+        time.sleep(0.05)
+    leaked_shm = _shared_memory_blocks() - shm_before
+    loops = _event_loop_threads(threads_before)
+    for name in leaked_shm:  # reclaim so one failure does not cascade
+        try:
+            block = shared_memory.SharedMemory(name=name)
+        except OSError:
+            continue
+        block.close()
+        block.unlink()
     assert not leaked, f"test leaked worker processes: {leaked}"
+    assert not leaked_shm, f"test leaked shared-memory blocks: {sorted(leaked_shm)}"
+    assert not loops, f"test leaked running event loops on threads: {loops}"
 
 
 @pytest.fixture

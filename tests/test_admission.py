@@ -16,6 +16,7 @@ The contract under test:
   FIFO-draining one model.
 """
 
+import threading
 import time
 
 import numpy as np
@@ -30,6 +31,7 @@ from repro.serve import (
     ModelRegistry,
     OverloadState,
     RequestShedError,
+    ServerStoppedError,
 )
 from repro.serve.scheduler import InferenceFuture, InferenceRequest
 from repro.serve.server import _DispatchedBatch
@@ -310,6 +312,101 @@ class TestOverloadStateMachine:
         # Slack is negative and the controller is shedding best-effort:
         # downgrading would admit work it is simultaneously rejecting.
         assert decision.status == "shed"
+
+
+class TestRetract:
+    """``retract`` undoes exactly one decision's counter -- the contract the
+    server's stop/submit race handling leans on."""
+
+    def test_retract_rolls_back_each_status(self):
+        policy = AdmissionPolicy(
+            max_queue_samples_per_model=4, deadline_policy="downgrade"
+        )
+        controller = AdmissionController(policy)
+        accepted = decide(controller, n_samples=1)
+        downgraded = decide(
+            controller,
+            n_samples=1,
+            deadline_s=0.0001,
+            predictor=per_sample_predictor(1.0),
+        )
+        shed = decide(controller, n_samples=1, backlog={"m": 4})
+        statuses = [d.status for d in (accepted, downgraded, shed)]
+        assert statuses == ["accepted", "downgraded", "shed"]
+        before = controller.counters()
+        assert (before.accepted, before.downgraded, before.shed) == (1, 1, 1)
+        for decision in (accepted, downgraded, shed):
+            controller.retract(decision)
+        after = controller.counters()
+        assert (after.accepted, after.downgraded, after.shed) == (0, 0, 0)
+        # State transitions are deliberately untouched by retract.
+        assert after.state_transitions == before.state_transitions
+
+    def test_concurrent_decide_retract_storm_conserves_counters(self):
+        """Counters stay exact when many threads decide and retract at once
+        (the controller-level shape of the stop/submit race)."""
+        controller = AdmissionController(AdmissionPolicy())
+        retracted = threading.Barrier(4)
+        kept_per_thread = 25
+
+        def worker():
+            retracted.wait()
+            for i in range(100):
+                decision = decide(controller, n_samples=1)
+                if i % 4:  # 75 of 100 "failed to enqueue" and roll back
+                    controller.retract(decision)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        counters = controller.counters()
+        assert counters.accepted == 4 * kept_per_thread
+        assert counters.shed == 0
+
+    def test_stop_submit_race_never_leaks_a_count(self, tiny_mlp_model, rng):
+        """Hammer submit from several threads while the server stops and
+        restarts: every ServerStoppedError must leave no admission count,
+        so accepted decisions equal requests actually enqueued."""
+        registry = ModelRegistry()
+        registry.register("mlp", tiny_mlp_model)
+        admission = AdmissionController(AdmissionPolicy())
+        server = InferenceServer(registry, admission=admission)
+        inputs = np.abs(rng.normal(0, 1, size=(1, 16)))
+        done = threading.Event()
+        attempts, rejected = 0, 0
+        tally = threading.Lock()
+
+        def submitter():
+            nonlocal attempts, rejected
+            while not done.is_set():
+                try:
+                    server.submit("mlp", inputs)
+                    with tally:
+                        attempts += 1
+                except ServerStoppedError:
+                    with tally:
+                        attempts += 1
+                        rejected += 1
+
+        server.start()
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for _ in range(8):  # keep closing the queue under the submitters
+            time.sleep(0.002)
+            server.stop()
+            server.start()
+        done.set()
+        for thread in threads:
+            thread.join()
+        server.stop()
+        stats = server.statistics()
+        counters = admission.counters()
+        assert rejected > 0, "the race never fired; tighten the schedule"
+        assert counters.accepted == stats.requests_submitted
+        assert counters.accepted + rejected == attempts
 
 
 @pytest.fixture

@@ -3,13 +3,17 @@
 Covers the scheduler behaviours the serving tests exercise only implicitly:
 oversized single requests, a zero latency budget (immediate dispatch),
 interleaved multi-model fairness, and the opt-in batch-size-aware adaptive
-delay budget.
+delay budget -- plus property-based randomized streams (hypothesis) pinning
+the dispatch invariants: nothing lost or duplicated, per-model FIFO
+preserved, priority-then-EDF ordering, and the starvation aging bound.
 """
 
 import time
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.serve.scheduler import (
     BatchingPolicy,
@@ -196,6 +200,142 @@ class TestStarvationAging:
         # The wait is bounded by the starvation limit (plus scheduling time,
         # bounded loosely for slow CI machines).
         assert waited < limit + 3.0
+
+
+#: One random request: (model, samples, priority, deadline offset or None).
+request_specs = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c"]),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=3),
+        st.one_of(st.none(), st.floats(min_value=0.001, max_value=60.0)),
+    ),
+    min_size=1,
+    max_size=48,
+)
+
+
+class TestDispatchProperties:
+    """Property-based invariants of ``RequestQueue`` over random streams.
+
+    Every test drains a closed queue (drain mode never blocks), so the
+    randomized schedules stay deterministic apart from ``time.monotonic``
+    drift -- which the invariants are chosen to be insensitive to.
+    """
+
+    @given(
+        stream=request_specs,
+        max_batch=st.integers(min_value=1, max_value=12),
+        slo_mode=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_drain_conserves_requests_and_per_model_fifo(
+        self, stream, max_batch, slo_mode
+    ):
+        """No request lost, duplicated, reordered within its model, or
+        batched beyond the size target (oversized singletons excepted)."""
+        queue = RequestQueue(slo_mode=slo_mode)
+        base = time.monotonic() - 120.0
+        for i, (model, samples, priority, offset) in enumerate(stream):
+            queue.submit(
+                InferenceRequest(
+                    model_name=model,
+                    inputs=np.zeros((samples, 3)),
+                    future=InferenceFuture(),
+                    enqueued_at=base + 1e-6 * i,
+                    priority=priority,
+                    deadline_s=None if offset is None else base + offset,
+                    request_id=i,
+                )
+            )
+        queue.close()
+        policy = BatchingPolicy(max_batch_size=max_batch, max_delay_s=0.0)
+        batches = []
+        while (batch := queue.next_batch(policy)) is not None:
+            batches.append(batch)
+        dispatched = [request for batch in batches for request in batch]
+        assert sorted(r.request_id for r in dispatched) == list(range(len(stream)))
+        per_model: dict[str, list[int]] = {}
+        for batch in batches:
+            assert len({r.model_name for r in batch}) == 1  # no mixed batches
+            assert sum(r.n_samples for r in batch) <= max_batch or len(batch) == 1
+            per_model.setdefault(batch[0].model_name, []).extend(
+                r.request_id for r in batch
+            )
+        for ids in per_model.values():
+            assert ids == sorted(ids), "per-model FIFO violated"
+
+    @given(
+        specs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.floats(min_value=0.5, max_value=120.0),
+            ),
+            min_size=2,
+            max_size=8,
+            unique_by=lambda spec: spec[1],
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_priority_classes_then_earliest_deadline(self, specs):
+        """One deadline request per model: dispatch order is exactly
+        (highest priority class, earliest deadline)."""
+        queue = RequestQueue()
+        now = time.monotonic()
+        for i, (priority, offset) in enumerate(specs):
+            queue.submit(
+                InferenceRequest(
+                    model_name=f"m{i}",
+                    inputs=np.zeros((1, 3)),
+                    future=InferenceFuture(),
+                    enqueued_at=now,
+                    priority=priority,
+                    deadline_s=now + offset,
+                    request_id=i,
+                )
+            )
+        queue.close()
+        # A huge starvation limit keeps the aging rule out of this property.
+        policy = BatchingPolicy(
+            max_batch_size=4, max_delay_s=10.0, starvation_limit_s=1000.0
+        )
+        order = []
+        while (batch := queue.next_batch(policy)) is not None:
+            assert len(batch) == 1  # distinct models never co-batch
+            order.append(batch[0].request_id)
+        ranked = sorted(enumerate(specs), key=lambda item: (-item[1][0], item[1][1]))
+        assert order == [index for index, _spec in ranked]
+
+    @given(
+        busy_priority=st.integers(min_value=1, max_value=5),
+        busy_count=st.integers(min_value=1, max_value=10),
+        busy_deadline=st.floats(min_value=0.001, max_value=60.0),
+        extra_age=st.floats(min_value=0.001, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_starvation_aging_bounds_any_priority_stream(
+        self, busy_priority, busy_count, busy_deadline, extra_age
+    ):
+        """A best-effort head older than the limit beats *every* fresh
+        high-priority deadline stream on the next dispatch decision."""
+        limit = 0.25
+        queue = RequestQueue()
+        now = time.monotonic()
+        queue.submit(make_request("quiet", enqueued_at=now - limit - extra_age))
+        for i in range(busy_count):
+            queue.submit(
+                make_request(
+                    "busy",
+                    enqueued_at=now,
+                    priority=busy_priority,
+                    deadline_s=now + busy_deadline,
+                )
+            )
+        policy = BatchingPolicy(
+            max_batch_size=4, max_delay_s=0.0, starvation_limit_s=limit
+        )
+        batch = queue.next_batch(policy)
+        assert batch[0].model_name == "quiet"
 
 
 class TestAdaptiveDelay:

@@ -12,8 +12,10 @@ The contract under test:
 """
 
 import json
+import re
 import threading
 import time
+from types import SimpleNamespace
 
 import numpy as np
 import pytest
@@ -23,9 +25,10 @@ from repro.hw import RAELLA_ARCH
 from repro.hw.energy import EnergyModel
 from repro.nn.zoo import model_shapes
 from repro.runtime import NetworkEngine
-from repro.serve import BatchingPolicy, InferenceServer, ModelRegistry
+from repro.serve import BatchingPolicy, InferenceServer, ModelRegistry, OverloadState
 from repro.serve.scheduler import InferenceFuture, InferenceRequest, RequestQueue
 from repro.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
     CostModel,
     RequestTrace,
     TelemetryCollector,
@@ -48,6 +51,7 @@ def make_trace(
     engine_time_s=0.25,
     modeled_energy_pj=100.0,
     modeled_latency_us=3.0,
+    modeled_energy_components_pj=None,
 ) -> RequestTrace:
     return RequestTrace(
         request_id=request_id,
@@ -62,6 +66,7 @@ def make_trace(
         engine_time_s=engine_time_s,
         modeled_energy_pj=modeled_energy_pj,
         modeled_latency_us=modeled_latency_us,
+        modeled_energy_components_pj=modeled_energy_components_pj,
     )
 
 
@@ -297,6 +302,189 @@ class TestTelemetryCollector:
             collector.record_engine_run("tiny", 4, observed)
         calibrated = collector.predicted_batch_latency_s("tiny", 4)
         assert calibrated == pytest.approx(observed, rel=0.05)
+
+
+# A metric sample line: name, optional {labels} block, a value.  The labels
+# block is re-parsed character by character (values may contain commas and
+# escaped quotes, so a regex cannot split the pairs).
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(?P<labels>.*)\})? (?P<value>\S+)$"
+)
+_LABEL_NAME_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="')
+_UNESCAPE = {"\\": "\\", '"': '"', "n": "\n"}
+
+# A model name using every character the exposition format must escape
+# (backslash, double quote, newline) plus a comma, which is legal *inside*
+# a label value but separates label pairs -- the parser must not split on it.
+NASTY_MODEL = 'mlp"v2\\prod\nshard,1'
+
+
+def parse_labels(raw: str) -> dict[str, str]:
+    """Parse (and validate) one ``name="value",...`` label block."""
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(raw):
+        match = _LABEL_NAME_RE.match(raw, pos)
+        assert match is not None, f"bad label name at {raw[pos:]!r}"
+        name = match.group(1)
+        assert name not in labels, f"duplicate label {name!r}"
+        pos = match.end()
+        chars: list[str] = []
+        while True:
+            assert pos < len(raw), f"unterminated label value in {raw!r}"
+            char = raw[pos]
+            if char == "\\":
+                escape = raw[pos + 1 : pos + 2]
+                assert escape in _UNESCAPE, f"bad escape \\{escape} in {raw!r}"
+                chars.append(_UNESCAPE[escape])
+                pos += 2
+            elif char == '"':
+                pos += 1
+                break
+            else:
+                assert char != "\n", "raw newline inside a label value"
+                chars.append(char)
+                pos += 1
+        labels[name] = "".join(chars)
+        if pos < len(raw):
+            assert raw[pos] == ",", f"expected ',' between labels in {raw!r}"
+            pos += 1
+    return labels
+
+
+class TestPrometheusConformance:
+    """Line-by-line exposition-format (0.0.4) conformance of the export.
+
+    The gateway's ``/metrics`` endpoint hands this text to a real Prometheus
+    scraper, so every line must parse: ``# HELP``/``# TYPE`` exactly once per
+    metric and before its samples, samples contiguous per metric, label
+    values escaped, counter names ``_total``-suffixed, float-parseable
+    values.  The collector is populated so every metric family emits at
+    least one sample, including the escaping-hostile model name above.
+    """
+
+    @pytest.fixture
+    def rich_collector(self) -> TelemetryCollector:
+        collector = TelemetryCollector()
+        components = {"dac": 40.0, "adc": 35.0, "crossbar": 20.0, "digital": 5.0}
+        collector.record(
+            make_trace(model_name="plain", modeled_energy_components_pj=components)
+        )
+        collector.record(
+            make_trace(
+                request_id=1,
+                model_name=NASTY_MODEL,
+                deadline_s=0.1,
+                completed_at=10.6,
+            )
+        )
+        collector.record_engine_run("plain", 4, 0.25, replica="0")
+        collector.record_engine_run("plain", 2, 0.125, replica="1")
+        collector.record_engine_run(NASTY_MODEL, 2, 0.1)
+        collector.record_pool_health("plain", healthy=2, replicas=3, restarts=1)
+        collector.record_admission(
+            SimpleNamespace(
+                model_name=NASTY_MODEL,
+                status="shed",
+                overload_state=OverloadState.SHED_BEST_EFFORT,
+            )
+        )
+        return collector
+
+    def _parse(self, text: str):
+        """Parse the full export, asserting the line grammar as it goes.
+
+        Returns ``(samples, types)``: every sample as a
+        ``(metric, labels, float_value)`` tuple plus each metric's declared
+        type.
+        """
+        assert text.endswith("\n"), "exposition text must end with a newline"
+        samples = []
+        types: dict[str, str] = {}
+        helps: dict[str, str] = {}
+        sampled: set[str] = set()
+        current: str | None = None
+        for line in text[:-1].split("\n"):
+            assert line, "blank line in exposition text"
+            if line.startswith("# HELP "):
+                metric, _, help_text = line[len("# HELP ") :].partition(" ")
+                assert metric not in helps, f"duplicate HELP for {metric}"
+                assert help_text, f"empty HELP text for {metric}"
+                helps[metric] = help_text
+                continue
+            if line.startswith("# TYPE "):
+                metric, _, kind = line[len("# TYPE ") :].partition(" ")
+                assert metric not in types, f"duplicate TYPE for {metric}"
+                assert metric not in sampled, f"TYPE after samples for {metric}"
+                assert kind in ("counter", "gauge"), f"bad type {kind!r}"
+                types[metric] = kind
+                continue
+            assert not line.startswith("#"), f"unparseable comment: {line!r}"
+            match = _SAMPLE_RE.match(line)
+            assert match is not None, f"unparseable sample line: {line!r}"
+            metric = match.group("name")
+            assert metric in types, f"sample before TYPE for {metric}"
+            assert metric in helps, f"sample without HELP for {metric}"
+            if metric != current:
+                assert metric not in sampled, f"samples of {metric} not contiguous"
+                sampled.add(metric)
+                current = metric
+            raw = match.group("labels")
+            labels = {} if raw is None else parse_labels(raw)
+            samples.append((metric, labels, float(match.group("value"))))
+        return samples, types
+
+    def test_every_line_parses_and_groups_are_contiguous(self, rich_collector):
+        samples, types = self._parse(rich_collector.to_prometheus())
+        assert samples and types
+        seen = set()
+        for metric, labels, _value in samples:
+            key = (metric, tuple(sorted(labels.items())))
+            assert key not in seen, f"duplicate sample {key}"
+            seen.add(key)
+
+    def test_counter_names_end_in_total(self, rich_collector):
+        _samples, types = self._parse(rich_collector.to_prometheus())
+        for metric, kind in types.items():
+            if kind == "counter":
+                assert metric.endswith("_total"), metric
+
+    def test_label_escaping_round_trips(self, rich_collector):
+        samples, _types = self._parse(rich_collector.to_prometheus())
+        models = {labels["model"] for _m, labels, _v in samples if "model" in labels}
+        assert NASTY_MODEL in models
+        assert "plain" in models
+
+    def test_every_family_emits_expected_samples(self, rich_collector):
+        samples, types = self._parse(rich_collector.to_prometheus())
+        by_metric: dict[str, list] = {}
+        for metric, labels, value in samples:
+            by_metric.setdefault(metric, []).append((labels, value))
+        # Every declared family emits at least one sample for this corpus.
+        assert set(by_metric) == set(types)
+        components = by_metric["repro_modeled_energy_component_picojoules_total"]
+        assert {labels["component"] for labels, _v in components} == {
+            "dac",
+            "adc",
+            "crossbar",
+            "digital",
+        }
+        replicas = by_metric["repro_replica_engine_runs_total"]
+        assert {(labels["model"], labels["replica"]) for labels, _v in replicas} == {
+            ("plain", "0"),
+            ("plain", "1"),
+        }
+        assert by_metric["repro_replicas_total"] == [({"model": "plain"}, 3.0)]
+        assert by_metric["repro_overload_state"] == [({}, 1.0)]
+        shed = [
+            value
+            for labels, value in by_metric["repro_admission_shed_total"]
+            if labels["model"] == NASTY_MODEL
+        ]
+        assert shed == [1.0]
+
+    def test_content_type_constant_is_version_0_0_4(self):
+        assert PROMETHEUS_CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
 
 
 class TestSloServing:
