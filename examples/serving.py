@@ -20,6 +20,9 @@ back per request.  This example shows:
 7. replicated self-healing pools (``replicas=2``): one hot model on two
    worker processes with least-loaded dispatch, surviving a SIGKILL of a
    replica without losing a single request,
+8. end-to-end request tracing (:mod:`repro.telemetry.tracing`): per-request
+   span trees in a flight recorder (dump in Perfetto), plus the collector's
+   latency histograms answering p50/p99 queries,
 
 and verifies every served result is bit-identical to a direct engine call.
 
@@ -38,7 +41,7 @@ from repro.nn.layers import Linear
 from repro.nn.model import QuantizedModel
 from repro.nn.synthetic import synthetic_linear_weights
 from repro.serve import BatchingPolicy, InferenceServer, ModelRegistry, ShardedEngine
-from repro.telemetry import TelemetryCollector
+from repro.telemetry import TelemetryCollector, Tracer
 
 
 def make_model(name: str, seed: int) -> QuantizedModel:
@@ -212,6 +215,34 @@ def main() -> None:
     if not survived:
         raise SystemExit("replicated pool outputs diverged after the kill")
     pool_registry.close()  # drains and shuts down every replica
+
+    print("\n== 8. Request tracing, latency quantiles, flight recorder ==")
+    # A Tracer hands every sampled request a span tree -- admission, queue
+    # wait, dispatch, engine execution, completion -- and finished traces
+    # land in a bounded flight recorder ring dumpable as Chrome trace JSON.
+    # The telemetry collector's log-bucketed histograms answer quantile
+    # queries over the same run.
+    tracer = Tracer(sample_rate=1.0)
+    traced = TelemetryCollector()
+    server = InferenceServer(registry, policy, telemetry=traced, tracer=tracer)
+    with server:
+        decisions = [
+            server.submit("tenant_a", np.abs(rng.normal(0, 1, size=(2, 96))))
+            for _ in range(24)
+        ]
+        for decision in decisions:
+            decision.result(timeout=30)
+    last = decisions[-1]
+    names = [e["name"] for e in tracer.recorder.trace_events(last.trace_id)]
+    print(f"  trace {last.trace_id}: spans {names}")
+    for metric in ("latency", "queue_wait", "engine"):
+        p50 = traced.quantile("tenant_a", 0.5, metric)
+        p99 = traced.quantile("tenant_a", 0.99, metric)
+        print(f"  tenant_a {metric:>10}: p50 {1e3 * p50:7.3f}ms, "
+              f"p99 {1e3 * p99:7.3f}ms")
+    dump = tracer.recorder.to_chrome_trace()
+    print(f"  flight recorder: {len(tracer.recorder)} events, "
+          f"{len(dump)} bytes of Chrome trace JSON (load in Perfetto)")
 
 
 if __name__ == "__main__":

@@ -364,7 +364,10 @@ def _engine_worker_main(
     Replies are ``("ok", seq, block_name_or_None, meta_dict)`` or the
     ``("err", ...)`` tuple of :func:`_error_message`.  A ``run`` reply's meta
     carries the worker-side engine wall time and the engine-run records
-    ``[(n_samples, elapsed_s)]`` the parent merges into its telemetry.
+    ``[(n_samples, elapsed_s)]`` the parent merges into its telemetry; when
+    the request propagated a trace context (a tuple of trace ids), the meta
+    additionally ships ``spans`` -- worker-side engine span dicts stamped
+    with this process's pid/tid -- for the parent's distributed traces.
     """
     if stderr_path is not None:
         # Redirect fd 2 before anything can fail so build errors, import
@@ -404,8 +407,17 @@ def _engine_worker_main(
                 return
             try:
                 if kind == "run":
-                    _, _, block, return_codes, has_override, micro_batch = message
+                    (
+                        _,
+                        _,
+                        block,
+                        return_codes,
+                        has_override,
+                        micro_batch,
+                        trace_ctx,
+                    ) = message
                     inputs = receiver.view(block, seq)
+                    started_at = time.monotonic()
                     start = time.perf_counter()
                     if has_override:
                         outputs = engine.run(
@@ -419,6 +431,23 @@ def _engine_worker_main(
                         "engine_time_s": elapsed,
                         "records": [(int(inputs.shape[0]), elapsed)],
                     }
+                    if trace_ctx is not None:
+                        # Propagated trace context: ship one worker-side
+                        # engine span (this process's pid/tid, timestamps on
+                        # the host-shared monotonic clock) back with the
+                        # records so the parent folds it into each sampled
+                        # request's trace.
+                        meta["spans"] = [
+                            {
+                                "name": "engine",
+                                "start_s": started_at,
+                                "end_s": started_at + elapsed,
+                                "pid": os.getpid(),
+                                "tid": threading.get_ident(),
+                                "trace_ids": list(trace_ctx),
+                                "n_samples": int(inputs.shape[0]),
+                            }
+                        ]
                     results.send(("ok", seq, out_block, meta))
                 elif kind == "ping":
                     meta = {
@@ -787,20 +816,49 @@ class ProcessEngine:
         inputs: np.ndarray,
         return_codes: bool = False,
         micro_batch: int | None = _USE_DEFAULT,
+        *,
+        trace_ctx: tuple | None = None,
+        span_sink: list | None = None,
     ) -> tuple[np.ndarray, float, list[tuple[int, float]]]:
         """Run remotely -> ``(outputs, worker engine seconds, run records)``.
 
         The timing and the ``(n_samples, elapsed_s)`` records are measured
         *inside* the worker around the engine call, so telemetry calibration
         sees pure engine time, never pipe/shared-memory overhead.
+
+        ``trace_ctx`` (a tuple of trace ids) propagates distributed-trace
+        context into the worker; with it set, ``span_sink`` (a plain list)
+        receives span dicts for this call: a parent-side ``worker_ipc`` span
+        wrapping the round trip and the worker-side ``engine`` span shipped
+        back in the reply meta.  Both default to off and cost nothing.
         """
         batch = np.asarray(inputs, dtype=np.float64)
         has_override = micro_batch is not _USE_DEFAULT
+        ipc_start = time.monotonic()
         outputs, meta = self.worker.request(
             "run",
             array=batch,
-            extra=(return_codes, has_override, micro_batch if has_override else None),
+            extra=(
+                return_codes,
+                has_override,
+                micro_batch if has_override else None,
+                trace_ctx,
+            ),
         )
+        if span_sink is not None:
+            span_sink.append(
+                {
+                    "name": "worker_ipc",
+                    "start_s": ipc_start,
+                    "end_s": time.monotonic(),
+                    "replica": None,
+                    "status": "ok",
+                }
+            )
+            span_sink.extend(
+                {**span, "replica": None, "status": "ok"}
+                for span in meta.get("spans", ())
+            )
         for n_samples, elapsed_s in meta["records"]:
             for probe in list(self._run_probes):
                 probe(n_samples, elapsed_s)
@@ -1020,6 +1078,10 @@ class ReplicaPool:
         self._closed = False
         self._run_probes: list[Callable[[int, float], None]] = []
         self._completion_callbacks: list[Callable[[dict], None]] = []
+        # Optional lifecycle observer (set_lifecycle_observer): receives one
+        # dict per replica crash / restart / failed restart.  The serving
+        # layer points this at the tracing flight recorder.
+        self._lifecycle_observer: Callable[[dict], None] | None = None
         self._prober: threading.Thread | None = None
         try:
             for index in range(replicas):
@@ -1189,6 +1251,9 @@ class ReplicaPool:
         inputs: np.ndarray,
         return_codes: bool = False,
         micro_batch: int | None = _USE_DEFAULT,
+        *,
+        trace_ctx: tuple | None = None,
+        span_sink: list | None = None,
     ) -> tuple[np.ndarray, float, list[tuple[int, float, str]]]:
         """Run on a healthy replica -> ``(outputs, engine seconds, records)``.
 
@@ -1197,17 +1262,45 @@ class ReplicaPool:
         and only fails once every slot has rejected it.  Records are
         ``(n_samples, elapsed_s, replica)`` so telemetry can attribute
         engine time per replica.
+
+        With ``trace_ctx``/``span_sink`` set (see
+        :meth:`ProcessEngine.run_timed`), every *attempt* leaves a span in
+        the sink: a crashed attempt contributes an ``engine`` span with
+        ``status="crashed"`` attributed to the dead replica (timed
+        parent-side -- the worker never replied), and the successful attempt
+        contributes its ``worker_ipc`` span plus the worker-side ``engine``
+        span attributed to the sibling that actually served it.  That is how
+        a SIGKILL mid-batch stays visible in the request's trace.
         """
         batch = np.asarray(inputs, dtype=np.float64)
         has_override = micro_batch is not _USE_DEFAULT
-        extra = (return_codes, has_override, micro_batch if has_override else None)
+        extra = (
+            return_codes,
+            has_override,
+            micro_batch if has_override else None,
+            trace_ctx,
+        )
         attempts = 0
         max_attempts = max(2, len(self._handles) + 1)
         while True:
             handle, worker = self._acquire()
+            replica, pid = str(handle.index), handle.pid
+            attempt_start = time.monotonic()
             try:
                 outputs, meta = worker.request("run", array=batch, extra=extra)
             except (WorkerCrashError, WorkerClosedError) as error:
+                if span_sink is not None:
+                    span_sink.append(
+                        {
+                            "name": "engine",
+                            "start_s": attempt_start,
+                            "end_s": time.monotonic(),
+                            "pid": pid,
+                            "replica": replica,
+                            "status": "crashed",
+                            "error": type(error).__name__,
+                        }
+                    )
                 self._on_crash(handle, worker)
                 attempts += 1
                 if attempts >= max_attempts:
@@ -1219,6 +1312,21 @@ class ReplicaPool:
             finally:
                 self._release(handle)
             break
+        if span_sink is not None:
+            span_sink.append(
+                {
+                    "name": "worker_ipc",
+                    "start_s": attempt_start,
+                    "end_s": time.monotonic(),
+                    "replica": replica,
+                    "status": "ok",
+                    "requeues": attempts,
+                }
+            )
+            span_sink.extend(
+                {**span, "replica": replica, "status": "ok"}
+                for span in meta.get("spans", ())
+            )
         records = [
             (int(n), float(elapsed), str(handle.index))
             for n, elapsed in meta["records"]
@@ -1258,6 +1366,27 @@ class ReplicaPool:
 
     # -- self-healing ----------------------------------------------------------
 
+    def set_lifecycle_observer(self, observer: Callable[[dict], None] | None) -> None:
+        """Attach (or clear) the pool's single lifecycle-event observer.
+
+        The observer receives one dict per event -- ``{"event":
+        "replica_crash" | "replica_restart" | "replica_restart_failed",
+        "model": name, "replica": slot index, ...}`` -- from whatever thread
+        detected the event (dispatch, restart or prober threads).  Observer
+        exceptions are logged and swallowed; assignment is idempotent, so
+        the serving layer may re-wire on every registry generation change.
+        """
+        self._lifecycle_observer = observer
+
+    def _emit_lifecycle(self, event: dict) -> None:
+        observer = self._lifecycle_observer
+        if observer is None:
+            return
+        try:
+            observer(event)
+        except Exception:
+            logging.getLogger(__name__).exception("pool lifecycle observer raised")
+
     def _on_crash(self, handle: WorkerHandle, worker: EngineWorker | None) -> None:
         """Mark a replica dead (once) and schedule its background restart."""
         with self._cond:
@@ -1267,6 +1396,14 @@ class ReplicaPool:
                 return  # the slot already moved on to a fresh worker
             handle.state = _DEAD
             self._cond.notify_all()
+        self._emit_lifecycle(
+            {
+                "event": "replica_crash",
+                "model": self._name,
+                "replica": handle.index,
+                "pid": handle.pid,
+            }
+        )
         self._spawn_restart(handle)
 
     def _spawn_restart(self, handle: WorkerHandle) -> None:
@@ -1307,7 +1444,16 @@ class ReplicaPool:
                     )
                     handle.state = _DEAD
                 self._cond.notify_all()
+            self._emit_lifecycle(
+                {
+                    "event": "replica_restart_failed",
+                    "model": self._name,
+                    "replica": handle.index,
+                    "retry_backoff_s": handle.restart_backoff_s,
+                }
+            )
             return
+        restarted = False
         with self._cond:
             if self._closed or handle.state != _RESTARTING:
                 discard = worker
@@ -1319,9 +1465,20 @@ class ReplicaPool:
                 handle.next_restart_at = 0.0
                 self._restart_total += 1
                 discard = None
+                restarted = True
                 self._cond.notify_all()
         if discard is not None:
             discard.close()
+        if restarted:
+            self._emit_lifecycle(
+                {
+                    "event": "replica_restart",
+                    "model": self._name,
+                    "replica": handle.index,
+                    "pid": handle.pid,
+                    "restarts": handle.restarts,
+                }
+            )
 
     def _probe_loop(self) -> None:
         """Periodic liveness sweep: restart dead and silently-died replicas."""

@@ -200,6 +200,10 @@ class AdmissionDecision:
     predicted_latency_s: float | None = None
     predicted_slack_s: float | None = None
     future: InferenceFuture | None = None
+    #: Distributed-trace id of a sampled request (set by the server when a
+    #: tracer is attached); the gateway echoes it in ``/v1/infer`` replies
+    #: so clients can look their request up in the flight recorder.
+    trace_id: str | None = None
 
     @property
     def accepted(self) -> bool:
@@ -238,6 +242,7 @@ class AdmissionDecision:
             "tenant_depth_samples": self.tenant_depth_samples,
             "predicted_latency_s": self.predicted_latency_s,
             "predicted_slack_s": self.predicted_slack_s,
+            "trace_id": self.trace_id,
         }
 
 

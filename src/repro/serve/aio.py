@@ -45,7 +45,9 @@ Quickstart::
 from __future__ import annotations
 
 import asyncio
+import functools
 import threading
+import time
 
 import numpy as np
 
@@ -53,7 +55,7 @@ from repro.serve.admission import AdmissionController, AdmissionDecision
 from repro.serve.registry import ModelRegistry
 from repro.serve.scheduler import BatchingPolicy, InferenceFuture
 from repro.serve.server import InferenceServer, ServerStatistics
-from repro.telemetry import TelemetryCollector
+from repro.telemetry import TelemetryCollector, Tracer
 
 __all__ = ["AsyncAdmissionDecision", "AsyncInferenceServer"]
 
@@ -143,6 +145,7 @@ class AsyncInferenceServer:
         telemetry: TelemetryCollector | None = None,
         slo_scheduling: bool = True,
         admission: AdmissionController | None = None,
+        tracer: Tracer | None = None,
         *,
         server: InferenceServer | None = None,
         max_inflight: int | None = None,
@@ -159,6 +162,7 @@ class AsyncInferenceServer:
                 telemetry=telemetry,
                 slo_scheduling=slo_scheduling,
                 admission=admission,
+                tracer=tracer,
             )
         elif registry is not None:
             raise ValueError("pass either a registry or a prebuilt server, not both")
@@ -260,8 +264,12 @@ class AsyncInferenceServer:
         async_future = loop.create_future()
         with self._inflight_lock:
             self._inflight += 1
+        # Traced requests get a loop-side completion span: the request's
+        # trace closes in the dispatch worker, so the asyncio bridge records
+        # its hop as a standalone span attached to the same trace_id.
+        trace_id = getattr(decision, "trace_id", None)
         sync_future.add_done_callback(
-            lambda done, loop=loop, afut=async_future: self._bridge(loop, afut, done)
+            functools.partial(self._bridge, loop, async_future, trace_id=trace_id)
         )
         return AsyncAdmissionDecision(decision, async_future)
 
@@ -284,12 +292,16 @@ class AsyncInferenceServer:
         loop: asyncio.AbstractEventLoop,
         async_future: asyncio.Future,
         sync_future: InferenceFuture,
+        trace_id: str | None = None,
     ) -> None:
         """Hop one completed request onto the event loop (dispatch thread)."""
         with self._inflight_lock:
             self._inflight -= 1
+        bridge_start = time.monotonic() if trace_id is not None else 0.0
         try:
-            loop.call_soon_threadsafe(self._resolve, async_future, sync_future)
+            loop.call_soon_threadsafe(
+                self._resolve, async_future, sync_future, trace_id, bridge_start
+            )
         except RuntimeError:
             # The loop already closed (shutdown with batches still in
             # flight).  The sync future has resolved -- anyone holding it
@@ -298,15 +310,23 @@ class AsyncInferenceServer:
             pass
 
     def _resolve(
-        self, async_future: asyncio.Future, sync_future: InferenceFuture
+        self,
+        async_future: asyncio.Future,
+        sync_future: InferenceFuture,
+        trace_id: str | None = None,
+        bridge_start: float = 0.0,
     ) -> None:
         """Deliver one bridged completion (event-loop thread)."""
         if self._capacity is not None:
             self._capacity.release()
-        if async_future.done():  # the awaiter was cancelled; nothing to deliver
-            return
-        error = sync_future.exception()
-        if error is not None:
-            async_future.set_exception(error)
-        else:
-            async_future.set_result(sync_future.result())
+        if not async_future.done():  # done() means the awaiter was cancelled
+            error = sync_future.exception()
+            if error is not None:
+                async_future.set_exception(error)
+            else:
+                async_future.set_result(sync_future.result())
+        tracer = self._server.tracer
+        if trace_id is not None and tracer is not None:
+            tracer.record_span(
+                "loop_complete", trace_id, bridge_start, time.monotonic()
+            )

@@ -3,22 +3,31 @@
 The last missing layer between the serving stack and a load balancer: a
 minimal HTTP/1.1 front door built on ``asyncio.start_server`` -- no web
 framework, because the repo's dependency budget is numpy plus the standard
-library.  Three routes:
+library.  Five routes:
 
 * ``POST /v1/infer`` -- body ``{"model": str, "inputs": [[...]],
   "priority": int?, "deadline_s": float?}``.  Admitted requests await their
-  result and return ``200`` with ``{"outputs": [[...]], "decision": {...}}``;
-  shed requests return ``429`` *immediately* (the admission decision is
-  O(us); no scheduler round-trip) with the typed decision as the body, plus
-  a ``Retry-After`` hint.  Unknown models map to ``404``, malformed bodies
-  to ``400``.
+  result and return ``200`` with ``{"outputs": [[...]], "decision": {...},
+  "trace_id": str|null}`` (the trace id is non-null when a
+  :class:`~repro.telemetry.Tracer` sampled the request -- quote it to
+  ``/debug/trace``); shed requests return ``429`` *immediately* (the
+  admission decision is O(us); no scheduler round-trip) with the typed
+  decision as the body, plus a ``Retry-After`` hint.  Unknown models map to
+  ``404``, malformed bodies to ``400``.
+* ``GET /v1/models`` -- the hosted models with per-model backend, tenant,
+  backlog, dispatch width and (for replica pools) healthy/total replica
+  counts, plus the admission controller's overload state.
 * ``GET /metrics`` -- the :class:`~repro.telemetry.TelemetryCollector`
-  Prometheus text exposition, served under
+  Prometheus text exposition (counters, gauges and the latency/queue-wait/
+  engine-time histograms), served under
   :data:`~repro.telemetry.PROMETHEUS_CONTENT_TYPE` so a stock Prometheus
   scraper can point at the gateway unmodified.
-* ``GET /healthz`` -- liveness plus the server's per-model backlog and
-  admission counters, the signals a load balancer needs for weighted
-  routing.
+* ``GET /healthz`` -- liveness plus the server's per-model backlog,
+  admission counters, overload state and replica-pool health, the signals a
+  load balancer needs for weighted routing.
+* ``GET /debug/trace`` -- the tracer's flight recorder as Chrome
+  trace-event JSON (open in Perfetto); ``?trace_id=`` narrows the dump to
+  one request.
 
 The HTTP surface is deliberately small: one request per connection
 (``Connection: close``), bounded header/body sizes, JSON in and out.  It is
@@ -68,7 +77,7 @@ class _HttpError(Exception):
 
 
 class AsyncGateway:
-    """Serve ``/v1/infer``, ``/metrics`` and ``/healthz`` over one event loop.
+    """Serve inference, metrics, health and trace routes over one event loop.
 
     Parameters
     ----------
@@ -176,11 +185,15 @@ class AsyncGateway:
     async def _route(
         self, method: str, path: str, body: bytes
     ) -> tuple[int, str, bytes]:
-        path = path.split("?", 1)[0]
+        path, _, query = path.partition("?")
         if path == "/v1/infer":
             if method != "POST":
                 raise _HttpError(405, "POST required")
             return await self._infer(body)
+        if path == "/v1/models":
+            if method != "GET":
+                raise _HttpError(405, "GET required")
+            return self._models()
         if path == "/metrics":
             if method != "GET":
                 raise _HttpError(405, "GET required")
@@ -189,6 +202,10 @@ class AsyncGateway:
             if method != "GET":
                 raise _HttpError(405, "GET required")
             return self._healthz()
+        if path == "/debug/trace":
+            if method != "GET":
+                raise _HttpError(405, "GET required")
+            return self._debug_trace(query)
         raise _HttpError(404, f"no route for {path!r}")
 
     async def _infer(self, body: bytes) -> tuple[int, str, bytes]:
@@ -210,13 +227,20 @@ class AsyncGateway:
             raise _HttpError(400, str(exc)) from None
         except RuntimeError as exc:  # ServerStoppedError and kin
             raise _HttpError(503, str(exc)) from None
+        trace_id = getattr(decision.decision, "trace_id", None)
         try:
             outputs = await decision.result()
         except RequestShedError:
-            reply = json.dumps({"decision": decision.as_dict()}).encode()
+            reply = json.dumps(
+                {"decision": decision.as_dict(), "trace_id": trace_id}
+            ).encode()
             return 429, _JSON_TYPE, reply
         reply = json.dumps(
-            {"outputs": outputs.tolist(), "decision": decision.as_dict()}
+            {
+                "outputs": outputs.tolist(),
+                "decision": decision.as_dict(),
+                "trace_id": trace_id,
+            }
         ).encode()
         return 200, _JSON_TYPE, reply
 
@@ -226,16 +250,88 @@ class AsyncGateway:
             raise _HttpError(503, "no telemetry collector attached")
         return 200, PROMETHEUS_CONTENT_TYPE, telemetry.to_prometheus().encode()
 
+    def _models(self) -> tuple[int, str, bytes]:
+        """``GET /v1/models``: hosted models with health/backlog/pressure."""
+        sync_server = self._server.server
+        registry = sync_server.registry
+        backlog = sync_server.backlog_by_model()
+        tenants = registry.tenants()
+        models = []
+        for name in sorted(registry.names()):
+            try:
+                engine = registry.engine(name)
+            except KeyError:  # unregistered between names() and engine()
+                continue
+            entry: dict = {
+                "name": name,
+                "tenant": tenants.get(name, name),
+                "backend": (
+                    "process"
+                    if getattr(engine, "worker_owns_state", False)
+                    else "thread"
+                ),
+                "backlog_samples": backlog.get(name, 0),
+                "dispatch_width": int(getattr(engine, "dispatch_width", 1)),
+            }
+            pool_health = getattr(engine, "pool_health", None)
+            if pool_health is not None:
+                entry["replicas"] = pool_health()
+            models.append(entry)
+        payload = {"models": models, "overload_state": self._overload_state()}
+        return 200, _JSON_TYPE, json.dumps(payload).encode()
+
+    def _overload_state(self) -> str | None:
+        """The admission controller's overload state (``None`` without one)."""
+        admission = self._server.server.admission
+        return None if admission is None else admission.state.value
+
     def _healthz(self) -> tuple[int, str, bytes]:
         sync_server = self._server.server
         health = {
             "status": "ok",
             "backlog_samples": sync_server.backlog_by_model(),
             "inflight": self._server.inflight,
+            "overload_state": self._overload_state(),
         }
         if sync_server.admission is not None:
             health["admission"] = vars(sync_server.admission.counters())
+        pools = {}
+        registry = sync_server.registry
+        for name in registry.names():
+            try:
+                engine = registry.engine(name)
+            except KeyError:
+                continue
+            pool_health = getattr(engine, "pool_health", None)
+            if pool_health is not None:
+                pools[name] = pool_health()
+        if pools:
+            health["pools"] = pools
         return 200, _JSON_TYPE, json.dumps(health).encode()
+
+    def _debug_trace(self, query: str) -> tuple[int, str, bytes]:
+        """``GET /debug/trace``: the flight recorder as Chrome trace JSON.
+
+        ``?trace_id=<id>`` narrows the dump to one request's span events
+        (still wrapped in the same ``traceEvents`` envelope, so either form
+        loads in Perfetto).
+        """
+        tracer = self._server.server.tracer
+        if tracer is None or tracer.recorder is None:
+            raise _HttpError(503, "no tracer attached")
+        recorder = tracer.recorder
+        params = dict(pair.partition("=")[::2] for pair in query.split("&") if pair)
+        trace_id = params.get("trace_id")
+        if trace_id:
+            payload = json.dumps(
+                {
+                    "traceEvents": recorder.trace_events(trace_id),
+                    "displayTimeUnit": "ms",
+                }
+            )
+        else:
+            payload = recorder.to_chrome_trace()
+        return 200, _JSON_TYPE, payload.encode()
 
     async def _write_response(
         self,

@@ -194,6 +194,17 @@ class InferenceRequest:
     priority: int = 0
     deadline_s: float | None = None
     request_id: int = 0
+    #: Distributed-trace handle of a sampled request
+    #: (:class:`repro.telemetry.tracing.TraceHandle`; duck-typed here so the
+    #: scheduler stays import-free of the telemetry package).  ``None`` for
+    #: unsampled requests -- the common case -- and the whole tracing path
+    #: is skipped.
+    trace: object | None = None
+    #: When the scheduler formed this request into a batch (``0.0`` until
+    #: then; only stamped for traced requests).  Splits the pre-dispatch
+    #: wait into queue time (co-batching) and dispatch time (batch formed,
+    #: waiting for a worker).
+    formed_at: float = 0.0
 
     @property
     def n_samples(self) -> int:

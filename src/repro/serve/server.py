@@ -74,7 +74,7 @@ from repro.serve.scheduler import (
     InferenceRequest,
     RequestQueue,
 )
-from repro.telemetry import RequestTrace, TelemetryCollector
+from repro.telemetry import RequestTrace, TelemetryCollector, Tracer
 
 __all__ = ["InferenceServer", "ServerStatistics", "ServerStoppedError"]
 
@@ -226,6 +226,16 @@ class InferenceServer:
         requests are rejected in microseconds without enqueueing anything.
         Without one, every valid request is admitted (the pre-admission
         behaviour) and decisions report no queue evidence.
+    tracer:
+        Optional :class:`~repro.telemetry.Tracer`.  When set, sampled
+        requests carry a distributed trace: spans cover the admission
+        decision, queue wait, batch formation, dispatch, worker IPC,
+        worker-side engine execution and completion, the request's
+        ``trace_id`` rides the returned decision, and finished traces plus
+        lifecycle events (replica crashes/restarts, overload transitions,
+        sheds) land in the tracer's flight recorder.  Replica pools hosted
+        in the registry get their lifecycle observer wired automatically.
+        Absent (the default), the tracing path costs one ``None`` check.
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`.  Requests
     may be submitted before :meth:`start`; they dispatch once the scheduler
@@ -240,6 +250,7 @@ class InferenceServer:
         telemetry: TelemetryCollector | None = None,
         slo_scheduling: bool = True,
         admission: AdmissionController | None = None,
+        tracer: Tracer | None = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be positive")
@@ -249,6 +260,18 @@ class InferenceServer:
         self.telemetry = telemetry
         self.slo_scheduling = slo_scheduling
         self.admission = admission
+        self.tracer = tracer
+        # Replica pools whose lifecycle observer is already pointed at this
+        # server's tracer; same generation-keyed invalidation as the cost
+        # model cache below.  Setting the observer is assignment-idempotent,
+        # so the cache only saves the per-request getattr, not correctness.
+        self._wired_observers: set[str] = set()
+        self._observer_generation = -1
+        # Last overload state seen per submit, for edge-triggered
+        # overload_transition events in the flight recorder.  Read/written
+        # without a lock: a racing pair of submits can at worst emit a
+        # duplicate or miss one transition event, never corrupt state.
+        self._last_overload_state: str | None = None
         self._request_ids = itertools.count()
         # Model names whose cost model was already wired into the collector,
         # so submit() pays the lookup once per model, not per request.  The
@@ -375,10 +398,38 @@ class InferenceServer:
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError("deadline_s must be positive (seconds from now)")
         self._wire_cost_model(model_name)
+        self._wire_trace_observer(model_name)
         request_id = next(self._request_ids)
+        tracer = self.tracer
+        handle = None if tracer is None else tracer.begin(model_name, request_id)
         decision = self._admission_decision(
             request_id, model_name, batch.shape[0], priority, deadline_s
         )
+        # One timestamp serves as both the admission span's end and the
+        # request's enqueue instant, so the admission and queue_wait spans
+        # tile without a gap and the trace covers the full wall time.
+        now = time.monotonic()
+        if handle is not None:
+            handle.add_span(
+                "admission",
+                handle.start_s,
+                now,
+                status=decision.status,
+                reason=decision.reason,
+                overload_state=decision.overload_state.value,
+            )
+            decision.trace_id = handle.trace_id
+        if tracer is not None:
+            state = decision.overload_state.value
+            if state != self._last_overload_state:
+                previous = self._last_overload_state
+                self._last_overload_state = state
+                tracer.record_event(
+                    "overload_transition",
+                    model=model_name,
+                    previous=previous,
+                    state=state,
+                )
         if decision.status == DOWNGRADED:
             priority, deadline_s = 0, None
         if not decision.accepted:
@@ -386,8 +437,16 @@ class InferenceServer:
                 self.telemetry.record_admission(decision)
             with self._stats_lock:
                 self._stats.requests_shed += 1
+            if tracer is not None:
+                tracer.record_event(
+                    "request_shed",
+                    model=model_name,
+                    request_id=request_id,
+                    reason=decision.reason,
+                )
+            if handle is not None:
+                handle.finish(status="shed")
             return decision
-        now = time.monotonic()
         future = InferenceFuture()
         request = InferenceRequest(
             model_name=model_name,
@@ -397,6 +456,7 @@ class InferenceServer:
             priority=priority,
             deadline_s=None if deadline_s is None else now + deadline_s,
             request_id=request_id,
+            trace=handle,
         )
         decision.future = future
         # Accepted requests are counted only *after* the enqueue succeeds:
@@ -410,6 +470,8 @@ class InferenceServer:
                 # decide() already counted the decision; the request never
                 # entered the system, so take the count back.
                 self.admission.retract(decision)
+            if handle is not None:
+                handle.finish(status="stopped")
             raise ServerStoppedError(
                 "inference server stopped while submitting; call start() "
                 "before submitting"
@@ -523,6 +585,41 @@ class InferenceServer:
                 self._wired_cost_models.add(model_name)
             # Absence is not cached: re-registering the model with an
             # architecture later must still wire its cost tables.
+
+    def _wire_trace_observer(self, model_name: str) -> None:
+        """Point a hosted replica pool's lifecycle events at the tracer.
+
+        Crash/restart events then show up as instants in the tracer's
+        flight recorder, timestamp-aligned with the request spans they
+        interrupt.  Same generation-keyed cache discipline as
+        :meth:`_wire_cost_model`; the stale-generation race is equally
+        benign because setting the observer is idempotent.
+        """
+        if self.tracer is None:
+            return
+        generation = self.registry.generation
+        if generation != self._observer_generation:
+            self._wired_observers.clear()
+            self._observer_generation = generation
+        if model_name in self._wired_observers:
+            return
+        try:
+            engine = self.registry.engine(model_name)
+        except KeyError:  # unregistered concurrently; next submit re-tries
+            return
+        setter = getattr(engine, "set_lifecycle_observer", None)
+        if setter is not None:
+            setter(self._pool_lifecycle_event)
+        self._wired_observers.add(model_name)
+
+    def _pool_lifecycle_event(self, event: dict) -> None:
+        """Forward one replica-pool lifecycle event into the flight recorder."""
+        tracer = self.tracer
+        if tracer is None:
+            return
+        payload = dict(event)
+        name = payload.pop("event", "pool_event")
+        tracer.record_event(name, **payload)
 
     def infer(
         self,
@@ -648,6 +745,11 @@ class InferenceServer:
             if batch is None:
                 return
             name = batch[0].model_name
+            if self.tracer is not None:
+                formed = time.monotonic()
+                for request in batch:
+                    if request.trace is not None:
+                        request.formed_at = formed
             entry = _DispatchedBatch.from_requests(next(self._dispatch_seq), batch)
             with self._dispatch_guard:
                 self._dispatch.setdefault(name, deque()).append(entry)
@@ -733,6 +835,16 @@ class InferenceServer:
     def _execute_batch(self, batch: list[InferenceRequest]) -> None:
         name = batch[0].model_name
         sizes = [request.n_samples for request in batch]
+        # Trace fan-out: the batch runs once, but each sampled request's
+        # trace gets its own copy of the batch-level spans collected in
+        # ``sink`` (engine/worker_ipc, as plain dicts so the runtime layer
+        # never imports telemetry).  ``trace_ctx`` rides the worker request
+        # so worker-side spans come back tagged with every trace they serve.
+        traced = [request for request in batch if request.trace is not None]
+        sink: list[dict] | None = [] if traced else None
+        trace_ctx = (
+            tuple(request.trace.trace_id for request in traced) if traced else None
+        )
         dispatched = time.monotonic()
         try:
             engine = self.registry.engine(name)
@@ -749,29 +861,69 @@ class InferenceServer:
                 # A replica pool additionally absorbs worker crashes here:
                 # the batch is requeued onto a healthy sibling inside
                 # run_timed, so a crash never surfaces as request failures.
-                outputs, engine_time, engine_records = engine.run_timed(inputs)
+                if sink is None:
+                    outputs, engine_time, engine_records = engine.run_timed(inputs)
+                else:
+                    outputs, engine_time, engine_records = engine.run_timed(
+                        inputs, trace_ctx=trace_ctx, span_sink=sink
+                    )
             else:
                 entries = self._engine_locks(engine)
                 try:
                     with ExitStack() as stack:
                         for entry in entries:
                             stack.enter_context(entry.lock)
+                        engine_start = time.monotonic()
                         start = time.perf_counter()
                         outputs = engine.run(inputs)
                         engine_time = time.perf_counter() - start
                 finally:
                     self._release_engine_locks(entries)
                 engine_records = [(int(sum(sizes)), engine_time)]
+                if sink is not None:
+                    # Thread-backed engines run in-process: the engine span
+                    # is parent-measured (same pid/tid as the worker thread).
+                    sink.append(
+                        {
+                            "name": "engine",
+                            "start_s": engine_start,
+                            "end_s": engine_start + engine_time,
+                            "replica": None,
+                            "status": "ok",
+                        }
+                    )
         except BaseException as error:
             for request in batch:
                 request.future._set_error(_clone_error(error))
             with self._stats_lock:
                 self._stats.requests_failed += len(batch)
+            if traced:
+                failed_at = time.monotonic()
+                self._finish_traces(
+                    traced,
+                    sink,
+                    dispatched,
+                    delivered=failed_at,
+                    completed=failed_at,
+                    status="error",
+                    error=type(error).__name__,
+                )
             return
         bounds = np.cumsum(sizes)[:-1]
+        delivered = time.monotonic()
         for request, result in zip(batch, np.split(outputs, bounds, axis=0)):
             request.future._set_result(result)
         completed = time.monotonic()
+        if traced:
+            self._finish_traces(
+                traced,
+                sink,
+                dispatched,
+                delivered=delivered,
+                completed=completed,
+                status="ok",
+                batch_size=int(sum(sizes)),
+            )
         with self._stats_lock:
             stats = self._stats
             stats.requests_completed += len(batch)
@@ -793,6 +945,47 @@ class InferenceServer:
                 engine_time,
                 engine_records,
             )
+
+    def _finish_traces(
+        self,
+        traced: list[InferenceRequest],
+        sink: list[dict] | None,
+        dispatched: float,
+        *,
+        delivered: float,
+        completed: float,
+        status: str,
+        error: str | None = None,
+        batch_size: int | None = None,
+    ) -> None:
+        """Close every sampled request's trace for one executed batch.
+
+        Each traced request gets its own copies of the per-batch spans:
+        ``queue_wait`` (submit -> batch formation), ``dispatch_wait``
+        (formation -> worker pickup), ``execute`` (pickup -> outputs
+        delivered), the sink's ``worker_ipc``/``engine`` spans (clamped into
+        the execute window as a cross-platform guard; on Linux worker clocks
+        share ``CLOCK_MONOTONIC`` so the clamp is a no-op), and ``complete``
+        (output split + future delivery).  Finishing freezes the span list,
+        which is what lets :meth:`_record_telemetry` snapshot it afterwards.
+        """
+        for request in traced:
+            handle = request.trace
+            formed = request.formed_at or dispatched
+            formed = min(formed, dispatched)
+            handle.add_span("queue_wait", request.enqueued_at, formed)
+            handle.add_span("dispatch_wait", formed, dispatched)
+            attrs: dict = {"status": status}
+            if error is not None:
+                attrs["error"] = error
+            if batch_size is not None:
+                attrs["batch_size"] = batch_size
+            handle.add_span("execute", dispatched, delivered, **attrs)
+            if sink:
+                handle.add_span_dicts(sink, clamp=(dispatched, delivered))
+            if status == "ok":
+                handle.add_span("complete", delivered, completed)
+            handle.finish(completed, status=status)
 
     def _record_telemetry(
         self,
@@ -836,6 +1029,7 @@ class InferenceServer:
             None if cost is None else cost.batch_latency_us(batch_samples)
         )
         for request in batch:
+            handle = request.trace
             self.telemetry.record(
                 RequestTrace(
                     request_id=request.request_id,
@@ -860,6 +1054,12 @@ class InferenceServer:
                         None
                         if batch_modeled_us is None
                         else batch_modeled_us * request.n_samples / batch_samples
+                    ),
+                    trace_id=None if handle is None else handle.trace_id,
+                    spans=(
+                        ()
+                        if handle is None
+                        else tuple(span.as_dict() for span in handle.spans())
                     ),
                 )
             )

@@ -17,7 +17,15 @@ harnesses.  This package bridges them into the live serving stack:
   per-tenant :class:`ModelAggregate` totals, exportable as JSON and
   Prometheus text format.  It also calibrates modeled batch latency against
   observed engine wall time, which the SLO-aware scheduler in
-  :mod:`repro.serve` uses to compute deadline slack.
+  :mod:`repro.serve` uses to compute deadline slack.  Per-model log-bucketed
+  :class:`LatencyHistogram`\\ s (end-to-end, queue wait, engine time) add
+  ``quantile(p)`` accessors and Prometheus histogram exposition.
+* :mod:`repro.telemetry.tracing` -- per-request distributed traces: a
+  sampling-gated :class:`Tracer` hands the server one :class:`TraceHandle`
+  per request, spans cover admission through worker-side engine execution
+  (worker pid/tid and all), and a bounded :class:`FlightRecorder` ring
+  buffer of spans plus lifecycle events dumps as Chrome trace-event JSON
+  (Perfetto-loadable).
 
 Quickstart::
 
@@ -36,18 +44,25 @@ Quickstart::
 
 from repro.telemetry.collector import (
     PROMETHEUS_CONTENT_TYPE,
+    LatencyHistogram,
     ModelAggregate,
     RequestTrace,
     TelemetryCollector,
 )
 from repro.telemetry.cost import CostModel, LayerCost, shapes_from_model
+from repro.telemetry.tracing import FlightRecorder, SpanRecord, TraceHandle, Tracer
 
 __all__ = [
     "CostModel",
+    "FlightRecorder",
+    "LatencyHistogram",
     "LayerCost",
     "ModelAggregate",
     "PROMETHEUS_CONTENT_TYPE",
     "RequestTrace",
+    "SpanRecord",
     "TelemetryCollector",
+    "TraceHandle",
+    "Tracer",
     "shapes_from_model",
 ]

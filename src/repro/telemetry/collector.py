@@ -26,15 +26,109 @@ from __future__ import annotations
 
 import json
 import threading
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.telemetry.cost import CostModel
 
-__all__ = ["RequestTrace", "ModelAggregate", "TelemetryCollector"]
+__all__ = [
+    "LatencyHistogram",
+    "RequestTrace",
+    "ModelAggregate",
+    "TelemetryCollector",
+]
 
 #: EMA smoothing for the wall-time-per-modeled-time calibration factor.
 _CALIBRATION_ALPHA = 0.2
+
+#: Default log-bucketed histogram bounds: powers of two from ~1 microsecond
+#: (2**-20 s) to 64 seconds.  27 buckets span six decades of latency with a
+#: constant ~41% relative resolution, which is what makes p99 readings
+#: meaningful from microsecond queue waits to multi-second engine runs.
+_DEFAULT_BOUNDS = tuple(2.0**exponent for exponent in range(-20, 7))
+
+
+class LatencyHistogram:
+    """A log-bucketed latency histogram with quantile estimation.
+
+    Buckets follow the Prometheus convention: bucket ``i`` counts
+    observations ``<= bounds[i]``, plus one implicit ``+Inf`` bucket, so
+    :meth:`cumulative_counts` maps one-to-one onto ``_bucket{le=...}``
+    samples.  Not thread-safe on its own -- the owning
+    :class:`TelemetryCollector` serialises access under its lock.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum")
+
+    def __init__(self, bounds: tuple[float, ...] = _DEFAULT_BOUNDS):
+        if not bounds or any(b <= 0 for b in bounds):
+            raise ValueError("histogram bounds must be positive")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)  # last slot = +Inf
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (negative values clamp into the first bucket)."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def cumulative_counts(self) -> list[int]:
+        """Cumulative counts per bound plus the final ``+Inf`` bucket."""
+        cumulative, running = [], 0
+        for count in self.counts:
+            running += count
+            cumulative.append(running)
+        return cumulative
+
+    def quantile(self, p: float) -> float | None:
+        """Estimated ``p``-quantile via linear interpolation within a bucket.
+
+        Mirrors PromQL's ``histogram_quantile``: the target rank is located
+        in the cumulative distribution and interpolated between the bucket's
+        bounds (the first bucket interpolates from zero; ranks landing in
+        the ``+Inf`` bucket return the highest finite bound).  ``None``
+        before any observation.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("quantile p must be within [0, 1]")
+        if self.count == 0:
+            return None
+        rank = p * self.count
+        cumulative_before = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative = cumulative_before + bucket_count
+            if cumulative >= rank and bucket_count > 0:
+                if index >= len(self.bounds):  # +Inf bucket
+                    return self.bounds[-1]
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index]
+                fraction = (rank - cumulative_before) / bucket_count
+                return lower + (upper - lower) * max(0.0, min(1.0, fraction))
+            cumulative_before = cumulative
+        return self.bounds[-1]  # pragma: no cover - rank <= count always hits
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary: count, sum and headline quantiles."""
+        return {
+            "count": self.count,
+            "sum_s": self.sum,
+            "p50_s": self.quantile(0.50),
+            "p90_s": self.quantile(0.90),
+            "p99_s": self.quantile(0.99),
+        }
+
+    def snapshot(self) -> "LatencyHistogram":
+        """An independent copy (the collector hands these out under lock)."""
+        copy = LatencyHistogram(self.bounds)
+        copy.counts = list(self.counts)
+        copy.count = self.count
+        copy.sum = self.sum
+        return copy
 
 
 @dataclass(frozen=True)
@@ -53,6 +147,13 @@ class RequestTrace:
     pipeline fill is paid once per batch, so per-request shares sum to the
     batch total).  Modeled fields are ``None`` when the request's model has
     no attached cost model.
+
+    ``trace_id`` / ``spans`` tie the record to the distributed trace of the
+    same request (:mod:`repro.telemetry.tracing`): ``spans`` holds the
+    JSON-ready span dicts (:meth:`SpanRecord.as_dict
+    <repro.telemetry.tracing.SpanRecord.as_dict>`), so ``export_json``
+    consumers see the same per-stage timings the flight recorder dumps.
+    Both stay empty for unsampled requests or servers without a tracer.
     """
 
     request_id: int
@@ -68,6 +169,8 @@ class RequestTrace:
     modeled_energy_pj: float | None = None
     modeled_latency_us: float | None = None
     modeled_energy_components_pj: dict[str, float] | None = None
+    trace_id: str | None = None
+    spans: tuple[dict, ...] = ()
 
     @property
     def queue_wait_s(self) -> float:
@@ -108,6 +211,8 @@ class RequestTrace:
             "modeled_energy_components_pj": self.modeled_energy_components_pj,
             "modeled_latency_us": self.modeled_latency_us,
             "deadline_missed": self.deadline_missed,
+            "trace_id": self.trace_id,
+            "spans": [dict(span) for span in self.spans],
         }
 
 
@@ -249,6 +354,30 @@ _PROMETHEUS_GAUGES = (
     ),
 )
 
+#: (metric suffix, help text, histogram key) for the text export.  Each is a
+#: per-model Prometheus *histogram* family: ``<name>_bucket{le=...}`` with a
+#: ``+Inf`` bucket, plus ``<name>_sum`` / ``<name>_count``.
+_PROMETHEUS_HISTOGRAMS = (
+    (
+        "request_latency_seconds",
+        "End-to-end request latency (enqueue to completion).",
+        "latency",
+    ),
+    (
+        "request_queue_wait_seconds",
+        "Time requests waited for co-batching before dispatch.",
+        "queue_wait",
+    ),
+    (
+        "engine_run_seconds",
+        "Engine wall time per coalesced batch execution.",
+        "engine",
+    ),
+)
+
+#: Valid ``metric`` arguments of :meth:`TelemetryCollector.quantile`.
+_HISTOGRAM_KEYS = tuple(key for _suffix, _help, key in _PROMETHEUS_HISTOGRAMS)
+
 #: Overload state string -> numeric gauge level for the Prometheus export.
 #: Mirrors OverloadState.severity in repro.serve.admission (the serve layer
 #: imports telemetry, so telemetry cannot import the enum back).
@@ -274,6 +403,10 @@ class TelemetryCollector:
             raise ValueError("max_traces must be positive")
         self._traces: deque[RequestTrace] = deque(maxlen=max_traces)
         self._aggregates: dict[str, ModelAggregate] = {}
+        # Per-(model, metric) log-bucketed histograms; metric is one of
+        # _HISTOGRAM_KEYS ("latency"/"queue_wait" fed by record(), "engine"
+        # by record_engine_run()).
+        self._histograms: dict[tuple[str, str], LatencyHistogram] = {}
         self._cost_models: dict[str, CostModel] = {}
         self._wall_per_modeled: dict[str, float] = {}
         # Latest admission-control overload state string (None until a
@@ -318,10 +451,20 @@ class TelemetryCollector:
             aggregate = self._aggregates[model_name] = ModelAggregate(model_name)
         return aggregate
 
+    def _histogram_locked(self, model_name: str, metric: str) -> LatencyHistogram:
+        histogram = self._histograms.get((model_name, metric))
+        if histogram is None:
+            histogram = self._histograms[(model_name, metric)] = LatencyHistogram()
+        return histogram
+
     def record(self, trace: RequestTrace) -> None:
         """Record one completed request."""
         with self._lock:
             self._traces.append(trace)
+            latency = self._histogram_locked(trace.model_name, "latency")
+            latency.observe(trace.latency_s)
+            queue_wait = self._histogram_locked(trace.model_name, "queue_wait")
+            queue_wait.observe(trace.queue_wait_s)
             aggregate = self._aggregate_locked(trace.model_name)
             aggregate.requests += 1
             aggregate.samples += trace.n_samples
@@ -384,6 +527,7 @@ class TelemetryCollector:
             aggregate.engine_runs += 1
             aggregate.engine_run_samples += n_samples
             aggregate.engine_run_s += elapsed_s
+            self._histogram_locked(model_name, "engine").observe(elapsed_s)
             if replica is not None:
                 totals = aggregate.replica_engine_runs.setdefault(
                     replica, {"runs": 0, "samples": 0, "seconds": 0.0}
@@ -444,6 +588,29 @@ class TelemetryCollector:
 
     # -- snapshots -------------------------------------------------------------
 
+    def histogram(self, model_name: str, metric: str) -> LatencyHistogram | None:
+        """A snapshot of one model's histogram, or ``None`` before any data.
+
+        ``metric`` is ``"latency"`` (end-to-end), ``"queue_wait"`` or
+        ``"engine"`` (per coalesced batch execution).
+        """
+        if metric not in _HISTOGRAM_KEYS:
+            raise ValueError(f"metric must be one of {_HISTOGRAM_KEYS}, not {metric!r}")
+        with self._lock:
+            histogram = self._histograms.get((model_name, metric))
+            return None if histogram is None else histogram.snapshot()
+
+    def quantile(self, model_name: str, p: float, metric: str = "latency"):
+        """Estimated ``p``-quantile of one model's latency histogram.
+
+        E.g. ``collector.quantile("mlp", 0.99)`` is the end-to-end p99 in
+        seconds.  ``None`` before any observation.  See :meth:`histogram`
+        for the ``metric`` choices and
+        :meth:`LatencyHistogram.quantile` for the estimator.
+        """
+        histogram = self.histogram(model_name, metric)
+        return None if histogram is None else histogram.quantile(p)
+
     def traces(self, model_name: str | None = None) -> list[RequestTrace]:
         """A snapshot of the rolling trace window (optionally one model's)."""
         with self._lock:
@@ -493,6 +660,12 @@ class TelemetryCollector:
                     for name, aggregate in self._aggregates.items()
                 },
             }
+            for name, model_payload in payload["models"].items():
+                model_payload["histograms"] = {
+                    metric: self._histograms[(name, metric)].as_dict()
+                    for metric in _HISTOGRAM_KEYS
+                    if (name, metric) in self._histograms
+                }
             if self._overload_state is not None:
                 payload["overload_state"] = self._overload_state
             if include_traces:
@@ -504,9 +677,22 @@ class TelemetryCollector:
         """Escape a label value per the Prometheus exposition format."""
         return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
+    def _histogram_snapshots(self) -> dict[tuple[str, str], LatencyHistogram]:
+        with self._lock:
+            return {
+                key: histogram.snapshot()
+                for key, histogram in self._histograms.items()
+            }
+
+    @staticmethod
+    def _format_bound(bound: float) -> str:
+        """A ``le`` label value that round-trips through ``float()``."""
+        return format(bound, ".12g")
+
     def to_prometheus(self, prefix: str = "repro") -> str:
         """Render the aggregates in the Prometheus text exposition format."""
         aggregates = self.aggregates()
+        histograms = self._histogram_snapshots()
         overload_state = self.overload_state
         lines: list[str] = []
         for suffix, help_text, attribute in _PROMETHEUS_GAUGES:
@@ -517,6 +703,28 @@ class TelemetryCollector:
                 value = getattr(aggregates[name], attribute)
                 label = self._escape_label(name)
                 lines.append(f'{metric}{{model="{label}"}} {value}')
+        for suffix, help_text, key in _PROMETHEUS_HISTOGRAMS:
+            named = sorted(n for n, metric_key in histograms if metric_key == key)
+            if not named:
+                continue
+            metric = f"{prefix}_{suffix}"
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} histogram")
+            for name in named:
+                histogram = histograms[(name, key)]
+                label = self._escape_label(name)
+                cumulative = histogram.cumulative_counts()
+                for bound, running in zip(histogram.bounds, cumulative):
+                    le = self._format_bound(bound)
+                    lines.append(
+                        f'{metric}_bucket{{model="{label}",le="{le}"}} {running}'
+                    )
+                lines.append(
+                    f'{metric}_bucket{{model="{label}",le="+Inf"}} '
+                    f"{histogram.count}"
+                )
+                lines.append(f'{metric}_sum{{model="{label}"}} {histogram.sum}')
+                lines.append(f'{metric}_count{{model="{label}"}} {histogram.count}')
         metric = f"{prefix}_modeled_energy_component_picojoules_total"
         lines.append(
             f"# HELP {metric} Cumulative modeled energy per hardware component."

@@ -34,7 +34,7 @@ from repro.serve import (
     ModelRegistry,
     RequestShedError,
 )
-from repro.telemetry import PROMETHEUS_CONTENT_TYPE, TelemetryCollector
+from repro.telemetry import PROMETHEUS_CONTENT_TYPE, TelemetryCollector, Tracer
 
 POLICY = BatchingPolicy(max_batch_size=16, max_delay_s=0.001)
 
@@ -325,14 +325,106 @@ class TestGateway:
 
         asyncio.run(scenario())
 
+    def test_models_trace_echo_and_debug_trace_routes(self, registry):
+        tracer = Tracer(sample_rate=1.0)
+        inputs = make_inputs(1)[0]
+
+        async def scenario():
+            server = AsyncInferenceServer(registry, POLICY, tracer=tracer)
+            async with server, AsyncGateway(server) as gateway:
+                address = gateway.address
+
+                status, _, body = await asyncio.to_thread(
+                    gateway_call, address, "GET", "/v1/models"
+                )
+                assert status == 200
+                listing = json.loads(body)
+                assert listing["overload_state"] is None  # no admission control
+                (entry,) = listing["models"]
+                assert entry["name"] == "mlp"
+                assert entry["tenant"] == "mlp"
+                assert entry["backend"] == "thread"
+                assert entry["backlog_samples"] == 0
+                assert entry["dispatch_width"] == 1
+                assert "replicas" not in entry  # thread backend: no pool
+
+                infer = {"model": "mlp", "inputs": inputs.tolist()}
+                status, _, body = await asyncio.to_thread(
+                    gateway_call, address, "POST", "/v1/infer", infer
+                )
+                assert status == 200
+                reply = json.loads(body)
+                trace_id = reply["trace_id"]
+                assert trace_id
+                assert reply["decision"]["trace_id"] == trace_id
+
+                status, ctype, body = await asyncio.to_thread(
+                    gateway_call, address, "GET", "/debug/trace"
+                )
+                assert status == 200 and ctype.startswith("application/json")
+                dump = json.loads(body)
+                assert dump["displayTimeUnit"] == "ms"
+                assert any(
+                    event["args"].get("trace_id") == trace_id
+                    for event in dump["traceEvents"]
+                    if event["ph"] == "X"
+                )
+
+                status, _, body = await asyncio.to_thread(
+                    gateway_call, address, "GET", f"/debug/trace?trace_id={trace_id}"
+                )
+                assert status == 200
+                narrowed = json.loads(body)["traceEvents"]
+                assert narrowed
+                same = all(e["args"]["trace_id"] == trace_id for e in narrowed)
+                assert same
+                names = {event["name"] for event in narrowed}
+                assert "request" in names and "loop_complete" in names
+
+        asyncio.run(scenario())
+
+    def test_healthz_and_models_report_pool_health(self, tiny_mlp_model):
+        admission = AdmissionController(AdmissionPolicy())
+
+        async def scenario(registry):
+            server = AsyncInferenceServer(registry, POLICY, admission=admission)
+            async with server, AsyncGateway(server) as gateway:
+                address = gateway.address
+                status, _, body = await asyncio.to_thread(
+                    gateway_call, address, "GET", "/healthz"
+                )
+                assert status == 200
+                health = json.loads(body)
+                assert health["overload_state"] == "accepting"
+                assert health["pools"]["mlp"]["replicas"] == 2
+                assert health["pools"]["mlp"]["healthy"] == 2
+
+                status, _, body = await asyncio.to_thread(
+                    gateway_call, address, "GET", "/v1/models"
+                )
+                assert status == 200
+                listing = json.loads(body)
+                assert listing["overload_state"] == "accepting"
+                (entry,) = listing["models"]
+                assert entry["backend"] == "process"
+                assert entry["dispatch_width"] == 2
+                assert entry["replicas"]["healthy"] == 2
+
+        with ModelRegistry() as registry:
+            registry.register("mlp", tiny_mlp_model, backend="process", replicas=2)
+            asyncio.run(scenario(registry))
+
     def test_error_mapping(self, registry):
         probes = [
             ("POST", "/v1/infer", {"model": "nope", "inputs": [[0.0] * 16]}, 404),
             ("POST", "/v1/infer", {"inputs": [[0.0] * 16]}, 400),
             ("GET", "/v1/infer", None, 405),
             ("GET", "/nope", None, 404),
-            # No telemetry collector attached on this server -> 503.
+            ("POST", "/v1/models", None, 405),
+            ("POST", "/debug/trace", None, 405),
+            # No telemetry collector and no tracer on this server -> 503.
             ("GET", "/metrics", None, 503),
+            ("GET", "/debug/trace", None, 503),
         ]
 
         async def scenario():

@@ -30,6 +30,7 @@ from repro.serve.scheduler import InferenceFuture, InferenceRequest, RequestQueu
 from repro.telemetry import (
     PROMETHEUS_CONTENT_TYPE,
     CostModel,
+    LatencyHistogram,
     RequestTrace,
     TelemetryCollector,
     shapes_from_model,
@@ -391,12 +392,28 @@ class TestPrometheusConformance:
         )
         return collector
 
+    @staticmethod
+    def _family_of(metric: str, types: dict[str, str]) -> str:
+        """Map one sample name onto its declared metric family.
+
+        Histogram samples append ``_bucket``/``_sum``/``_count`` to the
+        family name; counter and gauge samples use the family name verbatim.
+        """
+        for suffix in ("_bucket", "_sum", "_count"):
+            if metric.endswith(suffix):
+                family = metric[: -len(suffix)]
+                if types.get(family) == "histogram":
+                    return family
+        return metric
+
     def _parse(self, text: str):
         """Parse the full export, asserting the line grammar as it goes.
 
         Returns ``(samples, types)``: every sample as a
         ``(metric, labels, float_value)`` tuple plus each metric's declared
-        type.
+        type.  Histogram families declare ``TYPE <family> histogram`` and
+        emit only ``_bucket``/``_sum``/``_count`` samples; ``_bucket`` lines
+        must carry an ``le`` label.
         """
         assert text.endswith("\n"), "exposition text must end with a newline"
         samples = []
@@ -416,21 +433,26 @@ class TestPrometheusConformance:
                 metric, _, kind = line[len("# TYPE ") :].partition(" ")
                 assert metric not in types, f"duplicate TYPE for {metric}"
                 assert metric not in sampled, f"TYPE after samples for {metric}"
-                assert kind in ("counter", "gauge"), f"bad type {kind!r}"
+                assert kind in ("counter", "gauge", "histogram"), f"bad type {kind!r}"
                 types[metric] = kind
                 continue
             assert not line.startswith("#"), f"unparseable comment: {line!r}"
             match = _SAMPLE_RE.match(line)
             assert match is not None, f"unparseable sample line: {line!r}"
             metric = match.group("name")
-            assert metric in types, f"sample before TYPE for {metric}"
-            assert metric in helps, f"sample without HELP for {metric}"
-            if metric != current:
-                assert metric not in sampled, f"samples of {metric} not contiguous"
-                sampled.add(metric)
-                current = metric
+            family = self._family_of(metric, types)
+            assert family in types, f"sample before TYPE for {metric}"
+            assert family in helps, f"sample without HELP for {metric}"
             raw = match.group("labels")
             labels = {} if raw is None else parse_labels(raw)
+            if types[family] == "histogram":
+                assert metric != family, f"bare histogram sample: {metric}"
+                if metric == f"{family}_bucket":
+                    assert "le" in labels, f"bucket sample without le: {line!r}"
+            if family != current:
+                assert family not in sampled, f"samples of {family} not contiguous"
+                sampled.add(family)
+                current = family
             samples.append((metric, labels, float(match.group("value"))))
         return samples, types
 
@@ -460,8 +482,10 @@ class TestPrometheusConformance:
         by_metric: dict[str, list] = {}
         for metric, labels, value in samples:
             by_metric.setdefault(metric, []).append((labels, value))
-        # Every declared family emits at least one sample for this corpus.
-        assert set(by_metric) == set(types)
+        # Every declared family emits at least one sample for this corpus
+        # (histogram families emit under their _bucket/_sum/_count names).
+        families = {self._family_of(metric, types) for metric in by_metric}
+        assert families == set(types)
         components = by_metric["repro_modeled_energy_component_picojoules_total"]
         assert {labels["component"] for labels, _v in components} == {
             "dac",
@@ -485,6 +509,153 @@ class TestPrometheusConformance:
 
     def test_content_type_constant_is_version_0_0_4(self):
         assert PROMETHEUS_CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+    def _histogram_series(self, samples, types):
+        """Group histogram samples: (family, model) -> {suffix: ...}."""
+        series: dict[tuple, dict] = {}
+        for metric, labels, value in samples:
+            family = self._family_of(metric, types)
+            if types[family] != "histogram":
+                continue
+            key = (family, labels.get("model"))
+            entry = series.setdefault(key, {"buckets": []})
+            if metric.endswith("_bucket"):
+                entry["buckets"].append((labels["le"], value))
+            elif metric.endswith("_sum"):
+                entry["sum"] = value
+            elif metric.endswith("_count"):
+                entry["count"] = value
+        return series
+
+    def test_histogram_families_are_declared_and_populated(self, rich_collector):
+        samples, types = self._parse(rich_collector.to_prometheus())
+        histogram_families = {m for m, kind in types.items() if kind == "histogram"}
+        assert histogram_families == {
+            "repro_request_latency_seconds",
+            "repro_request_queue_wait_seconds",
+            "repro_engine_run_seconds",
+        }
+        series = self._histogram_series(samples, types)
+        models = {model for _family, model in series}
+        assert NASTY_MODEL in models and "plain" in models
+
+    def test_histogram_buckets_monotone_and_inf_equals_count(self, rich_collector):
+        samples, types = self._parse(rich_collector.to_prometheus())
+        for (family, model), entry in self._histogram_series(samples, types).items():
+            buckets = entry["buckets"]
+            assert buckets, (family, model)
+            les = [le for le, _v in buckets]
+            assert les[-1] == "+Inf", f"{family} missing +Inf bucket"
+            finite = [float(le) for le in les[:-1]]
+            assert finite == sorted(finite), f"{family} le values out of order"
+            counts = [value for _le, value in buckets]
+            assert counts == sorted(counts), f"{family} buckets not cumulative"
+            assert counts[-1] == entry["count"], f"{family} +Inf != _count"
+
+    def test_histogram_sums_match_recorded_observations(self, rich_collector):
+        samples, types = self._parse(rich_collector.to_prometheus())
+        series = self._histogram_series(samples, types)
+        # The fixture records: "plain" latency 1.0 / queue wait 0.5 and two
+        # engine runs 0.25 + 0.125; NASTY latency 0.6 / queue wait 0.5 and
+        # one 0.1 engine run (see make_trace defaults and rich_collector).
+        expect = {
+            ("repro_request_latency_seconds", "plain"): (1, 1.0),
+            ("repro_request_queue_wait_seconds", "plain"): (1, 0.5),
+            ("repro_engine_run_seconds", "plain"): (2, 0.375),
+            ("repro_request_latency_seconds", NASTY_MODEL): (1, 0.6),
+            ("repro_request_queue_wait_seconds", NASTY_MODEL): (1, 0.5),
+            ("repro_engine_run_seconds", NASTY_MODEL): (1, 0.1),
+        }
+        assert set(series) == set(expect)
+        for key, (count, total) in expect.items():
+            assert series[key]["count"] == count, key
+            assert series[key]["sum"] == pytest.approx(total), key
+
+
+class TestLatencyHistogram:
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError, match="positive"):
+            LatencyHistogram(bounds=(0.0, 1.0))
+        with pytest.raises(ValueError, match="increasing"):
+            LatencyHistogram(bounds=(1.0, 1.0))
+        with pytest.raises(ValueError, match="positive"):
+            LatencyHistogram(bounds=())
+
+    def test_observe_count_sum_and_buckets(self):
+        histogram = LatencyHistogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(106.5)
+        assert histogram.counts == [1, 2, 1, 1]  # <=1, <=2, <=4, +Inf
+        cumulative = histogram.cumulative_counts()
+        assert cumulative == [1, 3, 4, 5]
+        assert cumulative[-1] == histogram.count
+
+    def test_quantile_interpolates_within_bucket(self):
+        histogram = LatencyHistogram(bounds=(1.0, 2.0, 4.0))
+        for _ in range(4):
+            histogram.observe(1.5)  # all in the (1, 2] bucket
+        # PromQL semantics: rank p*count interpolated between the bounds.
+        assert histogram.quantile(0.5) == pytest.approx(1.5)
+        assert histogram.quantile(1.0) == pytest.approx(2.0)
+        assert histogram.quantile(0.0) == pytest.approx(1.0)
+
+    def test_quantile_edges(self):
+        histogram = LatencyHistogram(bounds=(1.0, 2.0))
+        assert histogram.quantile(0.5) is None  # empty
+        histogram.observe(0.25)  # first bucket interpolates from zero
+        assert 0.0 < histogram.quantile(0.5) <= 1.0
+        histogram.observe(50.0)  # +Inf bucket clamps to the top bound
+        assert histogram.quantile(1.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError, match="quantile"):
+            histogram.quantile(1.5)
+
+    def test_default_bounds_span_microseconds_to_minutes(self):
+        histogram = LatencyHistogram()
+        assert histogram.bounds[0] <= 1e-6
+        assert histogram.bounds[-1] >= 60.0
+        histogram.observe(0.003)
+        assert 0.001 < histogram.quantile(0.5) < 0.01
+
+    def test_as_dict_and_snapshot_independence(self):
+        histogram = LatencyHistogram(bounds=(1.0, 2.0))
+        histogram.observe(1.5)
+        summary = histogram.as_dict()
+        assert summary["count"] == 1
+        assert summary["sum_s"] == pytest.approx(1.5)
+        assert set(summary) == {"count", "sum_s", "p50_s", "p90_s", "p99_s"}
+        snapshot = histogram.snapshot()
+        histogram.observe(1.5)
+        assert snapshot.count == 1 and histogram.count == 2
+
+    def test_collector_histograms_and_quantiles(self):
+        collector = TelemetryCollector()
+        assert collector.histogram("m", "latency") is None
+        assert collector.quantile("m", 0.5) is None
+        collector.record(make_trace())  # latency 1.0, queue wait 0.5
+        collector.record_engine_run("m", 4, 0.25)
+        latency = collector.histogram("m", "latency")
+        assert latency.count == 1 and latency.sum == pytest.approx(1.0)
+        assert collector.histogram("m", "queue_wait").sum == pytest.approx(0.5)
+        assert collector.histogram("m", "engine").sum == pytest.approx(0.25)
+        assert 0.5 < collector.quantile("m", 0.5) <= 1.0
+        assert collector.quantile("m", 0.5, metric="engine") <= 0.25 * 2
+        with pytest.raises(ValueError, match="metric"):
+            collector.histogram("m", "nope")
+        with pytest.raises(ValueError, match="metric"):
+            collector.quantile("m", 0.5, metric="nope")
+        # The returned histogram is a snapshot: mutating it is invisible.
+        latency.observe(9.0)
+        assert collector.histogram("m", "latency").count == 1
+
+    def test_export_json_carries_histograms(self):
+        collector = TelemetryCollector()
+        collector.record(make_trace())
+        document = json.loads(collector.export_json())
+        histograms = document["models"]["m"]["histograms"]
+        assert histograms["latency"]["count"] == 1
+        assert histograms["queue_wait"]["sum_s"] == pytest.approx(0.5)
 
 
 class TestSloServing:
