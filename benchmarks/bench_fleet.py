@@ -1,0 +1,183 @@
+"""Regression benchmarks for energy-aware heterogeneous fleet routing.
+
+The fleet ISSUE's acceptance bars, asserted here and in CI:
+
+1. **Energy-aware placement pays.**  On a mixed deadline workload (a bulk
+   majority with generous slack plus an interactive minority with deadlines
+   already blown at formation time), routing with :class:`MinimizeEnergy`
+   across an ISAAC-fast / RAELLA-low-power fleet must realise at least
+   ``MIN_FLEET_ENERGY_SAVINGS`` (default 15%) lower total modeled energy
+   than pinning every batch to the fastest variant, at an equal-or-lower
+   SLO miss rate -- the paper's fig. 12/13 energy/throughput trade-off
+   turned into a live scheduling win.
+
+2. **Placement never changes bits.**  Both variants encode the same
+   calibrated model, so every output -- however routed -- must be
+   bit-identical to a direct single-engine run.
+
+3. **Decisions are O(us).**  ``FleetRouter.route`` is table lookups and
+   float compares; its mean decision time must stay under
+   ``MAX_ROUTE_DECISION_US`` (default 500us for noisy shared runners;
+   locally ~10-50us) and must never touch an engine.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.hw import ISAAC_ARCH, RAELLA_ARCH
+from repro.nn.layers import Linear
+from repro.nn.model import QuantizedModel
+from repro.nn.synthetic import synthetic_linear_weights
+from repro.serve import (
+    BatchingPolicy,
+    FleetRouter,
+    InferenceServer,
+    MinimizeEnergy,
+    ModelRegistry,
+    PinVariant,
+    RoutingObjective,
+)
+from repro.telemetry import TelemetryCollector
+
+FAST, CHEAP = "mlp-fast", "mlp-lowpower"
+N_BULK = 48  # generous-slack requests: routable to the low-power variant
+N_INTERACTIVE = 16  # blown-deadline requests: least-late = fast variant
+BATCH_POLICY = BatchingPolicy(max_batch_size=8, max_delay_s=0.001)
+
+
+def make_model(in_features: int, hidden: int, seed: int) -> QuantizedModel:
+    rng = np.random.default_rng(seed)
+    fc1 = Linear(
+        "fc1",
+        synthetic_linear_weights(hidden, in_features, rng, std=0.15),
+        fuse_relu=True,
+    )
+    fc2 = Linear("fc2", synthetic_linear_weights(10, hidden, rng, std=0.15))
+    model = QuantizedModel("mlp", [fc1, fc2], input_shape=(in_features,))
+    model.calibrate(np.abs(rng.normal(0, 1, size=(64, in_features))))
+    return model
+
+
+@pytest.fixture(scope="module")
+def fleet_setup():
+    """One model hosted as two architecture variants plus a request stream.
+
+    ISAAC is the fast/expensive variant, RAELLA the slow/cheap one (about
+    55% less modeled energy per sample at ~1.4x the modeled latency), so an
+    energy-aware router has real headroom over always-fastest placement.
+    """
+    model = make_model(64, 48, seed=23)
+    registry = ModelRegistry()
+    registry.register(FAST, model, arch=ISAAC_ARCH)
+    registry.register(CHEAP, model, arch=RAELLA_ARCH)
+    registry.register_fleet("mlp", [FAST, CHEAP])
+    rng = np.random.default_rng(29)
+    bulk = [np.abs(rng.normal(0, 1, size=(4, 64))) for _ in range(N_BULK)]
+    interactive = [np.abs(rng.normal(0, 1, size=(2, 64))) for _ in range(N_INTERACTIVE)]
+    registry.engine(FAST).run(bulk[0])  # warm caches out of timed regions
+    yield registry, bulk, interactive
+    registry.close()
+
+
+def run_fleet(registry, bulk, interactive, routing: RoutingObjective):
+    """Serve the mixed stream through the fleet under one routing objective.
+
+    Bulk requests carry 30s of slack (any variant meets); interactive ones
+    carry 1us, long blown by batch-formation time, so the router's
+    least-late rule must place them on the fast variant.  Returns the
+    telemetry plus concatenated outputs in submit order.
+    """
+    telemetry = TelemetryCollector()
+    server = InferenceServer(
+        registry, BATCH_POLICY, telemetry=telemetry, routing=routing
+    )
+    futures = [server.submit("mlp", r, deadline_s=30.0) for r in bulk]
+    futures += [server.submit("mlp", r, deadline_s=1e-6) for r in interactive]
+    with server:  # starting after submit makes batch formation deterministic
+        results = [f.result(timeout=60) for f in futures]
+    assert server.statistics().requests_failed == 0
+    return telemetry, results
+
+
+def fleet_totals(telemetry: TelemetryCollector) -> tuple[float, float]:
+    """(total modeled energy pJ, SLO miss rate) summed across variants."""
+    energy = misses = with_deadline = 0.0
+    for name in (FAST, CHEAP):
+        aggregate = telemetry.aggregate(name)
+        energy += aggregate.modeled_energy_pj
+        misses += aggregate.deadline_misses
+        with_deadline += aggregate.deadline_requests
+    return energy, misses / with_deadline if with_deadline else 0.0
+
+
+def test_energy_aware_routing_beats_always_fastest(fleet_setup):
+    minimum_savings = float(os.environ.get("MIN_FLEET_ENERGY_SAVINGS", "0.15"))
+    registry, bulk, interactive = fleet_setup
+    reference = [registry.engine(FAST).run(r) for r in bulk + interactive]
+
+    run_fleet(registry, bulk, interactive, MinimizeEnergy())  # warm-up
+    pinned, pinned_results = run_fleet(registry, bulk, interactive, PinVariant(FAST))
+    routed, routed_results = run_fleet(registry, bulk, interactive, MinimizeEnergy())
+
+    # Placement must never change a single bit of any result.
+    for expected, pinned_out, routed_out in zip(
+        reference, pinned_results, routed_results
+    ):
+        assert np.array_equal(expected, pinned_out)
+        assert np.array_equal(expected, routed_out)
+
+    # The baseline really did pin everything to the fast variant, and the
+    # router really did spread the stream across both.
+    assert pinned.aggregate(CHEAP).requests == 0
+    assert routed.aggregate(CHEAP).requests > 0
+    assert routed.aggregate(FAST).requests > 0
+
+    pinned_energy, pinned_miss_rate = fleet_totals(pinned)
+    routed_energy, routed_miss_rate = fleet_totals(routed)
+    assert routed_miss_rate <= pinned_miss_rate, (
+        f"energy-aware routing missed {routed_miss_rate:.0%} of deadlines, "
+        f"always-fastest {pinned_miss_rate:.0%} -- expected no worse"
+    )
+    savings = 1.0 - routed_energy / pinned_energy
+    assert savings >= minimum_savings, (
+        f"energy-aware routing saved {savings:.1%} modeled energy vs "
+        f"always-fastest ({routed_energy / 1e6:.2f}uJ vs "
+        f"{pinned_energy / 1e6:.2f}uJ), below the {minimum_savings:.0%} bar"
+    )
+    # The collector's own realised-savings gauge must tell the same story.
+    aggregate = routed.fleet_aggregate("mlp")
+    assert aggregate.realised_saved_fraction >= minimum_savings
+
+
+def test_route_decision_is_microseconds(fleet_setup):
+    """Routing must cost O(us) and never touch an engine."""
+    maximum_us = float(os.environ.get("MAX_ROUTE_DECISION_US", "500"))
+    registry, _bulk, _interactive = fleet_setup
+    router = FleetRouter(registry)
+    deadline = time.monotonic() + 0.010
+    router.route("mlp", 8, deadline_s=deadline)  # warm-up
+
+    rounds = 2000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        router.route("mlp", 8, deadline_s=deadline)
+    mean_us = (time.perf_counter() - start) / rounds * 1e6
+    assert mean_us <= maximum_us, (
+        f"route() took {mean_us:.1f}us/decision, above the {maximum_us:.0f}us bar"
+    )
+
+    # No engine on the decision path: lookups would blow up loudly.
+    original = registry.engine
+    registry.engine = lambda name: (_ for _ in ()).throw(
+        AssertionError("engine touched on the routing decision path")
+    )
+    try:
+        decision = router.route("mlp", 8, deadline_s=deadline)
+    finally:
+        registry.engine = original
+    assert decision.variant in (FAST, CHEAP)

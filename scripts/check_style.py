@@ -847,13 +847,25 @@ def main(arguments: list[str]) -> int:
     fix = "--fix" in arguments
     paths = [a for a in arguments if a != "--fix"]
     total = 0
+    unparsable: list[tuple[Path, str]] = []
     for path in iter_files(paths):
-        findings = Checker(path, fix=fix).run()
+        # ast.parse raises ValueError (not SyntaxError) on null bytes, and
+        # read_text can fail outright on undecodable or unreadable files;
+        # those must land in the failure report, not a bare traceback.
+        try:
+            findings = Checker(path, fix=fix).run()
+        except (ValueError, UnicodeDecodeError, OSError) as error:
+            unparsable.append((path, f"{type(error).__name__}: {error}"))
+            continue
         for line, code, message in sorted(findings):
             print(f"{path}:{line}: {code} {message}")
         total += len(findings)
-    if total:
-        print(f"\n{total} finding(s)")
+    if unparsable:
+        print(f"\n{len(unparsable)} file(s) could not be parsed:")
+        for path, reason in unparsable:
+            print(f"  {path}: {reason}")
+    if total or unparsable:
+        print(f"\n{total + len(unparsable)} finding(s)")
         return 1
     print("style check clean")
     return 0

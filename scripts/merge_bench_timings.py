@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Merge per-subsystem pytest-benchmark JSONs into one ``bench_summary.json``.
+
+The CI kernels job runs each ``benchmarks/bench_*.py`` file as its own
+matrix entry, each writing a ``--benchmark-json`` report.  This script folds
+those per-bench reports (downloaded into one directory) into a single
+artifact: a top-level manifest plus every benchmark's name, rounds and
+timing stats keyed by subsystem.  Reports that are missing, empty or
+unparsable are *recorded*, not fatal -- a crashed matrix entry must not
+erase the other subsystems' timings (fail-fast is off for the same reason).
+
+Usage::
+
+    python scripts/merge_bench_timings.py <dir-of-jsons>
+        [--output bench_summary.json] [--summary $GITHUB_STEP_SUMMARY]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: The timing stats worth keeping per benchmark (pytest-benchmark emits
+#: many more; these are the ones trend dashboards actually read).
+STATS = ("min", "max", "mean", "stddev", "median", "rounds")
+
+
+def load_report(path: Path) -> tuple[dict | None, str | None]:
+    """One parsed pytest-benchmark report, or (None, reason) if unusable."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        return None, f"unreadable: {error}"
+    if not text.strip():
+        # pytest-benchmark writes a zero-byte file when the suite defines
+        # no timed benchmarks (our assertion-only suites do exactly that).
+        return None, "empty report (assertion-only suite)"
+    try:
+        report = json.loads(text)
+    except json.JSONDecodeError as error:
+        return None, f"invalid JSON: {error}"
+    if not isinstance(report, dict):
+        return None, "not a JSON object"
+    return report, None
+
+
+def summarise(report: dict) -> dict:
+    """The compact per-subsystem record kept in the merged summary."""
+    benchmarks = []
+    for bench in report.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        benchmarks.append(
+            {
+                "name": bench.get("fullname", bench.get("name", "?")),
+                "stats": {key: stats.get(key) for key in STATS},
+            }
+        )
+    machine = report.get("machine_info", {})
+    return {
+        "datetime": report.get("datetime"),
+        "python": machine.get("python_version"),
+        "benchmarks": benchmarks,
+    }
+
+
+def merge(directory: Path) -> dict:
+    """Fold every ``*.json`` in *directory* into the summary structure."""
+    subsystems: dict[str, dict] = {}
+    errors: dict[str, str] = {}
+    for path in sorted(directory.glob("*.json")):
+        report, reason = load_report(path)
+        if report is None:
+            errors[path.stem] = reason
+        else:
+            subsystems[path.stem] = summarise(report)
+    return {
+        "subsystems": subsystems,
+        "errors": errors,
+        "n_subsystems": len(subsystems),
+        "n_benchmarks": sum(len(entry["benchmarks"]) for entry in subsystems.values()),
+    }
+
+
+def markdown_summary(summary: dict) -> str:
+    """A small GitHub-step-summary table of per-subsystem benchmark counts."""
+    lines = ["## Benchmark timings", ""]
+    lines.append("| subsystem | benchmarks | mean of means (s) |")
+    lines.append("|---|---|---|")
+    for name, entry in sorted(summary["subsystems"].items()):
+        means = [
+            b["stats"]["mean"]
+            for b in entry["benchmarks"]
+            if b["stats"].get("mean") is not None
+        ]
+        mean = f"{sum(means) / len(means):.3g}" if means else "-"
+        lines.append(f"| {name} | {len(entry['benchmarks'])} | {mean} |")
+    for name, reason in sorted(summary["errors"].items()):
+        lines.append(f"| {name} | (no report: {reason}) | - |")
+    if not summary["subsystems"] and not summary["errors"]:
+        lines.append("| (no timing reports found) | - | - |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("directory", type=Path, help="directory of timing JSONs")
+    parser.add_argument("--output", type=Path, default=Path("bench_summary.json"))
+    parser.add_argument(
+        "--summary",
+        type=Path,
+        default=None,
+        help="append a markdown table to this file ($GITHUB_STEP_SUMMARY)",
+    )
+    options = parser.parse_args(argv)
+    if not options.directory.is_dir():
+        print(f"not a directory: {options.directory}", file=sys.stderr)
+        return 2
+    summary = merge(options.directory)
+    options.output.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(
+        f"merged {summary['n_subsystems']} subsystem report(s), "
+        f"{summary['n_benchmarks']} benchmark(s), "
+        f"{len(summary['errors'])} error(s) -> {options.output}"
+    )
+    if options.summary is not None:
+        with open(options.summary, "a", encoding="utf-8") as handle:
+            handle.write(markdown_summary(summary))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

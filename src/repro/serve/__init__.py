@@ -32,6 +32,14 @@ layer:
   (:class:`OverloadState`) and the calibrated unmeetable-deadline test,
   returning a typed :class:`AdmissionDecision` (accepted / downgraded /
   shed) instead of silently enqueueing doomed work.
+* :mod:`repro.serve.fleet` -- energy-aware heterogeneous fleets:
+  ``ModelRegistry.register_fleet(name, variants=[...])`` groups several
+  architecture variants of one logical model, and the server's
+  :class:`FleetRouter` places each batch on the variant minimising modeled
+  energy subject to its deadline slack (pluggable via
+  :class:`RoutingObjective`: :class:`MinimizeEnergy`,
+  :class:`MinimizeLatency`, :class:`PinVariant`), with per-variant backlog
+  feedback so a saturated fast variant spills work to the low-power one.
 * :mod:`repro.serve.sharded` -- :class:`ShardedEngine` pipelines micro-batches
   across layer stages in worker threads, bit-identical to the sequential
   engine.
@@ -68,6 +76,14 @@ from repro.serve.admission import (
     RequestShedError,
 )
 from repro.serve.aio import AsyncAdmissionDecision, AsyncInferenceServer
+from repro.serve.fleet import (
+    FleetRouter,
+    MinimizeEnergy,
+    MinimizeLatency,
+    PinVariant,
+    RouteDecision,
+    RoutingObjective,
+)
 from repro.serve.gateway import AsyncGateway
 from repro.serve.registry import ModelRegistry
 from repro.serve.scheduler import (
@@ -92,13 +108,19 @@ __all__ = [
     "AsyncGateway",
     "AsyncInferenceServer",
     "BatchingPolicy",
+    "FleetRouter",
     "InferenceFuture",
     "InferenceRequest",
     "InferenceServer",
+    "MinimizeEnergy",
+    "MinimizeLatency",
     "ModelRegistry",
     "OverloadState",
+    "PinVariant",
     "RequestQueue",
     "RequestShedError",
+    "RouteDecision",
+    "RoutingObjective",
     "ServerStatistics",
     "ServerStoppedError",
     "ShardedEngine",

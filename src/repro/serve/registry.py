@@ -51,6 +51,10 @@ class ModelRegistry:
         self._engines: dict[str, NetworkEngine] = {}
         self._cost_models: dict[str, CostModel] = {}
         self._tenants: dict[str, str] = {}
+        # Logical fleet name -> ordered variant (engine) names; see
+        # register_fleet.  Variants are ordinary registered models, so a
+        # fleet holds no engine of its own.
+        self._fleets: dict[str, tuple[str, ...]] = {}
         self._reserved: set[str] = set()
         self._lock = threading.RLock()
         # Bumped on every (un)registration; servers use it to invalidate
@@ -217,6 +221,76 @@ class ModelRegistry:
                 closer()
         return engine
 
+    def register_fleet(
+        self,
+        name: str,
+        variants: list[str] | tuple[str, ...],
+        tenant: str | None = None,
+    ) -> tuple[str, ...]:
+        """Group several registered variants under one logical fleet name.
+
+        Each variant is an already-registered model -- typically the *same*
+        calibrated network hosted under different names with different
+        ``arch`` cost tables and execution knobs (``micro_batch``,
+        ``backend``, ``replicas``), e.g. a small low-power configuration
+        next to a large high-throughput one.  Submitting to ``name`` then
+        lets the server's :class:`~repro.serve.fleet.FleetRouter` choose a
+        variant per batch from the calibrated energy/latency predictions.
+
+        Variants must share one input shape (they serve one logical model);
+        for bit-identical outputs across placements they should host the
+        same calibrated model, which different ``arch`` values never
+        perturb (the architecture only parameterises the cost tables).
+
+        Unregistering a variant removes it from its fleets (an emptied
+        fleet disappears with its last variant); unregistering the fleet
+        name drops only the grouping, never the variants.  ``tenant``
+        labels requests submitted *via the fleet name* for admission
+        accounting, defaulting to the fleet name itself.
+        """
+        ordered = tuple(variants)
+        if not ordered:
+            raise ValueError("a fleet needs at least one variant")
+        if len(set(ordered)) != len(ordered):
+            raise ValueError(f"duplicate variant names in fleet {name!r}")
+        with self._lock:
+            if name in self._engines or name in self._reserved or name in self._fleets:
+                raise ValueError(f"model name {name!r} is already registered")
+            for variant in ordered:
+                if variant in self._fleets:
+                    raise ValueError(
+                        f"fleet variant {variant!r} is itself a fleet; "
+                        "fleets do not nest"
+                    )
+                if variant not in self._engines:
+                    raise ValueError(f"no model registered under {variant!r}")
+            shapes = {self._engines[v].model.input_shape for v in ordered}
+            if len(shapes) != 1:
+                raise ValueError(
+                    f"fleet {name!r} variants must share one input shape, "
+                    f"got {sorted(shapes)}"
+                )
+            self._fleets[name] = ordered
+            if tenant is not None:
+                self._tenants[name] = tenant
+            self.generation += 1
+        return ordered
+
+    def fleet_variants(self, name: str) -> tuple[str, ...] | None:
+        """The fleet's live variant names, or ``None`` for non-fleet names."""
+        with self._lock:
+            return self._fleets.get(name)
+
+    def is_fleet(self, name: str) -> bool:
+        """Whether ``name`` is a registered fleet (not a plain model)."""
+        with self._lock:
+            return name in self._fleets
+
+    def fleets(self) -> dict[str, tuple[str, ...]]:
+        """Registered fleet name -> variant names, in registration order."""
+        with self._lock:
+            return dict(self._fleets)
+
     def engine(self, name: str) -> NetworkEngine:
         """The engine hosting ``name``."""
         with self._lock:
@@ -226,7 +300,15 @@ class ModelRegistry:
                 raise KeyError(f"no model registered under {name!r}") from None
 
     def model(self, name: str) -> QuantizedModel:
-        """The calibrated model registered under ``name``."""
+        """The calibrated model registered under ``name``.
+
+        A fleet name resolves to its first live variant's model (variants
+        share one input shape, so any of them validates a request).
+        """
+        with self._lock:
+            variants = self._fleets.get(name)
+            if variants:
+                name = variants[0]
         return self.engine(name).model
 
     def cost_model(self, name: str) -> CostModel | None:
@@ -237,16 +319,17 @@ class ModelRegistry:
             return self._cost_models.get(name)
 
     def tenant(self, name: str) -> str:
-        """The tenant label of a hosted model (its own name when unset)."""
+        """The tenant label of a hosted model or fleet (its own name when unset)."""
         with self._lock:
-            if name not in self._engines:
+            if name not in self._engines and name not in self._fleets:
                 raise KeyError(f"no model registered under {name!r}")
             return self._tenants.get(name, name)
 
     def tenants(self) -> dict[str, str]:
-        """Hosted model name -> tenant label, for admission accounting."""
+        """Hosted model/fleet name -> tenant label, for admission accounting."""
         with self._lock:
-            return {name: self._tenants.get(name, name) for name in self._engines}
+            names = list(self._engines) + list(self._fleets)
+            return {name: self._tenants.get(name, name) for name in names}
 
     def unregister(self, name: str) -> bool:
         """Drop a hosted model (its pooled executors stay cached for reuse).
@@ -259,13 +342,33 @@ class ModelRegistry:
         not blocked on process teardown -- and the pool's own close drains
         in-flight batches before reclaiming shared memory, so a close racing
         a dispatch cannot strand a block.
+
+        Fleet semantics (see :meth:`register_fleet`): unregistering a fleet
+        name drops only the grouping; unregistering a variant prunes it from
+        every fleet, and a fleet emptied of variants disappears with them.
         """
         with self._lock:
+            if name in self._fleets:
+                # Dropping the fleet removes only the logical grouping; the
+                # variants stay registered and individually serveable.
+                del self._fleets[name]
+                self._tenants.pop(name, None)
+                self.generation += 1
+                return True
             engine = self._engines.pop(name, None)
             if engine is None:
                 return False
             self._cost_models.pop(name, None)
             self._tenants.pop(name, None)
+            for fleet_name, variants in list(self._fleets.items()):
+                if name in variants:
+                    remaining = tuple(v for v in variants if v != name)
+                    if remaining:
+                        self._fleets[fleet_name] = remaining
+                    else:
+                        # A fleet emptied of variants disappears with them.
+                        del self._fleets[fleet_name]
+                        self._tenants.pop(fleet_name, None)
             self.generation += 1
         closer = getattr(engine, "close", None)
         if closer is not None:

@@ -67,6 +67,7 @@ from repro.serve.admission import (
     AdmissionDecision,
     OverloadState,
 )
+from repro.serve.fleet import FleetRouter, RouteDecision, RoutingObjective
 from repro.serve.registry import ModelRegistry
 from repro.serve.scheduler import (
     BatchingPolicy,
@@ -165,6 +166,12 @@ class _DispatchedBatch:
     deadline, ``enqueued_at`` its oldest request's submission instant (the
     aging clock), and ``seq`` the global formation order that keeps
     same-model batches FIFO and breaks ties deterministically.
+
+    ``engine_name`` is the registry name the batch executes on: the
+    requests' own model name, except for fleet submissions, where the
+    router rebinds it to the chosen variant (``route`` then carries the
+    :class:`~repro.serve.fleet.RouteDecision` evidence, and may be rebound
+    again if the variant is unregistered mid-flight).
     """
 
     seq: int
@@ -173,6 +180,8 @@ class _DispatchedBatch:
     priority: int
     deadline_s: float | None
     enqueued_at: float
+    engine_name: str
+    route: RouteDecision | None = None
 
     @classmethod
     def from_requests(
@@ -186,6 +195,7 @@ class _DispatchedBatch:
             priority=max(r.priority for r in requests),
             deadline_s=min(deadlines) if deadlines else None,
             enqueued_at=min(r.enqueued_at for r in requests),
+            engine_name=requests[0].model_name,
         )
 
 
@@ -236,6 +246,17 @@ class InferenceServer:
         sheds) land in the tracer's flight recorder.  Replica pools hosted
         in the registry get their lifecycle observer wired automatically.
         Absent (the default), the tracing path costs one ``None`` check.
+    routing:
+        Optional :class:`~repro.serve.fleet.RoutingObjective` for fleet
+        submissions (:meth:`ModelRegistry.register_fleet
+        <repro.serve.registry.ModelRegistry.register_fleet>`).  Batches
+        addressed at a fleet name are placed on one of its architecture
+        variants at formation time by a
+        :class:`~repro.serve.fleet.FleetRouter` (exposed as
+        :attr:`router`), by default minimising modeled energy subject to
+        the batch's deadline slack; per-variant backlog feeds back into
+        the placement so a saturated fast variant spills to the low-power
+        one.  Non-fleet submissions never touch the router.
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`.  Requests
     may be submitted before :meth:`start`; they dispatch once the scheduler
@@ -251,6 +272,7 @@ class InferenceServer:
         slo_scheduling: bool = True,
         admission: AdmissionController | None = None,
         tracer: Tracer | None = None,
+        routing: RoutingObjective | None = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be positive")
@@ -261,6 +283,7 @@ class InferenceServer:
         self.slo_scheduling = slo_scheduling
         self.admission = admission
         self.tracer = tracer
+        self.router = FleetRouter(registry, telemetry, routing)
         # Replica pools whose lifecycle observer is already pointed at this
         # server's tracer; same generation-keyed invalidation as the cost
         # model cache below.  Setting the observer is assignment-idempotent,
@@ -310,11 +333,47 @@ class InferenceServer:
 
     def _make_queue(self) -> RequestQueue:
         return RequestQueue(
-            latency_estimator=(
-                self.telemetry.predicted_batch_latency_s if self.telemetry else None
-            ),
+            latency_estimator=self._latency_predictor(),
             slo_mode=self.slo_scheduling,
         )
+
+    def _latency_predictor(self):
+        """The collector's calibrated latency predictor, made fleet-aware.
+
+        Plain model names pass straight through to
+        :meth:`~repro.telemetry.TelemetryCollector.predicted_batch_latency_s`.
+        A fleet name predicts its *best feasible variant*: the minimum over
+        variants of the calibrated estimate divided by that variant's
+        dispatch width (a replica pool drains its backlog ~width times
+        faster) -- which is what the router can actually achieve, so
+        admission control and deadline-slack scheduling neither shed work a
+        fast variant could serve nor admit work no variant can.  ``None``
+        without a collector (the queue and admission both treat a missing
+        predictor as "no latency evidence").
+        """
+        if self.telemetry is None:
+            return None
+        base = self.telemetry.predicted_batch_latency_s
+
+        def predict(model_name: str, n_samples: int) -> float | None:
+            variants = self.registry.fleet_variants(model_name)
+            if variants is None:
+                return base(model_name, n_samples)
+            best = None
+            for variant in variants:
+                predicted = base(variant, n_samples)
+                if predicted is None:
+                    continue
+                try:
+                    engine = self.registry.engine(variant)
+                except KeyError:  # unregistered concurrently
+                    continue
+                predicted /= max(1, int(getattr(engine, "dispatch_width", 1)))
+                if best is None or predicted < best:
+                    best = predicted
+            return best
+
+        return predict
 
     def start(self) -> "InferenceServer":
         """Start the scheduler and worker pool (idempotent, restartable)."""
@@ -503,9 +562,10 @@ class InferenceServer:
                 overload_state=OverloadState.ACCEPTING,
             )
         tenants = self.registry.tenants()
-        predictor = (
-            self.telemetry.predicted_batch_latency_s if self.telemetry else None
-        )
+        # Fleet names predict via their best feasible variant (already
+        # width-scaled inside the predictor); _dispatch_widths has no fleet
+        # entry, so admission's own replica division stays a no-op for them.
+        predictor = self._latency_predictor()
         return self.admission.decide(
             request_id=request_id,
             model_name=model_name,
@@ -559,7 +619,13 @@ class InferenceServer:
         return self._backlog_by_model()
 
     def _wire_cost_model(self, model_name: str) -> None:
-        """Attach the registry's cost tables to the collector, once per model."""
+        """Attach the registry's cost tables to the collector, once per model.
+
+        A fleet name wires every live variant's tables instead of its own
+        (a fleet holds no engine or tables) -- the router's energy
+        predictions and the per-variant cost attribution both read them
+        from the collector.
+        """
         if self.telemetry is None:
             return
         # Read the generation BEFORE fetching tables: if the registry
@@ -572,19 +638,36 @@ class InferenceServer:
         if generation != self._wired_generation:
             self._wired_cost_models.clear()
             self._wired_generation = generation
-        if model_name not in self._wired_cost_models:
-            cost_model = self.registry.cost_model(model_name)
-            if cost_model is not None:
-                # The registry's tables win: after a re-registration the
-                # collector may still hold the previous tenant's.
-                self.telemetry.attach_cost_model(model_name, cost_model)
-                self._wired_cost_models.add(model_name)
-            elif self.telemetry.cost_model(model_name) is not None:
-                # Tables attached to the collector directly (no registry
-                # arch): keep them.
-                self._wired_cost_models.add(model_name)
-            # Absence is not cached: re-registering the model with an
-            # architecture later must still wire its cost tables.
+        if model_name in self._wired_cost_models:
+            return
+        variants = self.registry.fleet_variants(model_name)
+        if variants is not None:
+            for variant in variants:
+                self._wire_one_cost_model(variant)
+            # Membership changes bump the generation and clear this cache,
+            # so caching the fleet name itself is safe.
+            self._wired_cost_models.add(model_name)
+            return
+        self._wire_one_cost_model(model_name)
+
+    def _wire_one_cost_model(self, name: str) -> None:
+        if name in self._wired_cost_models:
+            return
+        try:
+            cost_model = self.registry.cost_model(name)
+        except KeyError:  # unregistered concurrently; next submit re-tries
+            return
+        if cost_model is not None:
+            # The registry's tables win: after a re-registration the
+            # collector may still hold the previous tenant's.
+            self.telemetry.attach_cost_model(name, cost_model)
+            self._wired_cost_models.add(name)
+        elif self.telemetry.cost_model(name) is not None:
+            # Tables attached to the collector directly (no registry
+            # arch): keep them.
+            self._wired_cost_models.add(name)
+        # Absence is not cached: re-registering the model with an
+        # architecture later must still wire its cost tables.
 
     def _wire_trace_observer(self, model_name: str) -> None:
         """Point a hosted replica pool's lifecycle events at the tracer.
@@ -603,13 +686,20 @@ class InferenceServer:
             self._observer_generation = generation
         if model_name in self._wired_observers:
             return
-        try:
-            engine = self.registry.engine(model_name)
-        except KeyError:  # unregistered concurrently; next submit re-tries
-            return
-        setter = getattr(engine, "set_lifecycle_observer", None)
-        if setter is not None:
-            setter(self._pool_lifecycle_event)
+        # A fleet name wires every live variant's pool (the fleet has no
+        # engine of its own); membership changes bump the generation, so
+        # caching the fleet name is safe.
+        for target in self.registry.fleet_variants(model_name) or (model_name,):
+            if target in self._wired_observers:
+                continue
+            try:
+                engine = self.registry.engine(target)
+            except KeyError:  # unregistered concurrently; next submit re-tries
+                continue
+            setter = getattr(engine, "set_lifecycle_observer", None)
+            if setter is not None:
+                setter(self._pool_lifecycle_event)
+            self._wired_observers.add(target)
         self._wired_observers.add(model_name)
 
     def _pool_lifecycle_event(self, event: dict) -> None:
@@ -751,16 +841,77 @@ class InferenceServer:
                     if request.trace is not None:
                         request.formed_at = formed
             entry = _DispatchedBatch.from_requests(next(self._dispatch_seq), batch)
+            if self.registry.is_fleet(name):
+                self._route_entry(name, entry)
+            key = entry.engine_name
+            # Routed batches join the *variant's* FIFO: per-variant
+            # capacity, ordering and serialisation are exactly those of
+            # direct submissions, which is what keeps a pinned fleet
+            # bit-identical to single-variant serving -- and what makes
+            # _dispatched_samples per-variant backlog the router feeds on.
             with self._dispatch_guard:
-                self._dispatch.setdefault(name, deque()).append(entry)
-                self._dispatched_samples[name] = (
-                    self._dispatched_samples.get(name, 0) + entry.samples
+                self._dispatch.setdefault(key, deque()).append(entry)
+                self._dispatched_samples[key] = (
+                    self._dispatched_samples.get(key, 0) + entry.samples
                 )
             # One worker task per formed batch: each task executes zero or
             # more batches (whatever is most urgent when it gets a thread)
             # and exits when nothing is selectable, so batches can never
             # outnumber the tasks that will look for them.
             self._workers.submit(self._dispatch_worker)
+
+    def _route_entry(
+        self, fleet: str, entry: _DispatchedBatch, reroute: bool = False
+    ) -> bool:
+        """Place one fleet batch on a variant; ``True`` when a variant was chosen.
+
+        The decision path is dictionary lookups over precomputed cost
+        tables and calibration scalars -- no engine is touched, so routing
+        adds microseconds to batch formation.  ``reroute=True`` is the
+        mid-flight drain path (the chosen variant was unregistered with
+        the batch already dispatched): the batch is replaced onto the
+        remaining variants and the hop is counted separately so the
+        telemetry's routed-batch totals stay one-per-batch.  ``False``
+        means no live variant exists; the caller lets the batch fail (or,
+        at formation time, lets the engine lookup produce the usual
+        unknown-model error).
+        """
+        started = time.monotonic()
+        try:
+            decision = self.router.route(
+                fleet,
+                entry.samples,
+                deadline_s=entry.deadline_s,
+                now=started,
+                backlog=self._backlog_by_model(),
+            )
+        except LookupError:  # fleet emptied or dropped concurrently
+            return False
+        decided = time.monotonic()
+        entry.engine_name = decision.variant
+        entry.route = decision
+        if self.telemetry is not None:
+            self.telemetry.record_route(decision, reroute=reroute)
+        if reroute and self.tracer is not None:
+            self.tracer.record_event(
+                "fleet_reroute",
+                fleet=fleet,
+                variant=decision.variant,
+                samples=entry.samples,
+            )
+        for request in entry.requests:
+            if request.trace is not None:
+                request.trace.add_span(
+                    "route",
+                    started,
+                    decided,
+                    variant=decision.variant,
+                    rejected=list(decision.rejected),
+                    objective=decision.objective,
+                    reason=decision.reason,
+                    rerouted=reroute,
+                )
+        return True
 
     def _select_model_locked(self, now: float) -> str | None:
         """The most urgent head batch across models not already draining.
@@ -816,7 +967,7 @@ class InferenceServer:
                 self._active_batches[name] = self._active_batches.get(name, 0) + 1
                 entry = self._dispatch[name].popleft()
             try:
-                self._execute_batch(entry.requests)
+                self._execute_batch(entry)
             finally:
                 with self._dispatch_guard:
                     active = self._active_batches.get(name, 0) - 1
@@ -832,8 +983,8 @@ class InferenceServer:
                     if not self._dispatch.get(name):
                         self._dispatch.pop(name, None)
 
-    def _execute_batch(self, batch: list[InferenceRequest]) -> None:
-        name = batch[0].model_name
+    def _execute_batch(self, entry: _DispatchedBatch) -> None:
+        batch = entry.requests
         sizes = [request.n_samples for request in batch]
         # Trace fan-out: the batch runs once, but each sampled request's
         # trace gets its own copy of the batch-level spans collected in
@@ -847,51 +998,32 @@ class InferenceServer:
         )
         dispatched = time.monotonic()
         try:
-            engine = self.registry.engine(name)
             inputs = (
                 batch[0].inputs
                 if len(batch) == 1
                 else np.concatenate([request.inputs for request in batch], axis=0)
             )
-            if getattr(engine, "worker_owns_state", False):
-                # Process-backed engine: all mutable state lives in the
-                # worker, which serialises its own requests -- no executor
-                # locks.  Timing and engine-run records are measured inside
-                # the worker, so telemetry calibration never sees IPC cost.
-                # A replica pool additionally absorbs worker crashes here:
-                # the batch is requeued onto a healthy sibling inside
-                # run_timed, so a crash never surfaces as request failures.
-                if sink is None:
-                    outputs, engine_time, engine_records = engine.run_timed(inputs)
-                else:
-                    outputs, engine_time, engine_records = engine.run_timed(
-                        inputs, trace_ctx=trace_ctx, span_sink=sink
-                    )
-            else:
-                entries = self._engine_locks(engine)
+            while True:
                 try:
-                    with ExitStack() as stack:
-                        for entry in entries:
-                            stack.enter_context(entry.lock)
-                        engine_start = time.monotonic()
-                        start = time.perf_counter()
-                        outputs = engine.run(inputs)
-                        engine_time = time.perf_counter() - start
-                finally:
-                    self._release_engine_locks(entries)
-                engine_records = [(int(sum(sizes)), engine_time)]
-                if sink is not None:
-                    # Thread-backed engines run in-process: the engine span
-                    # is parent-measured (same pid/tid as the worker thread).
-                    sink.append(
-                        {
-                            "name": "engine",
-                            "start_s": engine_start,
-                            "end_s": engine_start + engine_time,
-                            "replica": None,
-                            "status": "ok",
-                        }
+                    engine = self.registry.engine(entry.engine_name)
+                    outputs, engine_time, engine_records = self._run_engine(
+                        engine, inputs, sizes, sink, trace_ctx
                     )
+                    break
+                except BaseException:
+                    # Zero-loss drain: a routed batch whose variant was
+                    # unregistered mid-flight (the engine lookup fails, or
+                    # a process pool was closed under the running batch) is
+                    # re-placed onto the fleet's remaining variants instead
+                    # of failing its requests.  Each retry targets a
+                    # variant the pruned fleet still lists, so the loop is
+                    # bounded by the fleet width; anything else -- including
+                    # a fleet emptied of variants -- falls through to the
+                    # failure path below.
+                    if entry.route is None or entry.engine_name in self.registry:
+                        raise
+                    if not self._route_entry(entry.route.fleet, entry, reroute=True):
+                        raise
         except BaseException as error:
             for request in batch:
                 request.future._set_error(_clone_error(error))
@@ -934,17 +1066,70 @@ class InferenceServer:
             stats.queue_wait_s += sum(
                 dispatched - request.enqueued_at for request in batch
             )
-            stats.batches_per_model[name] = stats.batches_per_model.get(name, 0) + 1
+            # Routed batches are counted under the variant that actually
+            # executed them (the fleet-level totals live in the telemetry
+            # collector's routing counters).
+            stats.batches_per_model[entry.engine_name] = (
+                stats.batches_per_model.get(entry.engine_name, 0) + 1
+            )
         if self.telemetry is not None:
+            if entry.route is not None:
+                self.telemetry.record_route_outcome(entry.route)
             self._record_telemetry(
+                entry,
                 engine,
-                batch,
                 sizes,
                 dispatched,
                 completed,
                 engine_time,
                 engine_records,
             )
+
+    def _run_engine(
+        self,
+        engine,
+        inputs: np.ndarray,
+        sizes: list[int],
+        sink: list[dict] | None,
+        trace_ctx: tuple | None,
+    ) -> tuple[np.ndarray, float, list[tuple]]:
+        """Run one coalesced batch on ``engine``; returns outputs + timings."""
+        if getattr(engine, "worker_owns_state", False):
+            # Process-backed engine: all mutable state lives in the
+            # worker, which serialises its own requests -- no executor
+            # locks.  Timing and engine-run records are measured inside
+            # the worker, so telemetry calibration never sees IPC cost.
+            # A replica pool additionally absorbs worker crashes here:
+            # the batch is requeued onto a healthy sibling inside
+            # run_timed, so a crash never surfaces as request failures.
+            if sink is None:
+                return engine.run_timed(inputs)
+            return engine.run_timed(inputs, trace_ctx=trace_ctx, span_sink=sink)
+        entries = self._engine_locks(engine)
+        try:
+            with ExitStack() as stack:
+                for entry in entries:
+                    stack.enter_context(entry.lock)
+                engine_start = time.monotonic()
+                start = time.perf_counter()
+                outputs = engine.run(inputs)
+                engine_time = time.perf_counter() - start
+        finally:
+            self._release_engine_locks(entries)
+        engine_records = [(int(sum(sizes)), engine_time)]
+        if sink is not None:
+            # Thread-backed engines run in-process: the engine span
+            # is parent-measured (same pid/tid as the worker thread).
+            sink.append(
+                {
+                    "name": "engine",
+                    "start_s": engine_start,
+                    "end_s": engine_start + engine_time,
+                    "replica": None,
+                    "status": "ok",
+                }
+            )
+        return outputs, engine_time, engine_records
 
     def _finish_traces(
         self,
@@ -989,8 +1174,8 @@ class InferenceServer:
 
     def _record_telemetry(
         self,
+        entry: _DispatchedBatch,
         engine,
-        batch: list[InferenceRequest],
         sizes: list[int],
         dispatched: float,
         completed: float,
@@ -1007,8 +1192,15 @@ class InferenceServer:
         time.  Engines exposing ``pool_health()`` (replica pools) also get
         their healthy/total replica counts and restart total snapshotted
         into the collector per batch.
+
+        Routed fleet batches are recorded under the *variant* that executed
+        them: calibration must stay per variant (the router's backlog-spill
+        behaviour depends on each variant predicting its own speed) and the
+        energy attribution must use the executing architecture's tables.
+        Fleet-level aggregates come from the collector's routing counters.
         """
-        name = batch[0].model_name
+        batch = entry.requests
+        name = entry.engine_name
         batch_samples = int(sum(sizes))
         self.telemetry.record_engine_runs(name, engine_records)
         pool_health = getattr(engine, "pool_health", None)

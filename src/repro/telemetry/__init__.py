@@ -44,6 +44,7 @@ Quickstart::
 
 from repro.telemetry.collector import (
     PROMETHEUS_CONTENT_TYPE,
+    FleetAggregate,
     LatencyHistogram,
     ModelAggregate,
     RequestTrace,
@@ -54,6 +55,7 @@ from repro.telemetry.tracing import FlightRecorder, SpanRecord, TraceHandle, Tra
 
 __all__ = [
     "CostModel",
+    "FleetAggregate",
     "FlightRecorder",
     "LatencyHistogram",
     "LayerCost",

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from repro.telemetry.cost import CostModel
 
 __all__ = [
+    "FleetAggregate",
     "LatencyHistogram",
     "RequestTrace",
     "ModelAggregate",
@@ -305,6 +306,76 @@ class ModelAggregate:
         }
 
 
+@dataclass
+class FleetAggregate:
+    """Cumulative routing totals for one heterogeneous fleet.
+
+    Fed by the server's :class:`~repro.serve.fleet.FleetRouter` decisions
+    (duck-typed ``RouteDecision`` objects -- the serve layer imports
+    telemetry, not the other way around).  ``batches_routed`` /
+    ``samples_routed`` count decisions at batch formation;
+    ``executed_batches_by_variant`` / ``executed_samples_by_variant`` count
+    where batches actually ran (they differ from ``decisions_by_variant``
+    only when a variant was unregistered mid-flight and its batches were
+    re-routed -- counted in ``reroutes``).
+
+    The energy figures compare the chosen placements against the
+    always-fastest baseline variant of each decision: ``predicted_*`` sums
+    decision-time modeled energy, ``realised_*`` sums the same figures for
+    the placement that finally executed, so predicted-vs-realised savings
+    diverge exactly when re-routing (or a baseline shift) moved work after
+    the decision.
+    """
+
+    fleet: str
+    batches_routed: int = 0
+    samples_routed: int = 0
+    reroutes: int = 0
+    decisions_by_variant: dict[str, int] = field(default_factory=dict)
+    executed_batches_by_variant: dict[str, int] = field(default_factory=dict)
+    executed_samples_by_variant: dict[str, int] = field(default_factory=dict)
+    predicted_energy_pj: float = 0.0
+    predicted_baseline_pj: float = 0.0
+    realised_energy_pj: float = 0.0
+    realised_baseline_pj: float = 0.0
+
+    @property
+    def predicted_saved_pj(self) -> float:
+        """Decision-time modeled energy saved vs always-fastest placement."""
+        return self.predicted_baseline_pj - self.predicted_energy_pj
+
+    @property
+    def realised_saved_pj(self) -> float:
+        """Modeled energy saved by the placements that actually executed."""
+        return self.realised_baseline_pj - self.realised_energy_pj
+
+    @property
+    def realised_saved_fraction(self) -> float:
+        """Realised savings as a fraction of the always-fastest baseline."""
+        if self.realised_baseline_pj <= 0.0:
+            return 0.0
+        return self.realised_saved_pj / self.realised_baseline_pj
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation including the derived fields."""
+        return {
+            "fleet": self.fleet,
+            "batches_routed": self.batches_routed,
+            "samples_routed": self.samples_routed,
+            "reroutes": self.reroutes,
+            "decisions_by_variant": dict(self.decisions_by_variant),
+            "executed_batches_by_variant": dict(self.executed_batches_by_variant),
+            "executed_samples_by_variant": dict(self.executed_samples_by_variant),
+            "predicted_energy_pj": self.predicted_energy_pj,
+            "predicted_baseline_pj": self.predicted_baseline_pj,
+            "predicted_saved_pj": self.predicted_saved_pj,
+            "realised_energy_pj": self.realised_energy_pj,
+            "realised_baseline_pj": self.realised_baseline_pj,
+            "realised_saved_pj": self.realised_saved_pj,
+            "realised_saved_fraction": self.realised_saved_fraction,
+        }
+
+
 #: (metric suffix, help text, ModelAggregate attribute) for the text export.
 #: Content-Type a scrape endpoint must declare when serving
 #: :meth:`TelemetryCollector.to_prometheus` output (the Prometheus text
@@ -403,6 +474,7 @@ class TelemetryCollector:
             raise ValueError("max_traces must be positive")
         self._traces: deque[RequestTrace] = deque(maxlen=max_traces)
         self._aggregates: dict[str, ModelAggregate] = {}
+        self._fleets: dict[str, FleetAggregate] = {}
         # Per-(model, metric) log-bucketed histograms; metric is one of
         # _HISTOGRAM_KEYS ("latency"/"queue_wait" fed by record(), "engine"
         # by record_engine_run()).
@@ -563,6 +635,61 @@ class TelemetryCollector:
             replica = record[2] if len(record) > 2 else None
             self.record_engine_run(model_name, n_samples, elapsed_s, replica=replica)
 
+    def record_route(self, decision, *, reroute: bool = False) -> None:
+        """Record one fleet routing decision at batch formation.
+
+        ``decision`` is a :class:`~repro.serve.fleet.RouteDecision`
+        (duck-typed: ``fleet``, ``variant``, ``n_samples``, ``energy_pj``,
+        ``baseline_energy_pj``).  ``reroute=True`` marks the mid-flight
+        drain path (the chosen variant was unregistered under a dispatched
+        batch): the hop bumps ``reroutes`` and the per-variant decision
+        counter, but not the one-per-batch routed totals or the
+        decision-time energy sums, which the original decision already
+        counted.
+        """
+        with self._lock:
+            aggregate = self._fleets.get(decision.fleet)
+            if aggregate is None:
+                aggregate = self._fleets[decision.fleet] = FleetAggregate(
+                    decision.fleet
+                )
+            decisions = aggregate.decisions_by_variant
+            decisions[decision.variant] = decisions.get(decision.variant, 0) + 1
+            if reroute:
+                aggregate.reroutes += 1
+                return
+            aggregate.batches_routed += 1
+            aggregate.samples_routed += decision.n_samples
+            if decision.energy_pj is not None:
+                aggregate.predicted_energy_pj += decision.energy_pj
+            if decision.baseline_energy_pj is not None:
+                aggregate.predicted_baseline_pj += decision.baseline_energy_pj
+
+    def record_route_outcome(self, decision) -> None:
+        """Record where one routed batch actually executed.
+
+        Called once per completed fleet batch with its *final* decision
+        (after any mid-flight re-routes), so the realised energy sums and
+        per-variant execution counters reflect the placements that ran,
+        not the ones first chosen.
+        """
+        with self._lock:
+            aggregate = self._fleets.get(decision.fleet)
+            if aggregate is None:
+                aggregate = self._fleets[decision.fleet] = FleetAggregate(
+                    decision.fleet
+                )
+            batches = aggregate.executed_batches_by_variant
+            batches[decision.variant] = batches.get(decision.variant, 0) + 1
+            samples = aggregate.executed_samples_by_variant
+            samples[decision.variant] = (
+                samples.get(decision.variant, 0) + decision.n_samples
+            )
+            if decision.energy_pj is not None:
+                aggregate.realised_energy_pj += decision.energy_pj
+            if decision.baseline_energy_pj is not None:
+                aggregate.realised_baseline_pj += decision.baseline_energy_pj
+
     def record_pool_health(
         self, model_name: str, healthy: int, replicas: int, restarts: int
     ) -> None:
@@ -631,6 +758,34 @@ class TelemetryCollector:
         }
         return snapshot
 
+    @staticmethod
+    def _copy_fleet(aggregate: FleetAggregate) -> FleetAggregate:
+        snapshot = FleetAggregate(**vars(aggregate))
+        snapshot.decisions_by_variant = dict(aggregate.decisions_by_variant)
+        snapshot.executed_batches_by_variant = dict(
+            aggregate.executed_batches_by_variant
+        )
+        snapshot.executed_samples_by_variant = dict(
+            aggregate.executed_samples_by_variant
+        )
+        return snapshot
+
+    def fleet_aggregate(self, fleet: str) -> FleetAggregate:
+        """A snapshot of one fleet's cumulative routing totals."""
+        with self._lock:
+            aggregate = self._fleets.get(fleet)
+            if aggregate is None:
+                return FleetAggregate(fleet)
+            return self._copy_fleet(aggregate)
+
+    def fleet_aggregates(self) -> dict[str, FleetAggregate]:
+        """Snapshots of every fleet's cumulative routing totals."""
+        with self._lock:
+            return {
+                name: self._copy_fleet(aggregate)
+                for name, aggregate in self._fleets.items()
+            }
+
     def aggregate(self, model_name: str) -> ModelAggregate:
         """A snapshot of one model's cumulative aggregate."""
         with self._lock:
@@ -665,6 +820,11 @@ class TelemetryCollector:
                     metric: self._histograms[(name, metric)].as_dict()
                     for metric in _HISTOGRAM_KEYS
                     if (name, metric) in self._histograms
+                }
+            if self._fleets:
+                payload["fleets"] = {
+                    name: aggregate.as_dict()
+                    for name, aggregate in self._fleets.items()
                 }
             if self._overload_state is not None:
                 payload["overload_state"] = self._overload_state
@@ -776,6 +936,74 @@ class TelemetryCollector:
                         f'{metric}{{model="{label}",replica="{replica_label}"}} '
                         f"{value}"
                     )
+        fleets = self.fleet_aggregates()
+        if fleets:
+            for suffix, help_text, attribute in (
+                (
+                    "fleet_routed_batches_total",
+                    "Routed fleet batches executed per variant.",
+                    "executed_batches_by_variant",
+                ),
+                (
+                    "fleet_routed_samples_total",
+                    "Routed fleet samples executed per variant.",
+                    "executed_samples_by_variant",
+                ),
+                (
+                    "fleet_route_decisions_total",
+                    "Routing decisions per variant (including re-routes).",
+                    "decisions_by_variant",
+                ),
+            ):
+                metric = f"{prefix}_{suffix}"
+                lines.append(f"# HELP {metric} {help_text}")
+                lines.append(f"# TYPE {metric} counter")
+                for name in sorted(fleets):
+                    label = self._escape_label(name)
+                    by_variant = getattr(fleets[name], attribute)
+                    for variant in sorted(by_variant):
+                        variant_label = self._escape_label(variant)
+                        lines.append(
+                            f'{metric}{{fleet="{label}",variant="{variant_label}"}} '
+                            f"{by_variant[variant]}"
+                        )
+            metric = f"{prefix}_fleet_reroutes_total"
+            lines.append(
+                f"# HELP {metric} Mid-flight re-routes after a variant "
+                "was unregistered."
+            )
+            lines.append(f"# TYPE {metric} counter")
+            for name in sorted(fleets):
+                label = self._escape_label(name)
+                lines.append(f'{metric}{{fleet="{label}"}} {fleets[name].reroutes}')
+            # Savings can go negative (a pinned placement costlier than the
+            # fastest variant), so these are gauges, not counters.
+            for suffix, help_text, attribute in (
+                (
+                    "fleet_predicted_energy_saved_picojoules",
+                    "Decision-time modeled energy saved vs always-fastest "
+                    "placement.",
+                    "predicted_saved_pj",
+                ),
+                (
+                    "fleet_realised_energy_saved_picojoules",
+                    "Modeled energy saved by the placements that executed.",
+                    "realised_saved_pj",
+                ),
+                (
+                    "fleet_realised_energy_saved_ratio",
+                    "Realised energy savings as a fraction of the "
+                    "always-fastest baseline.",
+                    "realised_saved_fraction",
+                ),
+            ):
+                metric = f"{prefix}_{suffix}"
+                lines.append(f"# HELP {metric} {help_text}")
+                lines.append(f"# TYPE {metric} gauge")
+                for name in sorted(fleets):
+                    label = self._escape_label(name)
+                    value = getattr(fleets[name], attribute)
+                    lines.append(f'{metric}{{fleet="{label}"}} {value}')
         if overload_state is not None:
             metric = f"{prefix}_overload_state"
             level = _OVERLOAD_SEVERITY.get(overload_state, -1)

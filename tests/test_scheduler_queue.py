@@ -303,7 +303,13 @@ class TestDispatchProperties:
         while (batch := queue.next_batch(policy)) is not None:
             assert len(batch) == 1  # distinct models never co-batch
             order.append(batch[0].request_id)
-        ranked = sorted(enumerate(specs), key=lambda item: (-item[1][0], item[1][1]))
+        # Rank by the *absolute* deadline the queue actually sees: offsets
+        # unique in isolation can collapse to the same float once added to a
+        # large monotonic ``now`` (sub-ULP difference), and the queue breaks
+        # such ties by submission order -- which the stable sort preserves.
+        ranked = sorted(
+            enumerate(specs), key=lambda item: (-item[1][0], now + item[1][1])
+        )
         assert order == [index for index, _spec in ranked]
 
     @given(
