@@ -1,0 +1,225 @@
+"""Compiled execution plans vs. the re-deriving engine, plus output pooling.
+
+Not a paper artifact: this tracks the ROADMAP "hot-path raw speed" follow-up
+that motivated :mod:`repro.runtime.plan`.  Two claims are enforced:
+
+* **Planned dispatch.**  A small-batch dispatch storm (every request M <= 4,
+  the serving layer's worst case: per-batch layout work is amortised over
+  almost nothing) through a :class:`NetworkEngine` running a precompiled
+  :class:`~repro.runtime.ModelPlan` must sustain at least
+  ``MIN_PLANNED_SPEEDUP``x the unplanned engine's throughput (1.3x by
+  default, typically ~2x locally) while staying bit-identical, and compiling
+  the plan must amortise within a single storm batch.
+* **Output pooling.**  A process-backed engine hands results out as
+  zero-copy views of pooled worker-owned shared-memory slots; the same
+  round trip with ``copy_outputs`` (the old materialise-per-reply
+  behaviour) must not be faster -- the measured per-round-trip delta is the
+  memcpy the pool deletes.
+
+Plans change scheduling and layout only, never arithmetic, so every
+comparison here doubles as a bit-identity regression test across the
+thread and process backends.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear
+from repro.nn.model import QuantizedModel
+from repro.nn.synthetic import synthetic_linear_weights
+from repro.runtime import (
+    ExecutorPool,
+    NetworkEngine,
+    ProcessEngine,
+    compile_model_plan,
+)
+
+N_REQUESTS = 100
+MAX_STORM_SAMPLES = 4  # the storm is all small batches: M in 1..4
+
+
+def build_model(name: str, seed: int) -> QuantizedModel:
+    """The same CPU-bound three-layer MLP the procpool benchmark uses."""
+    rng = np.random.default_rng(seed)
+    layers = [
+        Linear(
+            f"{name}_fc1",
+            synthetic_linear_weights(96, 128, rng, std=0.15),
+            fuse_relu=True,
+        ),
+        Linear(
+            f"{name}_fc2",
+            synthetic_linear_weights(48, 96, rng, std=0.15),
+            fuse_relu=True,
+        ),
+        Linear(f"{name}_fc3", synthetic_linear_weights(10, 48, rng, std=0.15)),
+    ]
+    model = QuantizedModel(name, layers, input_shape=(128,))
+    model.calibrate(np.abs(rng.normal(0, 1, size=(64, 128))))
+    return model
+
+
+def build_wide_model(seed: int = 5) -> QuantizedModel:
+    """One wide layer: big result arrays make the reply memcpy visible."""
+    rng = np.random.default_rng(seed)
+    model = QuantizedModel(
+        "wide",
+        [Linear("wide_fc", synthetic_linear_weights(512, 32, rng, std=0.15))],
+        input_shape=(32,),
+    )
+    model.calibrate(np.abs(rng.normal(0, 1, size=(64, 32))))
+    return model
+
+
+def make_storm(n_requests: int = N_REQUESTS, seed: int = 9) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [
+        np.abs(rng.normal(0, 1, size=(1 + i % MAX_STORM_SAMPLES, 128)))
+        for i in range(n_requests)
+    ]
+
+
+def best_of(func, rounds: int = 3):
+    """Best wall time over a few rounds (plus the last result)."""
+    func()  # warm-up
+    timings, result = [], None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = func()
+        timings.append(time.perf_counter() - start)
+    return min(timings), result
+
+
+@pytest.fixture(scope="module")
+def plan_setup():
+    """One model hosted three ways: unplanned, planned, planned-in-process."""
+    model = build_model("plan_mlp", seed=3)
+    requests = make_storm()
+    unplanned = NetworkEngine.build(model, pool=ExecutorPool())
+    planned_pool = ExecutorPool()
+    plan = compile_model_plan(model, pool=planned_pool)
+    planned = NetworkEngine.build(model, pool=planned_pool, plan=plan)
+    process = ProcessEngine.launch(model, plan=plan)
+    for engine in (unplanned, planned, process):
+        engine.run(requests[0])  # warm every path outside the timed regions
+    yield model, plan, unplanned, planned, process, requests
+    process.close()
+
+
+def run_storm(engine, requests: list[np.ndarray]) -> list[np.ndarray]:
+    return [engine.run(batch) for batch in requests]
+
+
+def test_bench_unplanned_dispatch_storm(benchmark, plan_setup):
+    _model, _plan, unplanned, _planned, _process, requests = plan_setup
+    outputs = benchmark.pedantic(
+        run_storm, args=(unplanned, requests), rounds=1, iterations=1
+    )
+    assert outputs[0].shape == (1, 10)
+
+
+def test_bench_planned_dispatch_storm(benchmark, plan_setup):
+    _model, _plan, _unplanned, planned, _process, requests = plan_setup
+    outputs = benchmark.pedantic(
+        run_storm, args=(planned, requests), rounds=1, iterations=1
+    )
+    assert outputs[-1].shape == (1 + (len(requests) - 1) % MAX_STORM_SAMPLES, 10)
+
+
+def test_planned_storm_speedup_and_bit_identity(benchmark, plan_setup):
+    """Planned dispatch >= MIN_PLANNED_SPEEDUP x unplanned, bit for bit."""
+    minimum = float(os.environ.get("MIN_PLANNED_SPEEDUP", "1.3"))
+    _model, _plan, unplanned, planned, _process, requests = plan_setup
+
+    unplanned_time, unplanned_outputs = best_of(lambda: run_storm(unplanned, requests))
+    planned_time, planned_outputs = best_of(lambda: run_storm(planned, requests))
+    for expected, actual in zip(unplanned_outputs, planned_outputs):
+        assert np.array_equal(expected, actual)
+
+    speedup = unplanned_time / planned_time
+    benchmark.extra_info["planned_speedup"] = round(speedup, 2)
+    benchmark.extra_info["requests_per_s_planned"] = round(len(requests) / planned_time)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert speedup >= minimum, (
+        f"planned engine only {speedup:.2f}x unplanned dispatch "
+        f"({len(requests) / planned_time:.0f} vs "
+        f"{len(requests) / unplanned_time:.0f} req/s)"
+    )
+
+
+def test_plan_compile_amortises_within_one_batch(plan_setup):
+    """Compiling the plan costs less than a single storm batch.
+
+    The compile runs against a *fresh* pool, so the measured time includes
+    weight encoding -- the worst case a cold registry pays.  Even so it must
+    pay for itself within one batch of the storm it accelerates.
+    """
+    budget = float(os.environ.get("MAX_PLAN_COMPILE_BATCHES", "1.0"))
+    model, _plan, unplanned, _planned, _process, requests = plan_setup
+
+    batch_time, _ = best_of(lambda: run_storm(unplanned, requests))
+    per_batch = batch_time / len(requests)
+    start = time.perf_counter()
+    compile_model_plan(model, pool=ExecutorPool())
+    compile_time = time.perf_counter() - start
+    assert compile_time <= budget * per_batch, (
+        f"plan compile took {compile_time * 1e3:.2f} ms, "
+        f"budget {budget:.1f} batch(es) = {budget * per_batch * 1e3:.2f} ms"
+    )
+
+
+def test_planned_outputs_bit_identical_across_backends(plan_setup):
+    """Thread engine, planned engine and plan-shipped worker all agree."""
+    _model, _plan, unplanned, planned, process, requests = plan_setup
+    stacked = np.concatenate(requests[:8], axis=0)
+    expected = unplanned.run(stacked)
+    assert np.array_equal(planned.run(stacked), expected)
+    assert np.array_equal(process.run(stacked), expected)
+
+
+def test_output_pooling_roundtrip_delta(benchmark):
+    """Zero-copy pooled replies are never slower than materialised copies.
+
+    ``EngineWorker.copy_outputs`` restores the old copy-per-reply behaviour,
+    so the same worker measures both modes on identical requests; the delta
+    is the reply memcpy the output pool deletes.  The bound is directional
+    (``MAX_POOLED_RTT_RATIO``, default 1.05 to absorb timer noise) because
+    the simulated compute
+    dominates the round trip; the absolute delta lands in the timing JSON.
+    """
+    ratio_bar = float(os.environ.get("MAX_POOLED_RTT_RATIO", "1.05"))
+    model = build_wide_model()
+    plan = compile_model_plan(model)
+    engine = ProcessEngine.launch(model, plan=plan)
+    inputs = np.abs(np.random.default_rng(1).normal(0, 1, size=(256, 32)))
+    try:
+        engine.run(inputs)  # warm the worker and both transport directions
+
+        def round_trips(n: int = 6) -> float:
+            start = time.perf_counter()
+            for _ in range(n):
+                engine.run(inputs)
+            return (time.perf_counter() - start) / n
+
+        engine.worker.copy_outputs = False
+        pooled, _ = best_of(round_trips)
+        engine.worker.copy_outputs = True
+        copied, _ = best_of(round_trips)
+        engine.worker.copy_outputs = False
+        pooled_view = engine.run(inputs)
+        assert not pooled_view.flags.writeable  # zero-copy pool view
+        benchmark.extra_info["pooled_rtt_ms"] = round(pooled * 1e3, 3)
+        benchmark.extra_info["copy_rtt_ms"] = round(copied * 1e3, 3)
+        benchmark.extra_info["delta_us_per_roundtrip"] = round((copied - pooled) * 1e6)
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        assert pooled <= copied * ratio_bar, (
+            f"pooled round trip {pooled * 1e3:.3f} ms slower than "
+            f"copying replies ({copied * 1e3:.3f} ms)"
+        )
+    finally:
+        engine.close()

@@ -392,9 +392,9 @@ class PimLayerExecutor:
         m = codes.shape[0]
         n_filters = self.layer.out_features
         raw = np.zeros((m, n_filters), dtype=np.float64)
-        for chunk in self._chunks:
+        for chunk_index, chunk in enumerate(self._chunks):
             chunk_codes = codes[:, chunk.row_start : chunk.row_start + chunk.rows]
-            raw += self._chunk_matmul(chunk_codes, chunk)
+            raw += self._chunk_matmul(chunk_codes, chunk, chunk_index)
         # All row chunks operate on parallel crossbars, so latency is set by
         # one chunk's schedule; a batch of M input vectors is processed
         # sequentially through each crossbar.
@@ -439,7 +439,16 @@ class PimLayerExecutor:
         saturated = (rounded < self.config.adc_min) | (rounded > self.config.adc_max)
         return clipped, saturated
 
-    def _chunk_matmul(self, codes: np.ndarray, chunk: _EncodedChunk) -> np.ndarray:
+    def _chunk_matmul(
+        self, codes: np.ndarray, chunk: _EncodedChunk, chunk_index: int = 0
+    ) -> np.ndarray:
+        """One row chunk's contribution, shaped ``(M, n_filters)``.
+
+        ``chunk_index`` is the chunk's position in :attr:`_chunks`; subclasses
+        keying per-chunk state (GEMM operands, compiled plans) index by it
+        rather than by object identity, which keeps that state picklable and
+        immune to ``id()`` reuse.
+        """
         m = codes.shape[0]
         encoded = chunk.encoded
         n_filters = encoded.n_filters

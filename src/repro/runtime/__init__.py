@@ -15,6 +15,13 @@ batched engine while staying bit-identical to the per-phase reference:
   (used by :mod:`repro.serve`) applies wherever
   :func:`float32_gemm_is_exact` proves the accumulation fits float32's
   24-bit mantissa.
+* :mod:`repro.runtime.plan` compiles the whole derivation -- slicing extents,
+  phase-extraction index tables, GEMM operand views with proven dtypes,
+  speculation gather tables, noise-draw layout, micro-batch split points --
+  into a pickle-able :class:`ModelPlan` built once per ``(model, config,
+  noise, float32)`` and then *executed*: noiseless planned executors collapse
+  the per-phase ADC/speculation loop into whole-tensor operations, and
+  replica workers boot from the shipped plan without re-encoding weights.
 * :mod:`repro.runtime.cache` shares encoded weights across executor instances
   (center optimisation dominates executor construction) and pools executors
   per layer so repeated experiments do not re-program crossbars.
@@ -45,9 +52,15 @@ from repro.runtime.cache import (
     GLOBAL_WEIGHT_CACHE,
     EncodedWeightCache,
     ExecutorPool,
+    ModelPlanCache,
 )
 from repro.runtime.engine import NetworkEngine
 from repro.runtime.phases import extract_phase_tensor, plan_shift_masks
+from repro.runtime.plan import (
+    CompiledLayerPlan,
+    ModelPlan,
+    compile_model_plan,
+)
 from repro.runtime.procpool import (
     EngineSpec,
     EngineWorker,
@@ -62,11 +75,14 @@ from repro.runtime.procpool import (
 from repro.runtime.vectorized import VectorizedLayerExecutor, float32_gemm_is_exact
 
 __all__ = [
+    "CompiledLayerPlan",
     "EncodedWeightCache",
     "EngineSpec",
     "EngineWorker",
     "ExecutorPool",
     "GLOBAL_WEIGHT_CACHE",
+    "ModelPlan",
+    "ModelPlanCache",
     "NetworkEngine",
     "ProcessEngine",
     "RemoteEngineError",
@@ -76,6 +92,7 @@ __all__ = [
     "WorkerCrashError",
     "WorkerHandle",
     "WorkerStartupError",
+    "compile_model_plan",
     "extract_phase_tensor",
     "float32_gemm_is_exact",
     "plan_shift_masks",

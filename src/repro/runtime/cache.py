@@ -27,7 +27,12 @@ from repro.analog.noise import NoiseModel
 from repro.core.executor import PimLayerConfig, PimLayerExecutor
 from repro.nn.layers import MatmulLayer
 
-__all__ = ["EncodedWeightCache", "ExecutorPool", "GLOBAL_WEIGHT_CACHE"]
+__all__ = [
+    "EncodedWeightCache",
+    "ExecutorPool",
+    "GLOBAL_WEIGHT_CACHE",
+    "ModelPlanCache",
+]
 
 
 def _encoding_key(layer: MatmulLayer, config: PimLayerConfig) -> Hashable:
@@ -148,6 +153,7 @@ class ExecutorPool:
         noise: NoiseModel | None = None,
         reset_stats: bool = False,
         float32: bool | None = None,
+        plan=None,
     ) -> PimLayerExecutor:
         """Return a pooled executor for the layer, building one on first use.
 
@@ -155,12 +161,23 @@ class ExecutorPool:
         the pool key, so float32 and float64 executors for the same layer
         coexist.  The flag is ignored (normalised to off) for executor
         factories without a float32 fast path.
+
+        ``plan`` (a :class:`~repro.runtime.plan.CompiledLayerPlan`) seeds a
+        newly built vectorized executor with its precompiled chunks and
+        operand tables -- skipping weight encoding entirely, which is what
+        lets replica workers boot from a pickled
+        :class:`~repro.runtime.plan.ModelPlan`.  An already-pooled executor
+        *adopts* the plan instead (activating the planned fast path); plan
+        adoption is bit-identical either way, so planned and unplanned
+        callers may share one pooled executor.
         """
         from repro.runtime.vectorized import VectorizedLayerExecutor
 
         config = config or PimLayerConfig()
         vectorized = issubclass(self.executor_factory, VectorizedLayerExecutor)
         use_float32 = (self.float32 if float32 is None else float32) and vectorized
+        if not vectorized:
+            plan = None
         key = (
             id(layer),
             config,
@@ -174,10 +191,14 @@ class ExecutorPool:
                 if vectorized:
                     kwargs["weight_cache"] = self.weight_cache
                     kwargs["float32"] = use_float32
+                    kwargs["plan"] = plan
                 executor = self.executor_factory(layer, config, noise=noise, **kwargs)
                 self._executors[key] = executor
-            elif reset_stats:
-                executor.reset_stats()
+            else:
+                if plan is not None and executor.layer_plan is None:
+                    executor.adopt_plan(plan)
+                if reset_stats:
+                    executor.reset_stats()
             return executor
 
     def clear(self) -> None:
@@ -188,3 +209,50 @@ class ExecutorPool:
     def __len__(self) -> int:
         with self._lock:
             return len(self._executors)
+
+
+class ModelPlanCache:
+    """LRU cache of compiled :class:`~repro.runtime.plan.ModelPlan` artifacts.
+
+    Keyed by :meth:`ModelPlan.cache_key
+    <repro.runtime.plan.ModelPlan.cache_key>` -- weight fingerprints plus the
+    full frozen config, the same fingerprint-not-identity discipline as
+    :class:`EncodedWeightCache`, so re-registering a model with unchanged
+    weights and configuration reuses the exact plan object (tests assert
+    identity) while any config or weight change compiles a fresh one.
+    Thread-safe; the builder runs under the lock so concurrent registrations
+    of the same key compile once.
+    """
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
+
+    def get_or_compile(self, key: Hashable, builder: Callable[[], object]):
+        """Return the cached plan for ``key``, compiling it on first use."""
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return cached
+            self.misses += 1
+            plan = builder()
+            self._entries[key] = plan
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            return plan
+
+    def clear(self) -> None:
+        """Drop all cached plans (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -71,6 +71,9 @@ class NetworkEngine:
         self.model = model
         self.executors = dict(executors)
         self.micro_batch = micro_batch
+        #: The compiled :class:`~repro.runtime.plan.ModelPlan` this engine was
+        #: built against (``None`` for unplanned construction paths).
+        self.model_plan = None
         # Telemetry hooks: (n_samples, elapsed_s) callbacks fired after every
         # run().  The list is empty by default and run() does not even start a
         # timer then, so unmetered execution pays nothing.
@@ -107,21 +110,41 @@ class NetworkEngine:
         micro_batch: int | None = None,
         pool: ExecutorPool | None = None,
         float32: bool | None = None,
+        plan=None,
     ) -> "NetworkEngine":
         """Build with one uniform config per layer, executors from a pool.
 
         ``float32`` requests the vectorized executors' opt-in float32 GEMM
         fast path (bit-identical; applied per chunk only where provably
         exact); ``None`` defers to the pool's default.
+
+        ``plan`` (a compiled :class:`~repro.runtime.plan.ModelPlan`) seeds
+        each pooled executor with its layer's
+        :class:`~repro.runtime.plan.CompiledLayerPlan`: newly built executors
+        boot from the plan's pre-encoded chunks (no weight encoding at all --
+        this is how replica workers start from a pickled spec), already-pooled
+        ones adopt it, switching onto the planned fast path.  When the plan
+        carries a micro-batch policy and no explicit ``micro_batch`` is
+        given, the plan's applies.
         """
         # Not ``pool or ExecutorPool()``: an empty pool is falsy (__len__) and
         # a shared pool passed in before first use must still be used.
         pool = pool if pool is not None else ExecutorPool()
         executors = {
-            layer.name: pool.get(layer, config, noise=noise, float32=float32)
+            layer.name: pool.get(
+                layer,
+                config,
+                noise=noise,
+                float32=float32,
+                plan=plan.layer_plan(layer.name) if plan is not None else None,
+            )
             for layer in model.matmul_layers()
         }
-        return cls(model, executors, micro_batch=micro_batch)
+        if micro_batch is None and plan is not None:
+            micro_batch = plan.micro_batch
+        engine = cls(model, executors, micro_batch=micro_batch)
+        engine.model_plan = plan
+        return engine
 
     @classmethod
     def from_program(

@@ -1,0 +1,358 @@
+"""Compile-once execution plans: derive the hot path once, execute it forever.
+
+Profiling the serving stack at small batch sizes (M <= 4, the dispatch-storm
+regime the micro-batching scheduler actually produces under latency SLOs)
+shows the per-batch cost is no longer the GEMM: it is the per-phase Python
+loop around it -- eleven ADC round/clip/saturate passes, speculation masking,
+statistics bookkeeping and operand lookups, all re-derived from the layer
+configuration on every batch.  None of that depends on the inputs; all of it
+is a pure function of ``(model, config, noise-lessness, float32)``.
+
+This module hoists that work into two pickle-able artifacts:
+
+* :class:`CompiledLayerPlan` -- one layer's frozen execution recipe: the
+  encoded weight chunks, positional GEMM operand views with their *proven*
+  dtypes (:func:`float32_gemm_is_exact`), the phase-extraction shift/mask
+  index tables, the pre-broadcast ``(P, 1, S, 1)`` phase x weight-slice scale
+  tensor, the speculation-group gather tables, and the noise-draw layout
+  contract.
+* :class:`ModelPlan` -- the per-layer plans of a whole model plus the
+  micro-batch split policy, compiled once by
+  :func:`compile_model_plan` (the registry does this at ``register`` time and
+  caches it next to the encoded-weight cache) and then *executed* by
+  :class:`~repro.runtime.vectorized.VectorizedLayerExecutor` /
+  :class:`~repro.runtime.engine.NetworkEngine`, shipped by value inside
+  :class:`~repro.runtime.procpool.EngineSpec` so replica workers and rolling
+  ``replace()`` never re-encode weights or re-derive schedules.
+
+Bit-identity of the planned fast path is an arithmetic argument, not a hope:
+in the noiseless pipeline every column sum, ADC-converted value, scale factor
+(a power of two) and digital-centers term is an exact integer represented in
+float64 far below ``2**53``, so *any* regrouping of the additions -- batching
+the ADC conversion over all phases at once, folding the masked scale-sum into
+one tensor contraction -- produces bit-identical outputs and (integer)
+statistics counters.  Seeded noise draws are order-sensitive, so noisy
+executors keep the reference per-phase loop (the plan still supplies the
+extraction tables and operands); :attr:`CompiledLayerPlan.noise_draw_layout`
+records the draw-order contract the executor preserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.analog.noise import NoiseModel, NoiselessModel
+from repro.core.dynamic_input import InputSlicePlan, SpeculationMode
+from repro.core.executor import PimLayerConfig, _EncodedChunk
+
+__all__ = [
+    "CompiledLayerPlan",
+    "ModelPlan",
+    "compile_model_plan",
+    "float32_gemm_is_exact",
+]
+
+#: Largest contiguous integer range float32 represents exactly (24-bit mantissa).
+_FLOAT32_EXACT_LIMIT = 1 << 24
+
+
+def float32_gemm_is_exact(max_slice_value: int, weights: np.ndarray) -> bool:
+    """Whether a slice-value x ``weights`` GEMM is provably exact in float32.
+
+    Every product and running partial sum of the GEMM is an integer bounded in
+    magnitude by ``max_slice_value * max_c(sum_r |weights[r, c]|)`` (slice
+    values are non-negative, so partial sums cannot overshoot this bound
+    mid-accumulation either).  If that bound stays below ``2**24`` each
+    intermediate is exactly representable in float32, making the float32 GEMM
+    bit-identical to the float64 one regardless of BLAS summation order.
+    """
+    if weights.size == 0:
+        return True
+    column_abs_sum = np.abs(weights).astype(np.float64).sum(axis=0).max()
+    return max_slice_value * column_abs_sum < _FLOAT32_EXACT_LIMIT
+
+
+class _ChunkOperands:
+    """Float GEMM operands of one encoded chunk, prepared once per plan."""
+
+    def __init__(
+        self,
+        chunk: _EncodedChunk,
+        noiseless: bool,
+        float32: bool,
+        max_slice_value: int,
+    ):
+        if noiseless:
+            # Noiseless sums only need W+ - W-; activity has a closed form.
+            weights = chunk.diff_flat
+            self.sum_flat_rowsum = chunk.sum_flat.sum(axis=1)
+        else:
+            # Noise models need both N+ - N- and N+ + N-: stack the weight
+            # operands so one GEMM produces both column-sum families.
+            weights = np.hstack([chunk.diff_flat, chunk.sum_flat])
+            self.sum_flat_rowsum = None
+        self.dtype = (
+            np.float32
+            if float32 and float32_gemm_is_exact(max_slice_value, weights)
+            else np.float64
+        )
+        self.weights = weights.astype(self.dtype)
+        self.n_columns = chunk.diff_flat.shape[1]
+
+
+@dataclass(frozen=True)
+class CompiledLayerPlan:
+    """One layer's frozen execution recipe (see module docstring).
+
+    Instances are immutable, shareable across executors/threads, and
+    pickle-able (the positional ``chunks``/``operands`` tuples replaced the
+    old ``id()``-keyed operand dict precisely so plans survive the trip into
+    worker processes).  ``phase_shifts``/``phase_masks`` are the explicit
+    index tables behind :meth:`extract_phases`; ``scales`` is the
+    pre-broadcast ``(n_phases, 1, n_slices, 1)`` tensor of
+    ``2**(phase_shift + weight_shift)`` factors; the ``spec_*``/``rec_*``
+    arrays are the speculation-group gather tables that let the planned fast
+    path build every phase's conversion mask with two fancy-index reads.
+    """
+
+    layer_name: str
+    weight_fingerprint: str
+    config: PimLayerConfig
+    input_plan: InputSlicePlan
+    noiseless: bool
+    float32: bool
+    n_slices: int
+    n_filters: int
+    phase_shifts: np.ndarray
+    phase_masks: np.ndarray
+    scales: np.ndarray
+    is_spec: np.ndarray
+    group_of: np.ndarray
+    spec_indices: np.ndarray
+    rec_indices: np.ndarray
+    chunks: tuple[_EncodedChunk, ...] = field(repr=False)
+    operands: tuple[_ChunkOperands, ...] = field(repr=False)
+
+    @property
+    def n_phases(self) -> int:
+        """Crossbar cycles per full input presentation (11 with speculation)."""
+        return len(self.input_plan.phases)
+
+    @property
+    def mode(self) -> SpeculationMode:
+        """The input slicing mode the plan was compiled for."""
+        return self.input_plan.mode
+
+    @property
+    def fast_path_eligible(self) -> bool:
+        """Whether the batched noiseless fast path may execute this plan.
+
+        Noise draws are order-sensitive (seeded RNG state advances per
+        phase) and column-sum collection subsamples in per-phase order, so
+        both force the reference per-phase loop; everything else is exact
+        integer arithmetic and may be re-grouped freely.
+        """
+        return self.noiseless and not self.config.collect_column_sums
+
+    @property
+    def noise_draw_layout(self) -> tuple[tuple[int, int, int], ...]:
+        """The seeded noise-draw contract: ``(chunk, phase, draw_size)`` order.
+
+        A noisy executor draws once per (chunk, phase) pair in exactly this
+        order, each draw covering ``M * n_slices * n_filters`` values -- the
+        layout is part of the bit-identity contract, which is why the planned
+        fast path never runs for noisy configurations.  Empty for noiseless
+        plans (no draws at all).
+        """
+        if self.noiseless:
+            return ()
+        per_phase = self.n_slices * self.n_filters
+        return tuple(
+            (chunk_index, phase_index, per_phase)
+            for chunk_index in range(len(self.chunks))
+            for phase_index in range(self.n_phases)
+        )
+
+    def extract_phases(self, codes: np.ndarray) -> np.ndarray:
+        """All input slices of a batch via the precomputed index tables.
+
+        Element-for-element identical to
+        :func:`repro.runtime.phases.extract_phase_tensor` (property-tested),
+        shaped ``(n_phases, M, rows)``.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        if np.any(codes < 0):
+            raise ValueError(
+                "input codes must be non-negative; signed inputs are split "
+                "into positive/negative magnitudes before slicing"
+            )
+        shifts = self.phase_shifts[:, np.newaxis, np.newaxis]
+        return (codes[np.newaxis, :, :] >> shifts) & (
+            self.phase_masks[:, np.newaxis, np.newaxis]
+        )
+
+    @classmethod
+    def from_executor(cls, executor) -> "CompiledLayerPlan":
+        """Harvest a plan from a live vectorized executor's derived state."""
+        input_plan: InputSlicePlan = executor.plan
+        phases = input_plan.phases
+        chunks = tuple(executor._chunks)
+        operands = tuple(executor._operands)
+        slicing = (
+            chunks[0].encoded.slicing if chunks else executor.config.weight_slicing
+        )
+        weight_shifts = np.array(slicing.shifts, dtype=np.int64)
+        phase_shifts = np.array([phase.shift for phase in phases], dtype=np.int64)
+        phase_masks = np.array(
+            [(1 << phase.width) - 1 for phase in phases], dtype=np.int64
+        )
+        scales = 2.0 ** (
+            phase_shifts[:, np.newaxis, np.newaxis, np.newaxis]
+            + weight_shifts[np.newaxis, np.newaxis, :, np.newaxis]
+        )
+        is_spec = np.array([phase.kind == "speculative" for phase in phases])
+        group_of = np.zeros(len(phases), dtype=np.int64)
+        spec_indices, rec_indices = [], []
+        group = -1
+        for index, phase in enumerate(phases):
+            if phase.kind == "speculative":
+                group += 1
+                spec_indices.append(index)
+            elif phase.kind == "recovery":
+                rec_indices.append(index)
+            group_of[index] = max(group, 0)
+        for array in (phase_shifts, phase_masks, scales, is_spec, group_of):
+            array.setflags(write=False)
+        return cls(
+            layer_name=executor.layer.name,
+            weight_fingerprint=executor.layer.weight_fingerprint,
+            config=executor.config,
+            input_plan=input_plan,
+            noiseless=isinstance(executor.noise, NoiselessModel),
+            float32=bool(executor.float32),
+            n_slices=slicing.n_slices,
+            n_filters=executor.layer.out_features,
+            phase_shifts=phase_shifts,
+            phase_masks=phase_masks,
+            scales=scales,
+            is_spec=is_spec,
+            group_of=group_of,
+            spec_indices=np.array(spec_indices, dtype=np.int64),
+            rec_indices=np.array(rec_indices, dtype=np.int64),
+            chunks=chunks,
+            operands=operands,
+        )
+
+    def matches(self, layer, config: PimLayerConfig) -> bool:
+        """Whether this plan was compiled for ``layer`` under ``config``."""
+        return (
+            self.layer_name == layer.name
+            and self.weight_fingerprint == layer.weight_fingerprint
+            and self.config == config
+        )
+
+
+@dataclass(frozen=True)
+class ModelPlan:
+    """A whole model's compiled execution plan (one entry per matmul layer).
+
+    Compiled once per ``(model weights, config, noise-lessness, float32,
+    micro_batch)`` by :func:`compile_model_plan`, cached by the registry's
+    :class:`~repro.runtime.cache.ModelPlanCache`, threaded through
+    :meth:`NetworkEngine.build <repro.runtime.engine.NetworkEngine.build>`
+    and pickled inside :class:`~repro.runtime.procpool.EngineSpec` so every
+    replica worker boots from the already-encoded artifact.
+    """
+
+    model_name: str
+    config: PimLayerConfig
+    noiseless: bool
+    float32: bool
+    micro_batch: int | None
+    layers: Mapping[str, CompiledLayerPlan] = field(repr=False)
+
+    def layer_plan(self, layer_name: str) -> CompiledLayerPlan | None:
+        """The compiled plan of one layer (``None`` for unknown names)."""
+        return self.layers.get(layer_name)
+
+    def split_points(self, n_samples: int) -> tuple[int, ...]:
+        """Micro-batch split boundaries for an ``n_samples`` batch.
+
+        Empty when the plan carries no micro-batch limit or the batch fits
+        in one slice; otherwise the cut offsets ``np.split`` would use.
+        """
+        if not self.micro_batch or n_samples <= self.micro_batch:
+            return ()
+        return tuple(range(self.micro_batch, n_samples, self.micro_batch))
+
+    @staticmethod
+    def cache_key(
+        model,
+        config: PimLayerConfig,
+        noise: NoiseModel | None,
+        float32: bool,
+        micro_batch: int | None,
+    ) -> tuple:
+        """The identity a compiled plan depends on (and nothing else).
+
+        Mirrors the encoded-weight cache's keying discipline: weight
+        *fingerprints* rather than object identity, the full frozen config,
+        and the noise-lessness flag (a plan never holds RNG state, so two
+        different seeded noise models share one plan).
+        """
+        noiseless = noise is None or isinstance(noise, NoiselessModel)
+        return (
+            model.name,
+            tuple(
+                (layer.name, layer.weight_fingerprint)
+                for layer in model.matmul_layers()
+            ),
+            config,
+            noiseless,
+            bool(float32),
+            micro_batch,
+        )
+
+
+def compile_model_plan(
+    model,
+    config: PimLayerConfig | None = None,
+    noise: NoiseModel | None = None,
+    *,
+    float32: bool | None = None,
+    micro_batch: int | None = None,
+    pool=None,
+) -> ModelPlan:
+    """Compile a :class:`ModelPlan` for ``model`` under one configuration.
+
+    Builds (or reuses) one vectorized executor per matmul layer through
+    ``pool`` -- sharing the pool's encoded-weight cache, so compilation costs
+    one weight encoding at most -- and harvests each executor's
+    :class:`CompiledLayerPlan`.  The executors themselves adopt the plans
+    they produced, so a registry compiling through its own pool leaves the
+    serving executors already on the planned fast path.
+    """
+    from repro.runtime.cache import ExecutorPool
+
+    config = config if config is not None else PimLayerConfig()
+    pool = pool if pool is not None else ExecutorPool()
+    layers = {}
+    for layer in model.matmul_layers():
+        executor = pool.get(layer, config, noise=noise, float32=float32)
+        layers[layer.name] = executor.compile_layer_plan()
+    noiseless = noise is None or isinstance(noise, NoiselessModel)
+    # The pool normalises the float32 request (``None`` -> pool default,
+    # forced off for non-vectorized factories); read the resolved value back
+    # from the harvested plans so the ModelPlan records what actually runs.
+    resolved_float32 = any(plan.float32 for plan in layers.values())
+    return ModelPlan(
+        model_name=model.name,
+        config=config,
+        noiseless=noiseless,
+        float32=resolved_float32,
+        micro_batch=micro_batch,
+        layers=layers,
+    )

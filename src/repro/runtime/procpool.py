@@ -11,15 +11,17 @@ module moves each engine into its own *process*:
   (its own executor pool, its own weight cache) and serves requests from a
   pipe until told to close.
 * Input and output arrays never travel through the pipe or the pickler.
-  Each direction has a dedicated :class:`multiprocessing.shared_memory`
-  block; a small framed header at the start of the block carries the
-  array's shape/dtype and the request sequence number, and the pipe only
-  moves tiny control tuples (block name, flags, timings).  The worker runs
-  the engine directly on a mapped view of the input payload (zero consume
-  copies); the parent materialises each output out of the shared block
-  once, because the block is reused by the very next request.  Blocks grow
-  on demand and the stale block is unlinked once the peer has switched to
-  the new name.
+  Arrays move through :class:`multiprocessing.shared_memory` blocks; a
+  small framed header at the start of each block carries the array's
+  shape/dtype and the request sequence number, and the pipe only moves
+  tiny control tuples (block name, flags, timings).  The worker runs the
+  engine directly on a mapped view of the input payload (zero consume
+  copies), and writes each result into a *pooled* output slot -- one
+  worker-owned block per slot -- from which the parent hands callers a
+  read-only zero-copy view; the slot returns to the pool when the view is
+  garbage collected, so no materialisation copy happens anywhere on the
+  round trip.  Blocks grow on demand and the stale block is unlinked once
+  the peer has switched to the new name.
 * :class:`WorkerHandle` wraps one replica *slot*: the current worker, its
   spec, and restart bookkeeping, so a crashed process can be replaced
   without the surrounding pool losing its place.
@@ -53,6 +55,7 @@ import sys
 import tempfile
 import threading
 import time
+import weakref
 from dataclasses import dataclass, field
 from multiprocessing import get_all_start_methods, get_context, shared_memory
 from typing import Callable
@@ -224,11 +227,39 @@ class _ArraySender:
             self._shm = None
 
 
+class _DeferredUnmap:
+    """Unmap a shared-memory block once the last outstanding view dies.
+
+    ``numpy`` views built over ``shm.buf`` hold a raw pointer into the
+    mapping without keeping the memoryview's buffer exported, so
+    ``shm.close()`` would unmap the pages under a live view and turn the
+    next read into a segfault.  Instead, closing a receiver with live views
+    hands the block to one of these holders; each view's ``weakref.finalize``
+    decrements the count and the last one out performs the real unmap.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, count: int) -> None:
+        self._shm = shm
+        self._count = count
+        self._lock = threading.Lock()
+
+    def release(self) -> None:
+        with self._lock:
+            self._count -= 1
+            if self._count > 0:
+                return
+        try:
+            self._shm.close()
+        except (BufferError, OSError):  # pragma: no cover - defensive
+            pass
+
+
 class _ArrayReceiver:
     """The attaching side: map blocks by name; the owner usually unlinks."""
 
     def __init__(self) -> None:
         self._attached: dict[str, shared_memory.SharedMemory] = {}
+        self._views: dict[str, list] = {}
 
     def view(self, name: str, seq: int) -> np.ndarray:
         """A zero-copy view of the named block's framed payload."""
@@ -243,24 +274,44 @@ class _ArrayReceiver:
             self.close()
             shm = shared_memory.SharedMemory(name=name)
             self._attached[name] = shm
-        return _read_frame(shm, seq)
+        array = _read_frame(shm, seq)
+        refs = self._views.setdefault(name, [])
+        refs[:] = [ref for ref in refs if ref() is not None]
+        refs.append(weakref.ref(array))
+        return array
 
     def close(self, unlink: bool = False) -> None:
-        """Unmap every attachment.
+        """Unmap every attachment (live result views defer their block).
 
         ``unlink=True`` reclaims the blocks too: when the owning worker was
         killed mid-flight its teardown never ran, so the attaching parent is
         the last one standing and must unlink, or the segment is stranded
-        until interpreter exit.
+        until interpreter exit.  Unlinking only removes the *name*; a block
+        with zero-copy result views still alive keeps its mapping until the
+        last view is garbage collected (see :class:`_DeferredUnmap`).
         """
-        for shm in self._attached.values():
-            shm.close()
+        for name, shm in self._attached.items():
             if unlink:
                 try:
                     shm.unlink()
                 except FileNotFoundError:  # owner got there first
                     pass
+            live = [
+                view
+                for ref in self._views.get(name, ())
+                if (view := ref()) is not None
+            ]
+            if live:
+                holder = _DeferredUnmap(shm, len(live))
+                for view in live:
+                    weakref.finalize(view, holder.release)
+                continue
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - defensive
+                pass
         self._attached.clear()
+        self._views.clear()
 
 
 @dataclass(frozen=True)
@@ -273,7 +324,11 @@ class EngineSpec:
     path so spawned workers resolve ``repro`` exactly like the parent did.
     ``blas_threads`` pins the worker's BLAS/OpenMP pools (``None`` leaves
     them unpinned); the default of one thread per worker keeps N replicas
-    from oversubscribing the machine.
+    from oversubscribing the machine.  ``plan`` ships a compiled
+    :class:`~repro.runtime.plan.ModelPlan` by value: a worker booting from a
+    planned spec seeds its executors with the plan's pre-encoded chunks and
+    operand tables instead of re-running weight encoding, so N replicas and
+    rolling ``replace()`` pay the compile exactly once, in the parent.
     """
 
     model: QuantizedModel
@@ -283,6 +338,7 @@ class EngineSpec:
     float32: bool = False
     sys_path: tuple[str, ...] = field(default_factory=tuple)
     blas_threads: int | None = 1
+    plan: object | None = None
 
     def __post_init__(self) -> None:
         if self.blas_threads is not None and self.blas_threads < 1:
@@ -302,6 +358,7 @@ def _build_engine_from_spec(spec: EngineSpec):
         micro_batch=spec.micro_batch,
         pool=pool,
         float32=spec.float32,
+        plan=spec.plan,
     )
 
 
@@ -384,7 +441,11 @@ def _engine_worker_main(
         except OSError:  # pragma: no cover - capture is best effort
             pass
     receiver = _ArrayReceiver()
-    sender = _ArraySender()
+    # One output sender (= one shared block) per parent-assigned output slot:
+    # the parent hands results out as zero-copy views and only reuses a slot
+    # once its view has been released, so concurrent in-flight results never
+    # share a block.  Slots are created lazily as the parent's pool grows.
+    senders: dict[int, _ArraySender] = {}
     try:
         try:
             spec: EngineSpec = pickle.loads(spec_bytes)
@@ -415,6 +476,7 @@ def _engine_worker_main(
                         has_override,
                         micro_batch,
                         trace_ctx,
+                        out_slot,
                     ) = message
                     inputs = receiver.view(block, seq)
                     started_at = time.monotonic()
@@ -426,7 +488,10 @@ def _engine_worker_main(
                     else:
                         outputs = engine.run(inputs, return_codes=return_codes)
                     elapsed = time.perf_counter() - start
-                    out_block = sender.send(seq, outputs)
+                    slot_sender = senders.get(out_slot)
+                    if slot_sender is None:
+                        slot_sender = senders[out_slot] = _ArraySender()
+                    out_block = slot_sender.send(seq, outputs)
                     meta = {
                         "engine_time_s": elapsed,
                         "records": [(int(inputs.shape[0]), elapsed)],
@@ -466,7 +531,8 @@ def _engine_worker_main(
             except BaseException as error:
                 results.send(_error_message(seq, error))
     finally:
-        sender.close()
+        for slot_sender in senders.values():
+            slot_sender.close()
         receiver.close()
         requests.close()
         results.close()
@@ -489,13 +555,37 @@ def _default_start_method() -> str:
     return "spawn"
 
 
+def _release_output_slot(
+    lock: threading.Lock, free_slots: list[int], slot: int
+) -> None:
+    """Return an output slot to its worker's free pool (finalizer target).
+
+    A module-level function (not a bound method) so the ``weakref.finalize``
+    registered on a handed-out result view holds no reference cycle through
+    the :class:`EngineWorker`.
+    """
+    with lock:
+        free_slots.append(slot)
+
+
 class EngineWorker:
     """Parent-side handle to one engine worker process.
 
     Owns the request/result pipes and the input shared-memory block (the
-    worker owns the output block); serialises callers with an internal lock,
+    worker owns the output blocks); serialises callers with an internal lock,
     so one worker serves one request at a time -- exactly the per-model
     serialisation the server guarantees anyway.
+
+    Run results come back through a pooled set of worker-owned output blocks
+    ("slots"): the parent assigns each run request a free slot, the worker
+    writes the result into that slot's block in place, and the parent hands
+    the caller a read-only zero-copy view of it -- no materialisation copy on
+    the round trip.  The slot returns to the free pool when the view (and
+    every sub-view derived from it, e.g. the server's per-request splits) is
+    garbage collected; the pool grows on demand, so hoarding results costs
+    memory but never deadlocks.  Set :attr:`copy_outputs` to restore the old
+    copy-out-and-release-immediately behaviour (the benchmark suite uses this
+    to measure what pooling saves).
 
     ``start_timeout_s`` bounds the boot handshake (a miss raises
     :class:`WorkerStartupError` carrying the child's stderr tail);
@@ -575,7 +665,16 @@ class EngineWorker:
         self._requests = request_write
         self._results = result_read
         self._sender = _ArraySender()
-        self._receiver = _ArrayReceiver()
+        # Output pooling state: one receiver per slot (a slot maps one
+        # worker-owned block at a time), a free list guarded by its own lock
+        # because slots are released from GC finalizers on arbitrary threads.
+        self._slot_receivers: dict[int, _ArrayReceiver] = {}
+        self._slots_free: list[int] = []
+        self._n_slots = 0
+        self._slots_lock = threading.Lock()
+        #: Copy results out of shared memory and release the slot immediately
+        #: instead of handing out zero-copy views (pre-pooling behaviour).
+        self.copy_outputs = False
         self._seq = itertools.count(1)
         self._lock = threading.Lock()
         self._closed = False
@@ -657,32 +756,66 @@ class EngineWorker:
             )
         return message
 
+    def _acquire_output_slot(self) -> int:
+        """Take a free output slot, growing the pool when none is available."""
+        with self._slots_lock:
+            if self._slots_free:
+                return self._slots_free.pop()
+            slot = self._n_slots
+            self._n_slots += 1
+            return slot
+
     def request(
         self, kind: str, array: np.ndarray | None = None, extra: tuple = ()
     ) -> tuple[np.ndarray | None, dict]:
         """One request/reply round trip -> ``(output array or None, meta)``.
 
-        The output array is copied out of the worker's shared block before
-        the lock is released: the block is reused by the very next request,
-        so views must never escape this method.
+        A ``run`` result is a *read-only zero-copy view* of the pooled
+        worker-owned output slot assigned to the request; the slot (and with
+        it the underlying block) is reused only after the view and all its
+        descendants are garbage collected.  With :attr:`copy_outputs` set the
+        result is materialised and the slot released before returning.
         """
         with self._lock:
             if self._closed:
                 raise WorkerClosedError("engine worker is closed")
             seq = next(self._seq)
-            block = None if array is None else self._sender.send(seq, array)
+            out_slot = self._acquire_output_slot() if kind == "run" else None
             try:
-                self._requests.send((kind, seq, block, *extra))
-            except (BrokenPipeError, OSError) as error:
-                raise WorkerCrashError(
-                    "engine worker died before the request could be sent "
-                    f"(exit code {self._process.exitcode})"
-                ) from error
-            message = self._wait_reply(seq)
+                block = None if array is None else self._sender.send(seq, array)
+                payload = (kind, seq, block, *extra)
+                if out_slot is not None:
+                    payload = payload + (out_slot,)
+                try:
+                    self._requests.send(payload)
+                except (BrokenPipeError, OSError) as error:
+                    raise WorkerCrashError(
+                        "engine worker died before the request could be sent "
+                        f"(exit code {self._process.exitcode})"
+                    ) from error
+                message = self._wait_reply(seq)
+            except BaseException:
+                if out_slot is not None:
+                    _release_output_slot(self._slots_lock, self._slots_free, out_slot)
+                raise
             out_block, meta = message[2], message[3]
             if out_block is None:
+                if out_slot is not None:
+                    _release_output_slot(self._slots_lock, self._slots_free, out_slot)
                 return None, meta
-            return np.array(self._receiver.view(out_block, seq), copy=True), meta
+            receiver = self._slot_receivers.get(out_slot)
+            if receiver is None:
+                receiver = self._slot_receivers[out_slot] = _ArrayReceiver()
+            view = receiver.view(out_block, seq)
+            if self.copy_outputs:
+                outputs = np.array(view, copy=True)
+                _release_output_slot(self._slots_lock, self._slots_free, out_slot)
+                return outputs, meta
+            view.setflags(write=False)
+            weakref.finalize(
+                view, _release_output_slot, self._slots_lock, self._slots_free, out_slot
+            )
+            return view, meta
 
     def ping(self) -> dict:
         """A liveness round trip -> the worker's ``{"pid", "blas_threads"}``."""
@@ -719,7 +852,9 @@ class EngineWorker:
             if not self._process.is_alive():
                 self._process.close()
             self._sender.close()
-            self._receiver.close(unlink=abnormal)
+            for receiver in self._slot_receivers.values():
+                receiver.close(unlink=abnormal)
+            self._slot_receivers.clear()
             self._remove_stderr_file()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -778,8 +913,13 @@ class ProcessEngine:
         blas_threads: int | None = 1,
         start_timeout_s: float = _BOOT_TIMEOUT_S,
         shutdown_timeout_s: float = _SHUTDOWN_TIMEOUT_S,
+        plan=None,
     ) -> "ProcessEngine":
         """Start a worker process hosting this model and wait until ready.
+
+        ``plan`` ships a compiled :class:`~repro.runtime.plan.ModelPlan` to
+        the worker, which then boots its executors from the plan's
+        pre-encoded chunks instead of re-encoding weights.
 
         Raises :class:`ValueError` when the spec does not pickle, and
         re-raises worker-side build failures (e.g. an uncalibrated model)
@@ -795,6 +935,7 @@ class ProcessEngine:
             float32=float32,
             sys_path=tuple(sys.path),
             blas_threads=blas_threads,
+            plan=plan,
         )
         worker = EngineWorker(
             spec,
@@ -1115,8 +1256,13 @@ class ReplicaPool:
         probe_interval_s: float = _PROBE_INTERVAL_S,
         start_timeout_s: float = _BOOT_TIMEOUT_S,
         shutdown_timeout_s: float = _SHUTDOWN_TIMEOUT_S,
+        plan=None,
     ) -> "ReplicaPool":
         """Start ``replicas`` worker processes hosting ``model``.
+
+        ``plan`` ships one compiled :class:`~repro.runtime.plan.ModelPlan`
+        inside the spec every replica (and every crash-restart and rolling
+        ``replace``) boots from, so N workers re-encode weights zero times.
 
         Raises :class:`ValueError` when the spec does not pickle, re-raises
         worker-side build failures in the caller, and tears down every
@@ -1132,6 +1278,7 @@ class ReplicaPool:
             float32=float32,
             sys_path=tuple(sys.path),
             blas_threads=blas_threads,
+            plan=plan,
         )
         return cls(
             model,
@@ -1574,6 +1721,7 @@ class ReplicaPool:
         float32: bool = False,
         blas_threads: int | None = 1,
         replicas: int | None = None,
+        plan=None,
     ) -> None:
         """Roll a new spec through the pool, one replica at a time.
 
@@ -1581,6 +1729,9 @@ class ReplicaPool:
         so at every instant at least ``replicas - 1`` slots serve traffic
         and the model never becomes unserveable.  ``replicas`` resizes the
         pool as part of the roll (``None`` keeps the current width).
+        ``plan`` ships the new spec's compiled
+        :class:`~repro.runtime.plan.ModelPlan`, so each freshly booted
+        replacement boots from pre-encoded chunks instead of re-planning.
         """
         if not model.is_calibrated:
             raise ValueError(f"model {model.name!r} must be calibrated first")
@@ -1592,6 +1743,7 @@ class ReplicaPool:
             float32=float32,
             sys_path=tuple(sys.path),
             blas_threads=blas_threads,
+            plan=plan,
         )
         try:
             pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)

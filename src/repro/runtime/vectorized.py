@@ -31,6 +31,19 @@ path.  Chunks that cannot be proven safe silently stay on float64, so the
 flag is always safe to set.  The multi-tenant serving layer
 (:mod:`repro.serve`) enables it by default.
 
+A :class:`~repro.runtime.plan.CompiledLayerPlan` takes the argument one step
+further.  In the noiseless case every post-GEMM stage -- ADC round/clip,
+saturation masking, speculation recovery, the phase x weight-slice scale-sum
+-- is also exact integer arithmetic, so the eleven per-phase Python
+iterations can be collapsed into a handful of whole-tensor operations over
+the ``(n_phases, M, n_slices, n_filters)`` block without moving a single
+bit of the result (:meth:`_planned_chunk_matmul`).  Seeded noise draws *are*
+order-sensitive, so noisy executors keep the per-phase loop; the plan still
+supplies their extraction tables and GEMM operands.  Plans are compiled once
+(:meth:`compile_layer_plan`), adopted by pooled executors
+(:meth:`adopt_plan`), and pickled to worker processes so replicas never
+re-encode weights.
+
 Weight encoding (center optimisation dominates construction time) is shared
 across executor instances through :mod:`repro.runtime.cache`.
 """
@@ -45,55 +58,13 @@ from repro.core.executor import PimLayerConfig, PimLayerExecutor, _EncodedChunk
 from repro.nn.layers import MatmulLayer
 from repro.runtime.cache import GLOBAL_WEIGHT_CACHE, EncodedWeightCache
 from repro.runtime.phases import extract_phase_tensor
+from repro.runtime.plan import (
+    CompiledLayerPlan,
+    _ChunkOperands,
+    float32_gemm_is_exact,
+)
 
 __all__ = ["VectorizedLayerExecutor", "float32_gemm_is_exact"]
-
-#: Largest contiguous integer range float32 represents exactly (24-bit mantissa).
-_FLOAT32_EXACT_LIMIT = 1 << 24
-
-
-def float32_gemm_is_exact(max_slice_value: int, weights: np.ndarray) -> bool:
-    """Whether a slice-value x ``weights`` GEMM is provably exact in float32.
-
-    Every product and running partial sum of the GEMM is an integer bounded in
-    magnitude by ``max_slice_value * max_c(sum_r |weights[r, c]|)`` (slice
-    values are non-negative, so partial sums cannot overshoot this bound
-    mid-accumulation either).  If that bound stays below ``2**24`` each
-    intermediate is exactly representable in float32, making the float32 GEMM
-    bit-identical to the float64 one regardless of BLAS summation order.
-    """
-    if weights.size == 0:
-        return True
-    column_abs_sum = np.abs(weights).astype(np.float64).sum(axis=0).max()
-    return max_slice_value * column_abs_sum < _FLOAT32_EXACT_LIMIT
-
-
-class _ChunkOperands:
-    """Float GEMM operands of one encoded chunk, prepared once per executor."""
-
-    def __init__(
-        self,
-        chunk: _EncodedChunk,
-        noiseless: bool,
-        float32: bool,
-        max_slice_value: int,
-    ):
-        if noiseless:
-            # Noiseless sums only need W+ - W-; activity has a closed form.
-            weights = chunk.diff_flat
-            self.sum_flat_rowsum = chunk.sum_flat.sum(axis=1)
-        else:
-            # Noise models need both N+ - N- and N+ + N-: stack the weight
-            # operands so one GEMM produces both column-sum families.
-            weights = np.hstack([chunk.diff_flat, chunk.sum_flat])
-            self.sum_flat_rowsum = None
-        self.dtype = (
-            np.float32
-            if float32 and float32_gemm_is_exact(max_slice_value, weights)
-            else np.float64
-        )
-        self.weights = weights.astype(self.dtype)
-        self.n_columns = chunk.diff_flat.shape[1]
 
 
 class VectorizedLayerExecutor(PimLayerExecutor):
@@ -111,6 +82,12 @@ class VectorizedLayerExecutor(PimLayerExecutor):
         :func:`float32_gemm_is_exact` proves the accumulation fits float32's
         24-bit mantissa; other chunks keep float64.  Results are bit-identical
         either way.
+    plan:
+        A :class:`~repro.runtime.plan.CompiledLayerPlan` compiled for exactly
+        this (layer, config, noise-lessness, float32) combination.  When
+        given, the executor boots from the plan's pre-encoded chunks and
+        operand tables -- no weight encoding at all -- and (noiseless
+        configurations only) runs batches through the planned fast path.
 
     Memory note: each chunk's batched phase tensor holds
     ``n_phases * M * rows`` values; for very large batches run through
@@ -124,36 +101,100 @@ class VectorizedLayerExecutor(PimLayerExecutor):
         noise: NoiseModel | None = None,
         weight_cache: EncodedWeightCache | None = GLOBAL_WEIGHT_CACHE,
         float32: bool = False,
+        plan: CompiledLayerPlan | None = None,
     ):
         self._weight_cache = weight_cache
         self.float32 = float32
+        # Set before super().__init__: _build_encoded_chunks runs inside it
+        # and serves the plan's chunks when present.
+        self._plan_chunks = None if plan is None else plan.chunks
         super().__init__(layer, config, noise=noise)
         noiseless = isinstance(self.noise, NoiselessModel)
-        max_slice = max((1 << phase.width) - 1 for phase in self.plan.phases)
-        self._operands = {
-            id(chunk): _ChunkOperands(chunk, noiseless, float32, max_slice)
-            for chunk in self._chunks
-        }
+        if plan is not None:
+            # Positional operand views travel with the plan; reusing them
+            # shares the (possibly float32) GEMM operands across every
+            # executor running the same plan.
+            self._operands: list[_ChunkOperands] = list(plan.operands)
+        else:
+            max_slice = max((1 << phase.width) - 1 for phase in self.plan.phases)
+            self._operands = [
+                _ChunkOperands(chunk, noiseless, float32, max_slice)
+                for chunk in self._chunks
+            ]
         self._phase_sums_cache: list[np.ndarray] | None = None
+        self._layer_plan: CompiledLayerPlan | None = None
+        self._fast_plan: CompiledLayerPlan | None = None
+        if plan is not None:
+            self.adopt_plan(plan)
 
     @property
     def gemm_dtypes(self) -> list[type]:
         """The GEMM dtype chosen for each row chunk, in chunk order."""
-        return [self._operands[id(chunk)].dtype for chunk in self._chunks]
+        return [operands.dtype for operands in self._operands]
+
+    @property
+    def layer_plan(self) -> CompiledLayerPlan | None:
+        """The adopted compiled plan (``None`` until compiled or adopted)."""
+        return self._layer_plan
 
     def _build_encoded_chunks(self) -> list[_EncodedChunk]:
+        if self._plan_chunks is not None:
+            return list(self._plan_chunks)
         if self._weight_cache is None:
             return super()._build_encoded_chunks()
         return self._weight_cache.encoded_chunks(
             self.layer, self.config, super()._build_encoded_chunks
         )
 
+    # -- compiled plans ----------------------------------------------------------
+
+    def compile_layer_plan(self) -> CompiledLayerPlan:
+        """Compile (once) and adopt this executor's execution plan.
+
+        Harvests the executor's already-derived state -- encoded chunks,
+        operand views with proven dtypes, phase tables -- into an immutable
+        :class:`~repro.runtime.plan.CompiledLayerPlan`; subsequent calls
+        return the same object.  Compiling also *adopts* the plan, switching
+        noiseless executors onto the planned fast path.
+        """
+        if self._layer_plan is None:
+            self.adopt_plan(CompiledLayerPlan.from_executor(self))
+        return self._layer_plan
+
+    def adopt_plan(self, plan: CompiledLayerPlan) -> None:
+        """Execute future batches against ``plan`` (validated, bit-identical).
+
+        Adoption is safe mid-stream: the planned fast path only re-groups
+        exact integer arithmetic, so outputs and statistics are bit-identical
+        whether a batch (or even an individual chunk of one) runs before or
+        after adoption.
+        """
+        if not plan.matches(self.layer, self.config):
+            raise ValueError(
+                f"plan compiled for layer {plan.layer_name!r} "
+                f"(fingerprint {plan.weight_fingerprint[:12]}...) does not "
+                f"match executor for {self.layer.name!r}"
+            )
+        noiseless = isinstance(self.noise, NoiselessModel)
+        if plan.noiseless != noiseless or plan.float32 != bool(self.float32):
+            raise ValueError(
+                "plan noiseless/float32 flags "
+                f"({plan.noiseless}/{plan.float32}) do not match executor "
+                f"({noiseless}/{bool(self.float32)})"
+            )
+        self._layer_plan = plan
+        self._fast_plan = plan if plan.fast_path_eligible else None
+
     # -- batched hot path -------------------------------------------------------
 
-    def _chunk_matmul(self, codes: np.ndarray, chunk: _EncodedChunk) -> np.ndarray:
-        self._phase_sums_cache = self._batched_phase_sums(codes, chunk)
+    def _chunk_matmul(
+        self, codes: np.ndarray, chunk: _EncodedChunk, chunk_index: int = 0
+    ) -> np.ndarray:
+        if self._fast_plan is not None:
+            return self._planned_chunk_matmul(codes, chunk, chunk_index)
+        self._phase_sums_cache = self._batched_phase_sums(codes, chunk_index)
         try:
-            return super()._chunk_matmul(codes, chunk)
+            return super()._chunk_matmul(codes, chunk, chunk_index)
         finally:
             self._phase_sums_cache = None
 
@@ -162,8 +203,79 @@ class VectorizedLayerExecutor(PimLayerExecutor):
     ) -> np.ndarray:
         return self._phase_sums_cache[index]
 
+    def _planned_chunk_matmul(
+        self, codes: np.ndarray, chunk: _EncodedChunk, chunk_index: int
+    ) -> np.ndarray:
+        """One chunk through the compiled noiseless fast path.
+
+        Replaces the inherited per-phase ADC/speculation loop with
+        whole-tensor operations over the ``(P, M, S, F)`` product block:
+        one round/clip/saturate pass, two fancy-index gathers to build every
+        phase's conversion mask from the speculation-group tables, and one
+        masked scale-sum.  Every intermediate is an exact integer in float64
+        (scales are powers of two), so regrouping the additions is
+        bit-identical to the reference loop -- including every statistics
+        counter, which are integer totals and order-free.
+        """
+        plan = self._fast_plan
+        operands = self._operands[chunk_index]
+        stats = self.stats
+        config = self.config
+        m = codes.shape[0]
+
+        phase_tensor = extract_phase_tensor(codes, self.plan)  # (P, M, rows)
+        flat = phase_tensor.reshape(plan.n_phases * m, -1).astype(operands.dtype)
+        products = np.asarray(flat @ operands.weights, dtype=np.float64).reshape(
+            plan.n_phases, m, plan.n_slices, plan.n_filters
+        )
+        stats.input_pulses += int(phase_tensor.sum())
+        stats.crossbar_activity += float(
+            (phase_tensor.sum(axis=1) @ operands.sum_flat_rowsum).sum()
+        )
+
+        # One ADC pass over every phase at once (the reference does this
+        # per phase; identical values, identical saturation decisions).
+        rounded = np.round(products)
+        clipped = np.clip(rounded, config.adc_min, config.adc_max)
+        saturated = (rounded < config.adc_min) | (rounded > config.adc_max)
+
+        if plan.spec_indices.size:
+            spec_saturated = saturated[plan.spec_indices]  # (G, M, S, F)
+            stats.adc_converts_speculative += spec_saturated.size
+            stats.speculation_slots += spec_saturated.size
+            stats.speculation_failures += int(spec_saturated.sum())
+            # gathered[p] = the saturation mask of phase p's speculation
+            # group; a speculative phase keeps its non-saturated columns,
+            # its recovery phases replay exactly the saturated ones.
+            gathered = spec_saturated[plan.group_of]  # (P, M, S, F)
+            mask = np.where(
+                plan.is_spec[:, np.newaxis, np.newaxis, np.newaxis],
+                ~gathered,
+                gathered,
+            )
+            needed = gathered[plan.rec_indices]
+            total_needed = int(needed.sum())
+            stats.adc_converts_recovery += total_needed
+            stats.fidelity_loss_opportunities += total_needed
+            stats.fidelity_loss_events += int(
+                (saturated[plan.rec_indices] & needed).sum()
+            )
+            analog = (np.where(mask, clipped, 0.0) * plan.scales).sum(axis=(0, 2))
+        else:  # bit-serial: every column converts in every phase
+            stats.adc_converts_serial += clipped.size
+            stats.fidelity_loss_events += int(saturated.sum())
+            stats.fidelity_loss_opportunities += clipped.size
+            analog = (clipped * plan.scales).sum(axis=(0, 2))
+
+        encoded = chunk.encoded
+        if encoded.encoding.uses_centers:
+            analog = analog + encoded.centers[np.newaxis, :].astype(
+                np.float64
+            ) * codes.sum(axis=1, keepdims=True)
+        return analog
+
     def _batched_phase_sums(
-        self, codes: np.ndarray, chunk: _EncodedChunk
+        self, codes: np.ndarray, chunk_index: int
     ) -> list[np.ndarray]:
         """All phases' analog column sums for one chunk, one GEMM.
 
@@ -171,7 +283,8 @@ class VectorizedLayerExecutor(PimLayerExecutor):
         the per-phase statistics / noise bookkeeping in plan order, exactly
         as the per-phase reference does.
         """
-        operands = self._operands[id(chunk)]
+        chunk = self._chunks[chunk_index]
+        operands = self._operands[chunk_index]
         n_phases = self.plan.n_cycles
         m = codes.shape[0]
         n_slices = chunk.encoded.slicing.n_slices

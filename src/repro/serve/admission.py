@@ -289,10 +289,14 @@ class AdmissionController:
         Optional ``(model_name, n_samples) -> seconds | None`` override.
         When ``None`` the server wires in its telemetry collector's
         calibrated :meth:`predicted_batch_latency_s
-        <repro.telemetry.collector.TelemetryCollector.predicted_batch_latency_s>`.
-        Without any predictor, deadline and inflight-cost rules are inert
-        (nothing can be *proven* unmeetable) and only the sample-count caps
-        apply.
+        <repro.telemetry.collector.TelemetryCollector.predicted_batch_latency_s>`
+        *with the observed queue-wait EMA folded in*
+        (``include_queue_wait=True``), so every rule below prices
+        cross-model worker contention -- time this model's batches spend
+        queued behind co-hosted tenants' -- on top of the modeled execution
+        time.  Without any predictor, deadline and inflight-cost rules are
+        inert (nothing can be *proven* unmeetable) and only the sample-count
+        caps apply.
     """
 
     def __init__(

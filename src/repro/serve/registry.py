@@ -12,6 +12,16 @@ pooled executors outright.
 The registry enables the runtime's float32 GEMM fast path by default: serving
 is the hot path the ROADMAP targets, and the fast path silently degrades to
 float64 per chunk wherever exactness cannot be proven, so it is always safe.
+
+Registration also compiles (and owns) each model's
+:class:`~repro.runtime.plan.ModelPlan`: the per-layer execution recipes --
+encoded chunks, phase index tables, GEMM operand views, speculation gather
+tables, micro-batch splits -- derived once and then *executed* by every
+engine kind.  Plans live in a :class:`~repro.runtime.ModelPlanCache` keyed by
+weight fingerprints plus the frozen config (the same discipline as the
+encoded-weight cache), so re-registering an unchanged model -- a
+thread<->process backend swap, a rolling ``replace`` -- reuses the exact plan
+object, while any weight or config change compiles a fresh one.
 """
 
 from __future__ import annotations
@@ -22,9 +32,11 @@ from repro.analog.noise import NoiseModel
 from repro.core.executor import PimLayerConfig
 from repro.hw.architecture import ArchitectureSpec
 from repro.nn.model import QuantizedModel
-from repro.runtime.cache import EncodedWeightCache, ExecutorPool
+from repro.runtime.cache import EncodedWeightCache, ExecutorPool, ModelPlanCache
 from repro.runtime.engine import NetworkEngine
+from repro.runtime.plan import ModelPlan, compile_model_plan
 from repro.runtime.procpool import ReplicaPool
+from repro.runtime.vectorized import VectorizedLayerExecutor
 from repro.serve.sharded import ShardedEngine
 from repro.telemetry.cost import CostModel
 
@@ -49,6 +61,11 @@ class ModelRegistry:
         self.pool = pool
         self.float32 = float32
         self._engines: dict[str, NetworkEngine] = {}
+        # Compiled execution plans: the LRU cache deduplicates across hosted
+        # names (fingerprint-keyed), _plans maps each live name to the plan
+        # its engine currently runs.
+        self._plan_cache = ModelPlanCache()
+        self._plans: dict[str, ModelPlan] = {}
         self._cost_models: dict[str, CostModel] = {}
         self._tenants: dict[str, str] = {}
         # Logical fleet name -> ordered variant (engine) names; see
@@ -157,6 +174,9 @@ class ModelRegistry:
                 self._reserved.add(name)
         try:
             cost_model = None if arch is None else CostModel.from_model(model, arch)
+            plan = self._compile_plan(
+                model, config, noise, use_float32, micro_batch, sharded or n_stages
+            )
             if rolling is not None:
                 rolling.replace(
                     model,
@@ -166,6 +186,7 @@ class ModelRegistry:
                     float32=use_float32,
                     blas_threads=blas_threads,
                     replicas=replicas,
+                    plan=plan,
                 )
                 engine: NetworkEngine = rolling
             elif backend == "process":
@@ -177,6 +198,7 @@ class ModelRegistry:
                     float32=use_float32,
                     replicas=1 if replicas is None else replicas,
                     blas_threads=blas_threads,
+                    plan=plan,
                 )
             elif sharded or n_stages is not None:
                 engine: NetworkEngine = ShardedEngine.build(
@@ -196,6 +218,7 @@ class ModelRegistry:
                     micro_batch=micro_batch,
                     pool=self.pool,
                     float32=use_float32,
+                    plan=plan,
                 )
         except BaseException:
             with self._lock:
@@ -205,6 +228,10 @@ class ModelRegistry:
             self._reserved.discard(name)
             old = self._engines.get(name)
             self._engines[name] = engine
+            if plan is not None:
+                self._plans[name] = plan
+            else:
+                self._plans.pop(name, None)
             # A replace rebinds the name's metadata wholesale: stale cost
             # tables or tenant labels must not outlive the model they
             # described.
@@ -220,6 +247,57 @@ class ModelRegistry:
             if closer is not None:
                 closer()
         return engine
+
+    def _compile_plan(
+        self,
+        model: QuantizedModel,
+        config: PimLayerConfig | None,
+        noise: NoiseModel | None,
+        float32: bool,
+        micro_batch: int | None,
+        sharded: object,
+    ) -> ModelPlan | None:
+        """Compile (or fetch from cache) the model's execution plan.
+
+        Returns ``None`` where plans do not apply: sharded engines slice the
+        model across stages (their executors still share the pool's weight
+        cache), and pools built around a non-vectorized executor factory
+        have nothing to plan.  The cache key is weight fingerprints + frozen
+        config, so a re-registration with unchanged weights and config --
+        backend swap, rolling replace -- returns the *same* plan object,
+        while a changed :class:`PimLayerConfig` or re-quantized weights
+        compile a fresh one; an evicted/changed entry simply falls out of
+        the LRU, no generation-wide invalidation is needed.
+        """
+        if sharded:
+            return None
+        if not issubclass(self.pool.executor_factory, VectorizedLayerExecutor):
+            return None
+        resolved_config = config if config is not None else PimLayerConfig()
+        key = ModelPlan.cache_key(model, resolved_config, noise, float32, micro_batch)
+        return self._plan_cache.get_or_compile(
+            key,
+            lambda: compile_model_plan(
+                model,
+                resolved_config,
+                noise=noise,
+                float32=float32,
+                micro_batch=micro_batch,
+                pool=self.pool,
+            ),
+        )
+
+    def plan(self, name: str) -> ModelPlan | None:
+        """The compiled plan the named engine runs (``None`` for sharded)."""
+        with self._lock:
+            if name not in self._engines:
+                raise KeyError(f"no model registered under {name!r}")
+            return self._plans.get(name)
+
+    @property
+    def plan_cache(self) -> ModelPlanCache:
+        """The fingerprint-keyed LRU cache behind :meth:`plan`."""
+        return self._plan_cache
 
     def register_fleet(
         self,
@@ -358,6 +436,9 @@ class ModelRegistry:
             engine = self._engines.pop(name, None)
             if engine is None:
                 return False
+            # The name's plan binding goes with it; the compiled artifact
+            # stays in the LRU cache so a re-registration reuses it.
+            self._plans.pop(name, None)
             self._cost_models.pop(name, None)
             self._tenants.pop(name, None)
             for fleet_name, variants in list(self._fleets.items()):

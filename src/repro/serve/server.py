@@ -182,6 +182,10 @@ class _DispatchedBatch:
     enqueued_at: float
     engine_name: str
     route: RouteDecision | None = None
+    # The dispatch-queue name this batch's samples are counted under; set by
+    # the worker that pops it and cleared (under the dispatch guard) when the
+    # batch is retired from the dispatched backlog -- see _retire_dispatch.
+    dispatch_key: str | None = None
 
     @classmethod
     def from_requests(
@@ -337,7 +341,7 @@ class InferenceServer:
             slo_mode=self.slo_scheduling,
         )
 
-    def _latency_predictor(self):
+    def _latency_predictor(self, include_queue_wait: bool = False):
         """The collector's calibrated latency predictor, made fleet-aware.
 
         Plain model names pass straight through to
@@ -350,10 +354,24 @@ class InferenceServer:
         fast variant could serve nor admit work no variant can.  ``None``
         without a collector (the queue and admission both treat a missing
         predictor as "no latency evidence").
+
+        ``include_queue_wait=True`` folds each model's observed queue-wait
+        EMA into the estimate -- the cross-model contention signal the
+        admission controller prices (see :meth:`TelemetryCollector
+        .predicted_batch_latency_s
+        <repro.telemetry.TelemetryCollector.predicted_batch_latency_s>`).
+        The scheduler's slack estimator keeps the default: a queued
+        request's own wait is measured directly there, and adding the EMA
+        would double-count it.
         """
         if self.telemetry is None:
             return None
-        base = self.telemetry.predicted_batch_latency_s
+        collector = self.telemetry
+
+        def base(model_name: str, n_samples: int) -> float | None:
+            return collector.predicted_batch_latency_s(
+                model_name, n_samples, include_queue_wait=include_queue_wait
+            )
 
         def predict(model_name: str, n_samples: int) -> float | None:
             variants = self.registry.fleet_variants(model_name)
@@ -565,7 +583,9 @@ class InferenceServer:
         # Fleet names predict via their best feasible variant (already
         # width-scaled inside the predictor); _dispatch_widths has no fleet
         # entry, so admission's own replica division stays a no-op for them.
-        predictor = self._latency_predictor()
+        # Admission (alone) prices observed queue wait on top of the modeled
+        # latency, so deadline feasibility sees cross-model contention.
+        predictor = self._latency_predictor(include_queue_wait=True)
         return self.admission.decide(
             request_id=request_id,
             model_name=model_name,
@@ -966,22 +986,42 @@ class InferenceServer:
                     return
                 self._active_batches[name] = self._active_batches.get(name, 0) + 1
                 entry = self._dispatch[name].popleft()
+                entry.dispatch_key = name
             try:
                 self._execute_batch(entry)
             finally:
+                # Normally a no-op: _execute_batch retires the batch before
+                # its futures resolve.  This is the safety net for paths
+                # that failed before reaching the accounting.
+                self._retire_dispatch(entry)
                 with self._dispatch_guard:
                     active = self._active_batches.get(name, 0) - 1
                     if active > 0:
                         self._active_batches[name] = active
                     else:
                         self._active_batches.pop(name, None)
-                    remaining = self._dispatched_samples.get(name, 0) - entry.samples
-                    if remaining > 0:
-                        self._dispatched_samples[name] = remaining
-                    else:
-                        self._dispatched_samples.pop(name, None)
                     if not self._dispatch.get(name):
                         self._dispatch.pop(name, None)
+
+    def _retire_dispatch(self, entry: _DispatchedBatch) -> None:
+        """Drop a batch's samples from the dispatched backlog, exactly once.
+
+        Runs on the execution path *before* the batch's futures resolve, so
+        a caller woken by its result no longer finds its own request in
+        ``backlog_by_model()`` (queued and dispatched counts are the figure
+        admission control prices).  Clearing ``dispatch_key`` under the
+        guard makes the retirement idempotent.
+        """
+        with self._dispatch_guard:
+            name = entry.dispatch_key
+            if name is None:
+                return
+            entry.dispatch_key = None
+            remaining = self._dispatched_samples.get(name, 0) - entry.samples
+            if remaining > 0:
+                self._dispatched_samples[name] = remaining
+            else:
+                self._dispatched_samples.pop(name, None)
 
     def _execute_batch(self, entry: _DispatchedBatch) -> None:
         batch = entry.requests
@@ -1025,6 +1065,7 @@ class InferenceServer:
                     if not self._route_entry(entry.route.fleet, entry, reroute=True):
                         raise
         except BaseException as error:
+            self._retire_dispatch(entry)
             for request in batch:
                 request.future._set_error(_clone_error(error))
             with self._stats_lock:
@@ -1042,48 +1083,57 @@ class InferenceServer:
                 )
             return
         bounds = np.cumsum(sizes)[:-1]
+        results = np.split(outputs, bounds, axis=0)
         delivered = time.monotonic()
-        for request, result in zip(batch, np.split(outputs, bounds, axis=0)):
-            request.future._set_result(result)
-        completed = time.monotonic()
-        if traced:
-            self._finish_traces(
-                traced,
-                sink,
-                dispatched,
-                delivered=delivered,
-                completed=completed,
-                status="ok",
-                batch_size=int(sum(sizes)),
-            )
-        with self._stats_lock:
-            stats = self._stats
-            stats.requests_completed += len(batch)
-            stats.batches_executed += 1
-            stats.samples_executed += int(sum(sizes))
-            stats.max_batch_size = max(stats.max_batch_size, int(sum(sizes)))
-            stats.engine_time_s += engine_time
-            stats.queue_wait_s += sum(
-                dispatched - request.enqueued_at for request in batch
-            )
-            # Routed batches are counted under the variant that actually
-            # executed them (the fleet-level totals live in the telemetry
-            # collector's routing counters).
-            stats.batches_per_model[entry.engine_name] = (
-                stats.batches_per_model.get(entry.engine_name, 0) + 1
-            )
-        if self.telemetry is not None:
-            if entry.route is not None:
-                self.telemetry.record_route_outcome(entry.route)
-            self._record_telemetry(
-                entry,
-                engine,
-                sizes,
-                dispatched,
-                completed,
-                engine_time,
-                engine_records,
-            )
+        completed = delivered
+        # All accounting (server stats, traces, telemetry) is finalised
+        # *before* the futures resolve: a caller woken by ``result()`` must
+        # see its own request already reflected in ``statistics()``.  The
+        # ``finally`` guarantees the futures resolve even if accounting
+        # raises.
+        try:
+            self._retire_dispatch(entry)
+            with self._stats_lock:
+                stats = self._stats
+                stats.requests_completed += len(batch)
+                stats.batches_executed += 1
+                stats.samples_executed += int(sum(sizes))
+                stats.max_batch_size = max(stats.max_batch_size, int(sum(sizes)))
+                stats.engine_time_s += engine_time
+                stats.queue_wait_s += sum(
+                    dispatched - request.enqueued_at for request in batch
+                )
+                # Routed batches are counted under the variant that actually
+                # executed them (the fleet-level totals live in the telemetry
+                # collector's routing counters).
+                stats.batches_per_model[entry.engine_name] = (
+                    stats.batches_per_model.get(entry.engine_name, 0) + 1
+                )
+            if traced:
+                self._finish_traces(
+                    traced,
+                    sink,
+                    dispatched,
+                    delivered=delivered,
+                    completed=completed,
+                    status="ok",
+                    batch_size=int(sum(sizes)),
+                )
+            if self.telemetry is not None:
+                if entry.route is not None:
+                    self.telemetry.record_route_outcome(entry.route)
+                self._record_telemetry(
+                    entry,
+                    engine,
+                    sizes,
+                    dispatched,
+                    completed,
+                    engine_time,
+                    engine_records,
+                )
+        finally:
+            for request, result in zip(batch, results):
+                request.future._set_result(result)
 
     def _run_engine(
         self,

@@ -481,6 +481,12 @@ class TelemetryCollector:
         self._histograms: dict[tuple[str, str], LatencyHistogram] = {}
         self._cost_models: dict[str, CostModel] = {}
         self._wall_per_modeled: dict[str, float] = {}
+        # Per-model queue-wait EMA (seconds), updated from every completed
+        # request's trace.  This is the cross-model contention signal:
+        # co-hosted tenants inflate each other's queue waits even when their
+        # own backlog is empty, and admission opts into seeing that via
+        # ``predicted_batch_latency_s(..., include_queue_wait=True)``.
+        self._queue_wait_ema: dict[str, float] = {}
         # Latest admission-control overload state string (None until a
         # decision is recorded); see repro.serve.admission.OverloadState.
         self._overload_state: str | None = None
@@ -499,7 +505,7 @@ class TelemetryCollector:
             return self._cost_models.get(model_name)
 
     def predicted_batch_latency_s(
-        self, model_name: str, n_samples: int
+        self, model_name: str, n_samples: int, include_queue_wait: bool = False
     ) -> float | None:
         """Predicted wall-clock latency of a batch, for SLO slack computation.
 
@@ -507,13 +513,32 @@ class TelemetryCollector:
         the observed wall-per-modeled calibration EMA once engine runs have
         been recorded.  ``None`` when ``model_name`` has no cost model (the
         scheduler then treats predicted latency as zero).
+
+        ``include_queue_wait=True`` adds the model's observed queue-wait EMA
+        (:meth:`queue_wait_ema_s`) on top: the admission controller uses
+        this variant so its deadline feasibility check prices *cross-model
+        worker contention* -- time batches of co-hosted tenants spend ahead
+        of this model's -- not just the modeled execution time.  The
+        scheduler's own slack estimator deliberately does **not** opt in
+        (a queued request's remaining wait is already measured directly;
+        adding the EMA there would double-count it).
         """
         with self._lock:
             cost = self._cost_models.get(model_name)
             if cost is None:
                 return None
             scale = self._wall_per_modeled.get(model_name, 1.0)
-        return cost.batch_latency_s(n_samples) * scale
+            queue_wait = (
+                self._queue_wait_ema.get(model_name, 0.0)
+                if include_queue_wait
+                else 0.0
+            )
+        return cost.batch_latency_s(n_samples) * scale + queue_wait
+
+    def queue_wait_ema_s(self, model_name: str) -> float:
+        """The model's smoothed observed queue wait (0.0 before any trace)."""
+        with self._lock:
+            return self._queue_wait_ema.get(model_name, 0.0)
 
     # -- recording -------------------------------------------------------------
 
@@ -537,6 +562,12 @@ class TelemetryCollector:
             latency.observe(trace.latency_s)
             queue_wait = self._histogram_locked(trace.model_name, "queue_wait")
             queue_wait.observe(trace.queue_wait_s)
+            previous = self._queue_wait_ema.get(trace.model_name)
+            self._queue_wait_ema[trace.model_name] = (
+                trace.queue_wait_s
+                if previous is None
+                else previous + _CALIBRATION_ALPHA * (trace.queue_wait_s - previous)
+            )
             aggregate = self._aggregate_locked(trace.model_name)
             aggregate.requests += 1
             aggregate.samples += trace.n_samples

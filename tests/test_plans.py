@@ -1,0 +1,279 @@
+"""Tests for compiled execution plans (:mod:`repro.runtime.plan`).
+
+Three layers of guarantees:
+
+* **artifact** -- a :class:`CompiledLayerPlan` is a faithful, pickle-able
+  freeze of one executor's derivation: adopting it (fresh, or after a
+  pickle round trip, or with float32 operands) changes no output bit and
+  no statistics counter relative to the unplanned vectorized path;
+* **cache** -- the registry's fingerprint-keyed :class:`ModelPlanCache`
+  reuses the *same* plan object across re-registrations that change only
+  the hosting (thread<->process backend swap, rolling ``replace``) and
+  compiles a fresh one when the :class:`PimLayerConfig` or the weights
+  actually change;
+* **transport** -- a plan shipped inside an :class:`EngineSpec` boots a
+  replica worker to bit-identical outputs.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analog.noise import GaussianColumnNoise, NoiselessModel
+from repro.arithmetic.slicing import Slicing
+from repro.core.dynamic_input import SpeculationMode
+from repro.core.executor import PimLayerConfig, PimLayerExecutor
+from repro.runtime import (
+    ExecutorPool,
+    ModelPlan,
+    NetworkEngine,
+    ProcessEngine,
+    VectorizedLayerExecutor,
+    compile_model_plan,
+)
+from repro.serve import ModelRegistry
+
+from tests.test_runtime_engine import PARITY_CONFIGS, assert_stats_equal
+
+
+def planned_and_unplanned(layer, config, noise=None, float32=False):
+    """A (planned, unplanned) executor pair for the same layer/config."""
+    unplanned = VectorizedLayerExecutor(layer, config, noise=noise, float32=float32)
+    planned = VectorizedLayerExecutor(layer, config, noise=noise, float32=float32)
+    plan = planned.compile_layer_plan()
+    assert planned.layer_plan is plan
+    return planned, unplanned, plan
+
+
+class TestCompiledLayerPlan:
+    @pytest.mark.parametrize("name", sorted(PARITY_CONFIGS))
+    def test_planned_outputs_and_stats_bit_identical(
+        self, name, tiny_linear_layer, tiny_patches
+    ):
+        config = PARITY_CONFIGS[name]
+        planned, unplanned, _ = planned_and_unplanned(tiny_linear_layer, config)
+        assert np.array_equal(
+            planned.matmul(tiny_patches), unplanned.matmul(tiny_patches)
+        )
+        assert_stats_equal(planned.stats, unplanned.stats)
+
+    def test_plan_survives_pickle(self, tiny_linear_layer, tiny_patches):
+        config = PARITY_CONFIGS["raella"]
+        planned, unplanned, plan = planned_and_unplanned(tiny_linear_layer, config)
+        revived = pickle.loads(pickle.dumps(plan))
+        assert revived is not plan
+        seeded = VectorizedLayerExecutor(tiny_linear_layer, config, plan=revived)
+        assert seeded.layer_plan is revived
+        assert np.array_equal(
+            seeded.matmul(tiny_patches), unplanned.matmul(tiny_patches)
+        )
+        assert_stats_equal(seeded.stats, unplanned.stats)
+
+    def test_float32_plan_bit_identical(self, tiny_linear_layer, tiny_patches):
+        config = PARITY_CONFIGS["raella_multi_chunk"]
+        planned, _, _ = planned_and_unplanned(tiny_linear_layer, config, float32=True)
+        reference = PimLayerExecutor(tiny_linear_layer, config)
+        assert np.array_equal(
+            planned.matmul(tiny_patches), reference.matmul(tiny_patches)
+        )
+
+    def test_noisy_plan_keeps_seeded_draw_order(self, tiny_linear_layer, tiny_patches):
+        config = PimLayerConfig()
+        planned, _, plan = planned_and_unplanned(
+            tiny_linear_layer, config, noise=GaussianColumnNoise(level=0.05, seed=11)
+        )
+        assert not plan.fast_path_eligible  # noisy layers keep the phase loop
+        reference = PimLayerExecutor(
+            tiny_linear_layer, config, noise=GaussianColumnNoise(level=0.05, seed=11)
+        )
+        assert np.array_equal(
+            planned.matmul(tiny_patches), reference.matmul(tiny_patches)
+        )
+
+    def test_adopt_rejects_mismatched_layer_or_config(self, tiny_linear_layer, rng):
+        from repro.nn.layers import Linear
+        from repro.nn.synthetic import synthetic_linear_weights
+
+        other_layer = Linear("other_fc", synthetic_linear_weights(5, 16, rng))
+        inputs = np.abs(rng.normal(0, 1, size=(32, 16)))
+        other_layer.calibrate(inputs, other_layer.forward_float(inputs))
+        plan = VectorizedLayerExecutor(
+            tiny_linear_layer, PimLayerConfig()
+        ).compile_layer_plan()
+        with pytest.raises(ValueError, match="plan"):
+            VectorizedLayerExecutor(other_layer, PimLayerConfig(), plan=plan)
+        changed = PimLayerConfig(adc_bits=9)
+        with pytest.raises(ValueError, match="plan"):
+            VectorizedLayerExecutor(tiny_linear_layer, changed, plan=plan)
+        assert plan.matches(tiny_linear_layer, PimLayerConfig())
+        assert not plan.matches(tiny_linear_layer, changed)
+
+    def test_fast_path_gating(self, tiny_linear_layer):
+        eligible = VectorizedLayerExecutor(
+            tiny_linear_layer, PimLayerConfig()
+        ).compile_layer_plan()
+        assert eligible.fast_path_eligible
+        column_sums = VectorizedLayerExecutor(
+            tiny_linear_layer, PimLayerConfig(collect_column_sums=True)
+        ).compile_layer_plan()
+        assert not column_sums.fast_path_eligible
+
+    def test_phase_table_shapes(self, tiny_linear_layer):
+        serial = PimLayerConfig(
+            speculation=SpeculationMode.BIT_SERIAL,
+            serial_input_slicing=Slicing((2, 2, 2, 2)),
+        )
+        plan = VectorizedLayerExecutor(tiny_linear_layer, serial).compile_layer_plan()
+        assert plan.n_phases == 4
+        assert plan.spec_indices.size == 0
+        assert plan.mode is SpeculationMode.BIT_SERIAL
+
+
+class TestModelPlan:
+    def test_split_points(self, tiny_mlp_model):
+        plan = compile_model_plan(tiny_mlp_model, micro_batch=4)
+        assert plan.split_points(3) == ()
+        assert plan.split_points(4) == ()
+        assert plan.split_points(10) == (4, 8)
+        unbounded = compile_model_plan(tiny_mlp_model)
+        assert unbounded.split_points(100) == ()
+
+    def test_layer_plans_cover_matmul_layers(self, tiny_mlp_model):
+        plan = compile_model_plan(tiny_mlp_model)
+        for layer in tiny_mlp_model.matmul_layers():
+            layer_plan = plan.layer_plan(layer.name)
+            assert layer_plan is not None
+            assert layer_plan.weight_fingerprint == layer.weight_fingerprint
+        assert plan.layer_plan("no_such_layer") is None
+
+    def test_cache_key_sensitivity(self, tiny_mlp_model):
+        base = ModelPlan.cache_key(tiny_mlp_model, PimLayerConfig(), None, True, None)
+        assert base == ModelPlan.cache_key(
+            tiny_mlp_model, PimLayerConfig(), NoiselessModel(), True, None
+        )
+        assert base != ModelPlan.cache_key(
+            tiny_mlp_model, PimLayerConfig(adc_bits=8), None, True, None
+        )
+        assert base != ModelPlan.cache_key(
+            tiny_mlp_model, PimLayerConfig(), None, False, None
+        )
+        assert base != ModelPlan.cache_key(
+            tiny_mlp_model, PimLayerConfig(), None, True, 8
+        )
+        noisy = GaussianColumnNoise(level=0.05)
+        assert base != ModelPlan.cache_key(
+            tiny_mlp_model, PimLayerConfig(), noisy, True, None
+        )
+
+    def test_engine_build_adopts_plan(self, tiny_mlp_model, rng):
+        pool = ExecutorPool()
+        plan = compile_model_plan(tiny_mlp_model, micro_batch=8, pool=pool)
+        engine = NetworkEngine.build(tiny_mlp_model, pool=pool, plan=plan)
+        assert engine.model_plan is plan
+        assert engine.micro_batch == 8  # inherited from the plan
+        baseline = NetworkEngine.build(tiny_mlp_model, micro_batch=8)
+        inputs = np.abs(rng.normal(0, 1, size=(13, 16)))
+        assert np.array_equal(engine.run(inputs), baseline.run(inputs))
+
+
+class TestRegistryPlanCache:
+    def test_register_compiles_and_exposes_plan(self, tiny_mlp_model):
+        registry = ModelRegistry()
+        registry.register("mlp", tiny_mlp_model)
+        plan = registry.plan("mlp")
+        assert isinstance(plan, ModelPlan)
+        assert registry.plan_cache.misses == 1
+        with pytest.raises(KeyError):
+            registry.plan("nope")
+        registry.close()
+
+    def test_changed_config_compiles_fresh_plan(self, tiny_mlp_model):
+        registry = ModelRegistry()
+        registry.register("mlp", tiny_mlp_model)
+        first = registry.plan("mlp")
+        registry.register(
+            "mlp", tiny_mlp_model, config=PimLayerConfig(adc_bits=8), replace=True
+        )
+        second = registry.plan("mlp")
+        assert second is not first
+        assert second.config != first.config
+        assert registry.plan_cache.misses == 2
+        registry.close()
+
+    def test_unchanged_reregistration_reuses_plan_identity(self, tiny_mlp_model):
+        registry = ModelRegistry()
+        registry.register("mlp", tiny_mlp_model)
+        first = registry.plan("mlp")
+        registry.register("mlp", tiny_mlp_model, replace=True)
+        assert registry.plan("mlp") is first
+        assert registry.plan_cache.hits >= 1
+        registry.close()
+
+    def test_backend_swap_reuses_plan_and_stays_bit_identical(
+        self, tiny_mlp_model, rng
+    ):
+        inputs = np.abs(rng.normal(0, 1, size=(6, 16)))
+        registry = ModelRegistry()
+        try:
+            registry.register("mlp", tiny_mlp_model)
+            thread_plan = registry.plan("mlp")
+            thread_outputs = registry.engine("mlp").run(inputs)
+            registry.register("mlp", tiny_mlp_model, backend="process", replace=True)
+            assert registry.plan("mlp") is thread_plan
+            process_outputs = registry.engine("mlp").run(inputs)
+            registry.register("mlp", tiny_mlp_model, replace=True)
+            assert registry.plan("mlp") is thread_plan
+            assert np.array_equal(process_outputs, thread_outputs)
+        finally:
+            registry.close()
+
+    def test_rolling_replace_reuses_plan(self, tiny_mlp_model, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(4, 16)))
+        registry = ModelRegistry()
+        try:
+            registry.register("mlp", tiny_mlp_model, backend="process", replicas=2)
+            first = registry.plan("mlp")
+            before = registry.engine("mlp").run(inputs)
+            registry.register(
+                "mlp",
+                tiny_mlp_model,
+                backend="process",
+                replicas=2,
+                replace=True,
+            )
+            assert registry.plan("mlp") is first  # rolled, not recompiled
+            assert np.array_equal(registry.engine("mlp").run(inputs), before)
+        finally:
+            registry.close()
+
+    def test_sharded_engines_have_no_plan(self, tiny_mlp_model):
+        registry = ModelRegistry()
+        registry.register("mlp", tiny_mlp_model, sharded=True)
+        assert registry.plan("mlp") is None
+        registry.close()
+
+    def test_unregister_keeps_cache_warm(self, tiny_mlp_model):
+        registry = ModelRegistry()
+        registry.register("mlp", tiny_mlp_model)
+        first = registry.plan("mlp")
+        registry.unregister("mlp")
+        registry.register("mlp", tiny_mlp_model)
+        assert registry.plan("mlp") is first  # LRU outlives the hosting
+        registry.close()
+
+
+class TestPlanTransport:
+    def test_process_engine_runs_shipped_plan(self, tiny_mlp_model, rng):
+        inputs = np.abs(rng.normal(0, 1, size=(5, 16)))
+        plan = compile_model_plan(tiny_mlp_model)
+        baseline = NetworkEngine.build(tiny_mlp_model).run(inputs)
+        engine = ProcessEngine.launch(tiny_mlp_model, plan=plan)
+        try:
+            outputs = engine.run(inputs)
+            assert np.array_equal(outputs, baseline)
+            assert not outputs.flags.writeable  # pooled zero-copy view
+        finally:
+            engine.close()

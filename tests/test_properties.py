@@ -137,3 +137,80 @@ class TestTensorQuantProperties:
         codes = np.arange(0, 256, 15)
         values = quant.dequantize(codes)
         assert np.array_equal(quant.quantize(values), codes)
+
+
+class TestCompiledPlanPhaseProperties:
+    """The compiled plan's index tables vs the reference slice extraction.
+
+    :class:`~repro.runtime.plan.CompiledLayerPlan` freezes phase extraction
+    into explicit shift/mask tables; these must reproduce
+    :func:`~repro.runtime.phases.extract_phase_tensor` -- itself pinned to
+    stacking :func:`extract_input_slice` -- element for element, for every
+    slicing and speculation mode, or the planned fast path silently feeds
+    wrong DAC values.
+    """
+
+    phase_slicing_strategy = st.sampled_from(
+        [Slicing((4, 2, 2)), Slicing((4, 4)), Slicing((2, 2, 2, 2)), Slicing((3, 3, 2))]
+    )
+    mode_strategy = st.sampled_from(
+        [SpeculationMode.SPECULATIVE, SpeculationMode.BIT_SERIAL]
+    )
+
+    @staticmethod
+    def _build_plan(mode, slicing):
+        if mode is SpeculationMode.BIT_SERIAL:
+            return InputSlicePlan.build(mode=mode, serial_slicing=slicing)
+        return InputSlicePlan.build(mode=mode, speculative_slicing=slicing)
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        phase_slicing_strategy,
+        mode_strategy,
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_compiled_tables_match_extract_phase_tensor(self, seed, slicing, mode):
+        from repro.runtime.phases import extract_phase_tensor
+        from repro.runtime.plan import CompiledLayerPlan
+        from repro.runtime.vectorized import VectorizedLayerExecutor
+
+        rng = np.random.default_rng(seed)
+        layer = Linear("prop_plan_fc", rng.normal(0, 0.15, size=(4, 12)))
+        inputs = np.abs(rng.normal(0, 1, size=(6, 12)))
+        layer.calibrate(inputs, layer.forward_float(inputs))
+        config = (
+            PimLayerConfig(speculation=mode, serial_input_slicing=slicing)
+            if mode is SpeculationMode.BIT_SERIAL
+            else PimLayerConfig(speculation=mode, speculative_input_slicing=slicing)
+        )
+        compiled = CompiledLayerPlan.from_executor(
+            VectorizedLayerExecutor(layer, config)
+        )
+        codes = rng.integers(0, 256, size=(6, 12))
+        expected = extract_phase_tensor(codes, compiled.input_plan)
+        assert np.array_equal(compiled.extract_phases(codes), expected)
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        phase_slicing_strategy,
+        mode_strategy,
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_tables_match_per_phase_slice_extraction(self, seed, slicing, mode):
+        plan = self._build_plan(mode, slicing)
+        codes = np.random.default_rng(seed).integers(0, 256, size=(5, 9))
+        shifts = np.array([phase.shift for phase in plan.phases], dtype=np.int64)
+        masks = np.array(
+            [(1 << phase.width) - 1 for phase in plan.phases], dtype=np.int64
+        )
+        tabled = (codes[np.newaxis, :, :] >> shifts[:, None, None]) & (
+            masks[:, None, None]
+        )
+        stacked = np.stack([extract_input_slice(codes, phase) for phase in plan.phases])
+        assert np.array_equal(tabled, stacked)
+        # Every input bit is consumed exactly once by the plan's phases
+        # (recovery phases re-read speculative bits, which double-counts by
+        # design in speculative mode).
+        if mode is SpeculationMode.BIT_SERIAL:
+            reassembled = (tabled << shifts[:, None, None]).sum(axis=0)
+            assert np.array_equal(reassembled, codes)
